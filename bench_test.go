@@ -1,0 +1,182 @@
+package streamlake
+
+// Macro-benchmarks: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each iteration regenerates the experiment at a
+// reduced scale; `go run ./cmd/benchsuite` runs the full scaled sweeps
+// and prints the paper-style tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamlake/internal/bench"
+)
+
+func BenchmarkTable1Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable1([]int{20_000}, 1)
+		b.ReportMetric(rows[0].StorageRatio(), "HK/S-storage-ratio")
+	}
+}
+
+func BenchmarkTable1Stream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable1([]int{20_000}, 1)
+		b.ReportMetric(rows[0].StreamRatio(), "K/S-stream-ratio")
+	}
+}
+
+func BenchmarkTable1Batch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable1([]int{20_000}, 1)
+		b.ReportMetric(rows[0].BatchRatio(), "H/S-batch-ratio")
+	}
+}
+
+func BenchmarkFig1bOverall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig1b(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ServerReduction, "server-reduction-%")
+		b.ReportMetric(res.TCOSaving, "tco-saving-%")
+	}
+}
+
+func BenchmarkFig14aLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig14a([]float64{100_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].Set1.Nanoseconds()), "set1-latency-ns")
+		b.ReportMetric(float64(points[0].Set2.Nanoseconds()), "set2-latency-ns")
+	}
+}
+
+func BenchmarkFig14bThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig14b([]float64{1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Set1, "set1-msgs-per-sec")
+	}
+}
+
+func BenchmarkFig14cElasticity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig14c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StreamLakeRemap.Seconds(), "remap-sec")
+		b.ReportMetric(res.KafkaRebalance.Seconds(), "kafka-rebalance-sec")
+	}
+}
+
+func BenchmarkFig14dSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig14d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[1].Replication, "ft2-replication-x")
+		b.ReportMetric(points[1].ECColStore, "ft2-ec-colstore-x")
+	}
+}
+
+func BenchmarkFig15aMetadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig15a([]int{48})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].NoAccel.Seconds()/points[0].Accel.Seconds(), "accel-speedup")
+	}
+}
+
+func BenchmarkFig15bMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig15b([]int64{4 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].NoAccelTime.Seconds()/points[0].AccelTime.Seconds(), "accel-speedup")
+	}
+}
+
+func BenchmarkFig16aCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig16a([]int{8}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].AutoImprovement, "auto-improvement-%")
+		b.ReportMetric(points[0].DefaultImprovement, "default-improvement-%")
+	}
+}
+
+func BenchmarkFig16aUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := bench.RunFig16aUtil([]float64{10}, 5)
+		b.ReportMetric(points[0].AutoUtil/points[0].DefaultUtil, "auto-vs-default-util")
+	}
+}
+
+func BenchmarkFig16bPartitionSkipping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig16bc([]int{2}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].OursSkipped)/float64(points[0].DaySkipped), "ours-vs-day-skipped")
+	}
+}
+
+func BenchmarkFig16cPartitionRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig16bc([]int{2}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].DayTime.Seconds()/points[0].OursTime.Seconds(), "ours-vs-day-speedup")
+	}
+}
+
+// BenchmarkEndToEndIngest measures the real (wall-clock) cost of the
+// full produce -> convert -> query path at small scale, as a regression
+// guard on the implementation itself rather than the simulated devices.
+func BenchmarkEndToEndIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lake, err := Open(Config{PLogCapacity: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		schema := MustSchema("url:string", "ts:int64", "province:string")
+		if err := lake.CreateTopic(TopicConfig{
+			Name: "t", StreamNum: 2,
+			Convert: ConvertConfig{
+				Enabled: true, TableName: "tt", TablePath: "/tt",
+				TableSchema: schema, PartitionColumn: "province", SplitOffset: 500,
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		p := lake.Producer("bench")
+		for j := 0; j < 2000; j++ {
+			row := Row{StringValue("u"), IntValue(int64(j)), StringValue("B")}
+			val, _ := EncodeRow(schema, row)
+			if _, _, err := p.Send("t", []byte(fmt.Sprint(j)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := lake.RunConversion(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lake.Query("select count(*) from tt"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Command lakectl is an interactive shell over a StreamLake instance:
+// create topics and tables, produce and consume messages, run SQL, force
+// conversions and compactions, and inspect storage stats — a quick way
+// to poke at the system end to end.
+//
+// Usage:
+//
+//	lakectl                 # interactive shell
+//	lakectl -c "command"    # run one command and exit
+//
+// Commands:
+//
+//	create-topic <name> <streams>
+//	produce <topic> <key> <value>
+//	consume <topic> [group]
+//	create-table <name> <partitionCol> <field:type> [field:type...]
+//	insert <table> <value> [value...]         (values align with schema)
+//	sql <select statement>
+//	convert <topic>
+//	compact <table> <partition>
+//	snapshot <table>
+//	stats
+//	help
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamlake"
+)
+
+func main() {
+	oneShot := flag.String("c", "", "run one command and exit")
+	flag.Parse()
+
+	lake, err := streamlake.Open(streamlake.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sh := &shell{lake: lake}
+	if *oneShot != "" {
+		if err := sh.exec(*oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("streamlake shell — 'help' for commands, 'exit' to quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("lake> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+type shell struct {
+	lake *streamlake.Lake
+}
+
+func (s *shell) exec(line string) error {
+	args := strings.Fields(line)
+	cmd := args[0]
+	rest := args[1:]
+	switch cmd {
+	case "help":
+		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats")
+		return nil
+	case "create-topic":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: create-topic <name> <streams>")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return err
+		}
+		if err := s.lake.CreateTopic(streamlake.TopicConfig{Name: rest[0], StreamNum: n}); err != nil {
+			return err
+		}
+		fmt.Printf("topic %s created with %d streams\n", rest[0], n)
+		return nil
+	case "produce":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: produce <topic> <key> <value>")
+		}
+		p := s.lake.Producer("lakectl")
+		msg, cost, err := p.Send(rest[0], []byte(rest[1]), []byte(strings.Join(rest[2:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offset=%d stream=%d latency=%v\n", msg.Offset, msg.Stream, cost)
+		return nil
+	case "consume":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: consume <topic> [group]")
+		}
+		group := "lakectl"
+		if len(rest) > 1 {
+			group = rest[1]
+		}
+		c := s.lake.Consumer(group)
+		if err := c.Subscribe(rest[0]); err != nil {
+			return err
+		}
+		msgs, _, err := c.Poll(32)
+		if err != nil {
+			return err
+		}
+		for _, m := range msgs {
+			fmt.Printf("  %d: %s = %s\n", m.Offset, m.Key, m.Value)
+		}
+		fmt.Printf("%d message(s)\n", len(msgs))
+		_, err = c.CommitOffsets()
+		return err
+	case "create-table":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: create-table <name> <partitionCol|-> <field:type>...")
+		}
+		schema, err := streamlake.NewSchema(rest[2:]...)
+		if err != nil {
+			return err
+		}
+		partCol := rest[1]
+		if partCol == "-" {
+			partCol = ""
+		}
+		if err := s.lake.CreateTable(streamlake.TableMeta{
+			Name: rest[0], Path: "/lake/" + rest[0], Schema: schema, PartitionColumn: partCol,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("table %s created\n", rest[0])
+		return nil
+	case "insert":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: insert <table> <value>...")
+		}
+		tbl, err := s.lake.Engine().Table(rest[0])
+		if err != nil {
+			return err
+		}
+		schema := tbl.Schema()
+		if len(rest)-1 != schema.NumFields() {
+			return fmt.Errorf("table has %d columns, got %d values", schema.NumFields(), len(rest)-1)
+		}
+		row := make(streamlake.Row, schema.NumFields())
+		for i, raw := range rest[1:] {
+			v, err := parseValue(schema, i, raw)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		if err := s.lake.Insert(rest[0], []streamlake.Row{row}); err != nil {
+			return err
+		}
+		if err := s.lake.FlushTable(rest[0]); err != nil {
+			return err
+		}
+		fmt.Println("1 row inserted")
+		return nil
+	case "sql", "select", "Select", "SELECT":
+		sql := line
+		if cmd == "sql" {
+			sql = strings.TrimSpace(strings.TrimPrefix(line, "sql"))
+		}
+		res, cost, err := s.lake.QueryCost(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		fmt.Printf("%d row(s), %v\n", len(res.Rows), cost)
+		return nil
+	case "convert":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: convert <topic>")
+		}
+		res, cost, err := s.lake.ConvertNow(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converted %d messages into %d files (%v)\n", res.Messages, res.Files, cost)
+		return nil
+	case "compact":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: compact <table> <partition>")
+		}
+		merged, err := s.lake.CompactTable(rest[0], rest[1], 64<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged %d files\n", merged)
+		return nil
+	case "snapshot":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: snapshot <table>")
+		}
+		snap, err := s.lake.TableSnapshot(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot %d: %d files, %d rows, %d commits\n",
+			snap.ID, len(snap.Files), snap.RowCount, len(snap.CommitIDs))
+		return nil
+	case "stats":
+		st := s.lake.Stats()
+		fmt.Printf("topics=%d streamObjects=%d tableFiles=%d logical=%dB physical=%dB util=%.1f%%\n",
+			st.Topics, st.StreamObjects, st.TableFiles, st.LogicalBytes, st.PhysicalBytes, st.PoolUtilization*100)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func parseValue(schema streamlake.Schema, i int, raw string) (streamlake.Value, error) {
+	switch schema.Fields[i].Type.String() {
+	case "int64":
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return streamlake.Value{}, err
+		}
+		return streamlake.IntValue(n), nil
+	case "float64":
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return streamlake.Value{}, err
+		}
+		return streamlake.FloatValue(f), nil
+	case "bool":
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return streamlake.Value{}, err
+		}
+		return streamlake.BoolValue(b), nil
+	default:
+		return streamlake.StringValue(raw), nil
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"streamlake"
+)
+
+func newShell(t *testing.T) *shell {
+	t.Helper()
+	lake, err := streamlake.Open(streamlake.Config{PLogCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shell{lake: lake}
+}
+
+func TestShellTopicProduceConsume(t *testing.T) {
+	s := newShell(t)
+	for _, cmd := range []string{
+		"create-topic logs 2",
+		"produce logs key1 hello world",
+		"consume logs",
+		"stats",
+		"help",
+	} {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+}
+
+func TestShellTableInsertSQL(t *testing.T) {
+	s := newShell(t)
+	cmds := []string{
+		"create-table users province name:string age:int64 score:float64 active:bool province:string",
+		"insert users alice 30 9.5 true Beijing",
+		"insert users bob 25 7.25 false Shanghai",
+		"sql select count(*) from users group by province",
+		"snapshot users",
+		"compact users province=Beijing",
+	}
+	for _, cmd := range cmds {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	// Bare SELECT works without the sql prefix.
+	if err := s.exec("select count(*) from users"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellConvert(t *testing.T) {
+	s := newShell(t)
+	schema := streamlake.MustSchema("k:string", "v:int64")
+	if err := s.lake.CreateTopic(streamlake.TopicConfig{
+		Name: "ev", StreamNum: 1,
+		Convert: streamlake.ConvertConfig{
+			Enabled: true, TableName: "ev_tbl", TablePath: "/ev",
+			TableSchema: schema, SplitOffset: 1000,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := s.lake.Producer("t")
+	val, _ := streamlake.EncodeRow(schema, streamlake.Row{
+		streamlake.StringValue("x"), streamlake.IntValue(1),
+	})
+	p.Send("ev", []byte("k"), val)
+	if err := s.exec("convert ev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec("sql select count(*) from ev_tbl"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	s := newShell(t)
+	bad := []string{
+		"bogus-command",
+		"create-topic onlyname",
+		"create-topic t notanumber",
+		"produce missing-args",
+		"consume",
+		"create-table t",
+		"create-table t - bad-spec",
+		"insert ghost 1",
+		"sql select from",
+		"convert ghost",
+		"compact t",
+		"snapshot ghost",
+	}
+	for _, cmd := range bad {
+		if err := s.exec(cmd); err == nil {
+			t.Fatalf("%q accepted", cmd)
+		}
+	}
+	// Wrong arity insert.
+	s.exec("create-table t2 - a:int64 b:string")
+	if err := s.exec("insert t2 1"); err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("arity error: %v", err)
+	}
+	if err := s.exec("insert t2 notanint x"); err == nil {
+		t.Fatal("bad int literal accepted")
+	}
+}

@@ -1,0 +1,36 @@
+// Command lakegate runs the StreamLake data access layer (Section III)
+// as an HTTP service over a fresh Lake: produce, consume, query and
+// inspect through authenticated REST endpoints.
+//
+// Usage:
+//
+//	lakegate [-addr :8080] [-token secret]
+//
+// The single configured token is granted admin; see internal/gateway
+// for the endpoint and ACL model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"streamlake"
+	"streamlake/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	token := flag.String("token", "dev-token", "admin bearer token")
+	flag.Parse()
+
+	lake, err := streamlake.Open(streamlake.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acl := gateway.NewACL()
+	acl.Grant(*token, "admin", gateway.PermAdmin)
+	fmt.Printf("lakegate listening on %s (Authorization: Bearer %s)\n", *addr, *token)
+	log.Fatal(http.ListenAndServe(*addr, gateway.New(lake, acl)))
+}

@@ -1,0 +1,3 @@
+module streamlake
+
+go 1.22

@@ -1,0 +1,282 @@
+package streamlake
+
+// Cross-module integration and failure-injection tests: scenarios that
+// span the stream service, conversion, lakehouse, and the simulated
+// storage substrate, including degraded operation after disk failures.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+	"streamlake/internal/streamobj"
+	"streamlake/internal/streamsvc"
+	"streamlake/internal/tiering"
+)
+
+// TestDegradedReadsAfterDiskFailure injects a disk failure under a
+// replicated stream object and verifies reads continue from surviving
+// replicas, then reconstructs and verifies full health.
+func TestDegradedReadsAfterDiskFailure(t *testing.T) {
+	clock := sim.NewClock()
+	p := pool.New("it", clock, sim.NVMeSSD, 4, 4<<20)
+	store := streamobj.NewStore(clock, plog.NewManager(p, 1<<20))
+	svc := streamsvc.New(clock, store, 2)
+	if err := svc.CreateTopic(streamsvc.TopicConfig{Name: "t", StreamNum: 2, Redundancy: plog.ReplicateN(3)}); err != nil {
+		t.Fatal(err)
+	}
+	prod := svc.Producer("p")
+	for i := 0; i < 1000; i++ {
+		if _, _, err := prod.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a disk. Three-way replication tolerates it.
+	if err := p.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	c := svc.Consumer("g")
+	c.Subscribe("t")
+	total := 0
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatalf("degraded poll: %v", err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 1000 {
+		t.Fatalf("degraded read returned %d/1000 messages", total)
+	}
+	// Reconstruction restores redundancy; service keeps working.
+	migrated, _, err := p.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Fatal("nothing reconstructed")
+	}
+	if _, _, err := prod.Send("t", []byte("after"), []byte("recovery")); err != nil {
+		t.Fatalf("produce after reconstruction: %v", err)
+	}
+}
+
+// TestOneCopyLifecycle exercises the paper's central storage story end
+// to end: ingest, convert with delete_msg, verify the stream copy is
+// reclaimed while the table answers queries, then play the table back
+// into a stream.
+func TestOneCopyLifecycle(t *testing.T) {
+	lake, err := Open(Config{PLogCapacity: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := MustSchema("url:string", "ts:int64", "province:string")
+	if err := lake.CreateTopic(TopicConfig{
+		Name: "events", StreamNum: 1,
+		Convert: ConvertConfig{
+			Enabled: true, TableName: "events_tbl", TablePath: "/events",
+			TableSchema: schema, PartitionColumn: "province",
+			SplitOffset: 100, DeleteMsg: true,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := lake.Producer("src")
+	for i := 0; i < 3000; i++ {
+		row := Row{StringValue("u"), IntValue(int64(i)), StringValue([]string{"B", "S"}[i%2])}
+		val, _ := EncodeRow(schema, row)
+		if _, _, err := p.Send("events", []byte(fmt.Sprint(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	physBefore := lake.Stats().PhysicalBytes
+	results, _, err := lake.RunConversion()
+	if err != nil || len(results) != 1 {
+		t.Fatalf("conversion: %+v %v", results, err)
+	}
+	if results[0].FreedLog == 0 {
+		t.Fatal("delete_msg reclaimed nothing")
+	}
+	// The one remaining copy answers SQL.
+	res, err := lake.Query("select count(*) from events_tbl group by province")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("query: %+v %v", res, err)
+	}
+	// Physical storage did not double from the conversion: the stream
+	// side was reclaimed (columnar table + redundancy remains).
+	physAfter := lake.Stats().PhysicalBytes
+	if physAfter > physBefore {
+		t.Fatalf("conversion grew storage: %d -> %d", physBefore, physAfter)
+	}
+	// Reverse conversion: play the table back as a stream.
+	snap, err := lake.TableSnapshot("events_tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.CreateTopic(TopicConfig{Name: "replay", StreamNum: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := lake.Playback("events_tbl", snap, "replay")
+	if err != nil || n != 3000 {
+		t.Fatalf("playback: %d %v", n, err)
+	}
+}
+
+// TestConcurrentPipelines runs producers, conversion, and queries
+// concurrently under the race detector.
+func TestConcurrentPipelines(t *testing.T) {
+	lake, err := Open(Config{PLogCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := MustSchema("k:string", "v:int64", "p:string")
+	if err := lake.CreateTopic(TopicConfig{
+		Name: "hot", StreamNum: 4,
+		Convert: ConvertConfig{
+			Enabled: true, TableName: "hot_tbl", TablePath: "/hot",
+			TableSchema: schema, PartitionColumn: "p", SplitOffset: 200,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var producers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		producers.Add(1)
+		go func(w int) {
+			defer producers.Done()
+			p := lake.Producer(fmt.Sprintf("p%d", w))
+			for i := 0; i < 800; i++ {
+				row := Row{StringValue("k"), IntValue(int64(i)), StringValue("A")}
+				val, _ := EncodeRow(schema, row)
+				if _, _, err := p.Send("hot", []byte(fmt.Sprintf("%d-%d", w, i)), val); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Converter loop runs until the producers finish.
+	stop := make(chan struct{})
+	var services sync.WaitGroup
+	services.Add(1)
+	go func() {
+		defer services.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := lake.RunConversion(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// A consumer polls concurrently.
+	services.Add(1)
+	go func() {
+		defer services.Done()
+		c := lake.Consumer("watcher")
+		c.Subscribe("hot")
+		for i := 0; i < 50; i++ {
+			if _, _, err := c.Poll(100); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	producers.Wait()
+	close(stop)
+	services.Wait()
+
+	// Final conversion drains everything; the table must hold all rows.
+	if _, _, err := lake.ConvertNow("hot"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lake.Query("select count(*) from hot_tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "2400" {
+		t.Fatalf("table rows: %v, want 2400", res.Rows)
+	}
+}
+
+// TestECFaultToleranceEndToEnd uses erasure-coded streams and verifies
+// the system survives exactly M disk failures and not more.
+func TestECFaultToleranceEndToEnd(t *testing.T) {
+	clock := sim.NewClock()
+	p := pool.New("ec-it", clock, sim.NVMeSSD, 6, 4<<20)
+	store := streamobj.NewStore(clock, plog.NewManager(p, 1<<20))
+	obj, err := store.Create(streamobj.CreateOptions{Topic: "t", Redundancy: plog.EC(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if _, _, err := obj.Append([]streamobj.Record{{Key: []byte("k"), Value: []byte(fmt.Sprintf("v%d", i))}}, "p", int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// M=2 failures: still readable.
+	p.FailDisk(0)
+	p.FailDisk(1)
+	recs, _, err := obj.Read(0, streamobj.ReadCtrl{MaxRecords: 10})
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("read with 2 failures: %d %v", len(recs), err)
+	}
+	// Third failure exceeds fault tolerance for stripes touching all
+	// three disks; at least some reads must now fail.
+	p.FailDisk(2)
+	failed := false
+	for off := int64(0); off < obj.End(); off += 256 {
+		if _, _, err := obj.Read(off, streamobj.ReadCtrl{MaxRecords: 1}); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("no read failed with 3 of 6 disks down under EC(4,2)")
+	}
+}
+
+// TestTieringLifecycleWithArchiver wires the tiering service and
+// archiver to a topic and verifies cold data drains off the hot tier.
+func TestTieringLifecycleWithArchiver(t *testing.T) {
+	lake, err := Open(Config{PLogCapacity: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.CreateTopic(TopicConfig{
+		Name: "history", StreamNum: 1,
+		Archive: ArchiveConfig{Enabled: true, ArchiveBytes: 10 << 10, RowToCol: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := lake.Producer("gen")
+	for i := 0; i < 2000; i++ {
+		if _, _, err := p.Send("history", []byte("sensor"), []byte(fmt.Sprintf("reading-%06d", i%50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch := lake.Archiver()
+	results, _, err := arch.RunOnce()
+	if err != nil || len(results) != 1 {
+		t.Fatalf("archive: %+v %v", results, err)
+	}
+	if results[0].Freed == 0 || results[0].ArchivedBytes >= results[0].RawBytes {
+		t.Fatalf("archive result: %+v", results[0])
+	}
+	st := lake.Tiering().Stats()
+	if st.BytesPerTier[tiering.Archive] == 0 {
+		t.Fatal("nothing landed in the archive tier")
+	}
+}

@@ -1,0 +1,112 @@
+// Package bench is the experiment harness: one Run function per table
+// and figure of the paper's evaluation (Section VII), each regenerating
+// the corresponding rows or series over the reproduction's simulated
+// substrate. Volumes are scaled down from the paper's (documented per
+// experiment in DESIGN.md); the reproduction target is the shape of
+// every comparison — who wins, by roughly what factor, and where
+// crossovers fall — not absolute numbers from the authors' hardware.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Scale divides the paper's data volumes for laptop execution: packet
+// counts and TPC-H rows are divided by 1000, file counts in the
+// metadata experiment by 100.
+const Scale = 1000
+
+// Report is a printable experiment result: a titled table of rows.
+type Report struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// fmtGB renders bytes as GB with sensible precision.
+func fmtGB(b int64) string {
+	gb := float64(b) / (1 << 30)
+	switch {
+	case gb >= 100:
+		return fmt.Sprintf("%.0f", gb)
+	case gb >= 1:
+		return fmt.Sprintf("%.2f", gb)
+	default:
+		return fmt.Sprintf("%.4f", gb)
+	}
+}
+
+// fmtMB renders bytes as MB.
+func fmtMB(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }
+
+// fmtDur renders a duration in seconds.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// fmtRate renders a per-second rate compactly.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.0fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
+func fmtRatio(r float64) string { return fmt.Sprintf("%.2f", r) }
+
+func fmtInt(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	// Thousands separators for readability.
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 && c != '-' {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/lakehouse"
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/query"
+	"streamlake/internal/sim"
+	"streamlake/internal/tableobj"
+	"streamlake/internal/workload/dpi"
+)
+
+// Fig15aPoint is one metadata-operation measurement at a partition
+// count, with and without metadata acceleration.
+type Fig15aPoint struct {
+	Partitions int
+	Files      int
+	Accel      time.Duration // 100 queries' planning time, accelerated
+	NoAccel    time.Duration // same, file-based catalog
+}
+
+// DefaultFig15aPartitions are the paper's production partition counts
+// (hours) divided by 40 so file counts stay laptop-sized; files per
+// partition follow the production ratio (~509 files/partition, scaled).
+var DefaultFig15aPartitions = []int{24, 48, 96, 192, 240}
+
+// filesPerPartition is the scaled production density.
+const filesPerPartition = 12
+
+// RunFig15a measures the metadata operation time of 100 DAU-style
+// queries against hour-partitioned production-shaped tables of growing
+// partition count.
+func RunFig15a(partitionCounts []int) ([]Fig15aPoint, error) {
+	if partitionCounts == nil {
+		partitionCounts = DefaultFig15aPartitions
+	}
+	var out []Fig15aPoint
+	for _, parts := range partitionCounts {
+		accel, files, err := fig15aPlanningTime(parts, true)
+		if err != nil {
+			return nil, err
+		}
+		noAccel, _, err := fig15aPlanningTime(parts, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig15aPoint{Partitions: parts, Files: files, Accel: accel, NoAccel: noAccel})
+	}
+	return out, nil
+}
+
+// fig15aPlanningTime builds an hour-partitioned table with the given
+// partition count and measures 100 queries' metadata operations.
+func fig15aPlanningTime(partitions int, accel bool) (time.Duration, int, error) {
+	clock := sim.NewClock()
+	p := pool.New("f15a", clock, sim.NVMeSSD, 6, 8<<20)
+	fs := tableobj.NewFileStore(plog.NewManager(p, 8<<20))
+	cat := tableobj.NewCatalog(clock)
+	lh := lakehouse.New(clock, fs, cat, lakehouse.Options{Acceleration: accel, FlushEvery: 1 << 30})
+
+	schema := colfile.MustSchema("url:string", "start_time:int64", "province:string", "hour:string")
+	if _, err := lh.CreateTable(tableobj.TableMeta{
+		Name: "t", Path: "/t", Schema: schema, PartitionColumn: "hour",
+	}); err != nil {
+		return 0, 0, err
+	}
+	// Production shape: files generated in each hour land in that
+	// hour's partition.
+	for h := 0; h < partitions; h++ {
+		for f := 0; f < filesPerPartition; f++ {
+			ts := dpi.BaseTime + int64(h)*3600 + int64(f*60)
+			rows := []colfile.Row{{
+				colfile.StringValue(dpi.FinAppURL),
+				colfile.IntValue(ts),
+				colfile.StringValue("Beijing"),
+				colfile.StringValue(fmt.Sprintf("h%05d", h)),
+			}}
+			if _, err := lh.Insert("t", rows); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if _, err := lh.Flush("t"); err != nil {
+		return 0, 0, err
+	}
+	// 100 queries, each using the metadata to filter to a one-hour
+	// window (the WHERE clauses of Figure 13).
+	var total time.Duration
+	for q := 0; q < 100; q++ {
+		h := q % partitions
+		lo := colfile.IntValue(dpi.BaseTime + int64(h)*3600)
+		hi := colfile.IntValue(dpi.BaseTime + int64(h+1)*3600 - 1)
+		_, cost, err := lh.PlanScan("t", []lakehouse.RangeFilter{
+			{Column: "start_time", Lo: &lo, Hi: &hi},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		total += cost
+	}
+	return total, partitions * filesPerPartition, nil
+}
+
+// Fig15aReport renders the metadata acceleration comparison.
+func Fig15aReport(points []Fig15aPoint) *Report {
+	r := &Report{
+		Title:   "Figure 15(a): metadata operation time vs partition count (100 queries)",
+		Columns: []string{"partitions", "files", "accel", "no-accel", "speedup"},
+		Notes: []string{
+			"paper: without acceleration latency grows linearly with partitions; with the KV cache it grows moderately",
+			fmt.Sprintf("partition/file counts are the paper's divided by ~40 (%d files/partition)", filesPerPartition),
+		},
+	}
+	for _, p := range points {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", p.Partitions), fmt.Sprintf("%d", p.Files),
+			p.Accel.String(), p.NoAccel.String(),
+			fmtRatio(p.NoAccel.Seconds() / p.Accel.Seconds()),
+		})
+	}
+	return r
+}
+
+// Fig15bPoint is one query-vs-memory measurement.
+type Fig15bPoint struct {
+	MemoryBudget int64
+	AccelTime    time.Duration
+	NoAccelTime  time.Duration
+	AccelOOM     bool
+	NoAccelOOM   bool
+}
+
+// DefaultFig15bBudgets are compute-side memory budgets; at the smallest
+// the non-accelerated engine OOMs, as in the paper's 1 GB point.
+var DefaultFig15bBudgets = []int64{64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// RunFig15b measures query time under compute memory budgets with and
+// without metadata acceleration.
+func RunFig15b(budgets []int64) ([]Fig15bPoint, error) {
+	if budgets == nil {
+		budgets = DefaultFig15bBudgets
+	}
+	build := func(accel bool) (*query.Engine, error) {
+		clock := sim.NewClock()
+		p := pool.New("f15b", clock, sim.NVMeSSD, 6, 8<<20)
+		fs := tableobj.NewFileStore(plog.NewManager(p, 8<<20))
+		cat := tableobj.NewCatalog(clock)
+		lh := lakehouse.New(clock, fs, cat, lakehouse.Options{Acceleration: accel, FlushEvery: 1 << 30})
+		schema := colfile.MustSchema("url:string", "start_time:int64", "province:string", "hour:string")
+		if _, err := lh.CreateTable(tableobj.TableMeta{Name: "t", Path: "/t", Schema: schema, PartitionColumn: "hour"}); err != nil {
+			return nil, err
+		}
+		for h := 0; h < 96; h++ {
+			for f := 0; f < 8; f++ {
+				ts := dpi.BaseTime + int64(h)*3600 + int64(f*60)
+				if _, err := lh.Insert("t", []colfile.Row{{
+					colfile.StringValue(dpi.FinAppURL),
+					colfile.IntValue(ts),
+					colfile.StringValue("Beijing"),
+					colfile.StringValue(fmt.Sprintf("h%05d", h)),
+				}}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := lh.Flush("t"); err != nil {
+			return nil, err
+		}
+		e := query.New(lh)
+		e.Pushdown = accel // the baseline ships rows to compute
+		return e, nil
+	}
+	sql := fmt.Sprintf("select count(*) from t where start_time >= %d and start_time < %d group by province",
+		dpi.BaseTime, dpi.BaseTime+48*3600)
+
+	var out []Fig15bPoint
+	for _, budget := range budgets {
+		pt := Fig15bPoint{MemoryBudget: budget}
+		for _, accel := range []bool{true, false} {
+			e, err := build(accel)
+			if err != nil {
+				return nil, err
+			}
+			e.MemoryBudget = budget
+			res, err := e.Query(sql)
+			oom := errors.Is(err, query.ErrOOM)
+			if err != nil && !oom {
+				return nil, err
+			}
+			var t time.Duration
+			if !oom {
+				t = res.Stats.PlanCost + res.Stats.ExecCost
+			}
+			if accel {
+				pt.AccelTime, pt.AccelOOM = t, oom
+			} else {
+				pt.NoAccelTime, pt.NoAccelOOM = t, oom
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig15bReport renders the memory comparison.
+func Fig15bReport(points []Fig15bPoint) *Report {
+	r := &Report{
+		Title:   "Figure 15(b): query time vs compute memory budget",
+		Columns: []string{"memory", "accel", "no-accel"},
+		Notes: []string{
+			"paper: at 1 GB the method without acceleration runs out of memory; with acceleration the query is faster and stable",
+			"budgets scaled to the reproduction's row volumes",
+		},
+	}
+	cell := func(t time.Duration, oom bool) string {
+		if oom {
+			return "OOM"
+		}
+		return t.String()
+	}
+	for _, p := range points {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%dKB", p.MemoryBudget>>10),
+			cell(p.AccelTime, p.AccelOOM),
+			cell(p.NoAccelTime, p.NoAccelOOM),
+		})
+	}
+	return r
+}

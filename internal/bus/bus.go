@@ -1,0 +1,153 @@
+// Package bus models the data exchange and interworking bus of the store
+// layer (Section III): the high-speed fabric interconnecting all nodes.
+// It implements the three bus features the paper names — an RDMA path
+// that bypasses the kernel stack, intelligent aggregation of small I/O
+// requests, and I/O priority scheduling — as deterministic cost models
+// over the simulated link devices, so that "RDMA vs TCP" and
+// "aggregation on vs off" produce measurably different virtual latencies.
+package bus
+
+import (
+	"sync"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+// Path selects the transport the bus uses.
+type Path int
+
+const (
+	// RDMA bypasses the CPU and kernel stack (3 µs-class per-op cost).
+	RDMA Path = iota
+	// TCP is the conventional kernel path (50 µs-class per-op cost).
+	TCP
+)
+
+// Priority orders competing I/O on the bus.
+type Priority int
+
+const (
+	// High priority I/O (foreground reads, commit records) is never
+	// queued behind other traffic.
+	High Priority = iota
+	// Normal priority is the default for data transfers.
+	Normal
+	// Low priority (background compaction, tiering migration) yields to
+	// everything else.
+	Low
+)
+
+// Config tunes a Bus.
+type Config struct {
+	Path Path
+	// Aggregation coalesces small sends so the per-operation fixed cost
+	// is paid once per batch instead of once per message. The paper
+	// notes it can be disabled for latency-sensitive scenarios.
+	Aggregation bool
+	// AggregationCount is the number of small sends amortizing one fixed
+	// cost (default 16).
+	AggregationCount int
+	// SmallIOBytes is the threshold below which a send is eligible for
+	// aggregation (default 64 KiB).
+	SmallIOBytes int64
+}
+
+// Stats reports bus activity.
+type Stats struct {
+	Sends      int64
+	Bytes      int64
+	Aggregated int64 // sends that rode in a batch without paying fixed cost
+	Batches    int64
+	QueueDelay time.Duration // cumulative priority queuing delay imposed
+}
+
+// Bus is one node's view of the data exchange fabric.
+type Bus struct {
+	link *sim.Device
+	cfg  Config
+
+	mu          sync.Mutex
+	stats       Stats
+	batchFill   int   // small sends since the last fixed-cost payment
+	outstanding int64 // high-priority bytes notionally in flight
+}
+
+// New builds a bus over the given path with its default link device.
+func New(cfg Config) *Bus {
+	if cfg.AggregationCount <= 0 {
+		cfg.AggregationCount = 16
+	}
+	if cfg.SmallIOBytes <= 0 {
+		cfg.SmallIOBytes = 64 << 10
+	}
+	class := sim.NetRDMA
+	if cfg.Path == TCP {
+		class = sim.Net10GbE
+	}
+	return &Bus{link: sim.NewDeviceOf("bus", class), cfg: cfg}
+}
+
+// Link exposes the underlying link device for utilization reporting.
+func (b *Bus) Link() *sim.Device { return b.link }
+
+// Send models transferring n bytes at the given priority and returns the
+// modelled latency the sender observes.
+func (b *Bus) Send(n int64, prio Priority) time.Duration {
+	spec := b.link.Spec()
+	fixed := spec.WriteLatency
+	transfer := b.link.Write(n) - fixed // bandwidth term only
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Sends++
+	b.stats.Bytes += n
+
+	cost := transfer
+	paysFixed := true
+	if b.cfg.Aggregation && n <= b.cfg.SmallIOBytes {
+		b.batchFill++
+		if b.batchFill >= b.cfg.AggregationCount {
+			b.batchFill = 0
+			b.stats.Batches++
+		} else {
+			paysFixed = false
+			b.stats.Aggregated++
+		}
+	}
+	if paysFixed {
+		cost += fixed
+	}
+
+	// Priority scheduling: lower-priority traffic queues behind the
+	// notional in-flight high-priority bytes.
+	if prio != High && b.outstanding > 0 {
+		q := time.Duration(float64(b.outstanding) / float64(spec.WriteBandwidth) * float64(time.Second))
+		if prio == Low {
+			q *= 2
+		}
+		cost += q
+		b.stats.QueueDelay += q
+	}
+	if prio == High {
+		// High-priority bytes decay as they complete; model a window of
+		// the last send.
+		b.outstanding = n
+	} else if b.outstanding > 0 {
+		b.outstanding /= 2
+	}
+	return cost
+}
+
+// Stats returns a snapshot of bus counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// PerMessageFixedCost reports the path's fixed per-operation latency, the
+// quantity RDMA exists to shrink.
+func (b *Bus) PerMessageFixedCost() time.Duration {
+	return b.link.Spec().WriteLatency
+}

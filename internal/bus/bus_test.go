@@ -1,0 +1,84 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRDMABeatsTCP(t *testing.T) {
+	r := New(Config{Path: RDMA})
+	c := New(Config{Path: TCP})
+	n := int64(1024)
+	if rd, td := r.Send(n, Normal), c.Send(n, Normal); rd >= td {
+		t.Fatalf("rdma %v >= tcp %v", rd, td)
+	}
+	if r.PerMessageFixedCost() >= c.PerMessageFixedCost() {
+		t.Fatal("rdma fixed cost should be lower")
+	}
+}
+
+func TestAggregationAmortizesFixedCost(t *testing.T) {
+	agg := New(Config{Path: TCP, Aggregation: true, AggregationCount: 16})
+	raw := New(Config{Path: TCP})
+	var aggTotal, rawTotal time.Duration
+	for i := 0; i < 160; i++ {
+		aggTotal += agg.Send(512, Normal)
+		rawTotal += raw.Send(512, Normal)
+	}
+	// 160 small sends: aggregated pays fixed cost 10 times, raw 160
+	// times. Expect a large gap.
+	if aggTotal*4 > rawTotal {
+		t.Fatalf("aggregation saved too little: agg=%v raw=%v", aggTotal, rawTotal)
+	}
+	st := agg.Stats()
+	if st.Batches != 10 || st.Aggregated != 150 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAggregationSkipsLargeIO(t *testing.T) {
+	b := New(Config{Path: TCP, Aggregation: true, SmallIOBytes: 1024})
+	for i := 0; i < 100; i++ {
+		b.Send(1<<20, Normal) // 1 MiB: not small I/O
+	}
+	if st := b.Stats(); st.Aggregated != 0 {
+		t.Fatalf("large I/O was aggregated: %+v", st)
+	}
+}
+
+func TestPriorityScheduling(t *testing.T) {
+	b := New(Config{Path: TCP})
+	// Load the bus with high-priority traffic.
+	b.Send(10<<20, High)
+	lo := b.Send(1024, Low)
+	b.Send(10<<20, High)
+	no := b.Send(1024, Normal)
+	b.Send(10<<20, High)
+	hi := b.Send(1024, High)
+	if !(hi < no && no < lo) {
+		t.Fatalf("priority ordering violated: high=%v normal=%v low=%v", hi, no, lo)
+	}
+	if b.Stats().QueueDelay <= 0 {
+		t.Fatal("no queue delay recorded")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := New(Config{Path: RDMA})
+	b.Send(100, Normal)
+	b.Send(200, Normal)
+	st := b.Stats()
+	if st.Sends != 2 || st.Bytes != 300 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if b.Link().Stats().WriteBytes != 300 {
+		t.Fatalf("link bytes: %d", b.Link().Stats().WriteBytes)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := New(Config{Path: TCP, Aggregation: true})
+	if b.cfg.AggregationCount != 16 || b.cfg.SmallIOBytes != 64<<10 {
+		t.Fatalf("defaults: %+v", b.cfg)
+	}
+}

@@ -1,0 +1,355 @@
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// File layout:
+//
+//	magic "SLCF" | version u8
+//	row-group chunks, column-major within each group
+//	footer: schema, row-group directory (offsets, lengths, stats)
+//	footer length u32 | magic "SLCF"
+//
+// The footer carries per-row-group, per-column min/max/count statistics —
+// the "footers in the Parquet files contain statistics to support data
+// skipping within the file" of Section IV-B.
+
+var magic = []byte("SLCF")
+
+const version = 1
+
+// DefaultRowGroupSize is the default rows per group.
+const DefaultRowGroupSize = 8192
+
+// Stats summarizes one column within one row group.
+type Stats struct {
+	Min, Max Value
+	Count    int64
+}
+
+// Overlaps reports whether a value range [lo, hi] (inclusive; either may
+// be nil for unbounded) can intersect this column's values, the data
+// skipping primitive.
+func (s Stats) Overlaps(lo, hi *Value) bool {
+	if s.Count == 0 {
+		return false
+	}
+	if lo != nil && Compare(s.Max, *lo) < 0 {
+		return false
+	}
+	if hi != nil && Compare(s.Min, *hi) > 0 {
+		return false
+	}
+	return true
+}
+
+type chunkRef struct {
+	offset int64
+	length int64
+}
+
+type groupMeta struct {
+	rows   int
+	chunks []chunkRef
+	stats  []Stats
+}
+
+// Writer accumulates rows and serializes a columnar file.
+type Writer struct {
+	schema    Schema
+	groupSize int
+	buf       bytes.Buffer
+	pending   []Row
+	groups    []groupMeta
+	numRows   int64
+	finished  bool
+}
+
+// NewWriter builds a writer for the schema; groupSize <= 0 selects
+// DefaultRowGroupSize.
+func NewWriter(schema Schema, groupSize int) *Writer {
+	if groupSize <= 0 {
+		groupSize = DefaultRowGroupSize
+	}
+	w := &Writer{schema: schema, groupSize: groupSize}
+	w.buf.Write(magic)
+	w.buf.WriteByte(version)
+	return w
+}
+
+// Append validates and buffers one row, flushing a row group when full.
+func (w *Writer) Append(row Row) error {
+	if w.finished {
+		return errors.New("colfile: append after Finish")
+	}
+	if err := w.schema.Validate(row); err != nil {
+		return err
+	}
+	w.pending = append(w.pending, row)
+	w.numRows++
+	if len(w.pending) >= w.groupSize {
+		return w.flushGroup()
+	}
+	return nil
+}
+
+func (w *Writer) flushGroup() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	g := groupMeta{rows: len(w.pending)}
+	for c, f := range w.schema.Fields {
+		col := make([]Value, len(w.pending))
+		for i, r := range w.pending {
+			col[i] = r[c]
+		}
+		st := Stats{Min: col[0], Max: col[0], Count: int64(len(col))}
+		for _, v := range col[1:] {
+			if Compare(v, st.Min) < 0 {
+				st.Min = v
+			}
+			if Compare(v, st.Max) > 0 {
+				st.Max = v
+			}
+		}
+		enc, err := encodeChunk(f.Type, col)
+		if err != nil {
+			return err
+		}
+		g.chunks = append(g.chunks, chunkRef{offset: int64(w.buf.Len()), length: int64(len(enc))})
+		g.stats = append(g.stats, st)
+		w.buf.Write(enc)
+	}
+	w.groups = append(w.groups, g)
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// NumRows reports the rows appended so far.
+func (w *Writer) NumRows() int64 { return w.numRows }
+
+// Finish flushes the last group, writes the footer, and returns the
+// complete file bytes. The writer cannot be reused.
+func (w *Writer) Finish() ([]byte, error) {
+	if w.finished {
+		return nil, errors.New("colfile: double Finish")
+	}
+	if err := w.flushGroup(); err != nil {
+		return nil, err
+	}
+	w.finished = true
+
+	var f []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		f = append(f, tmp[:n]...)
+	}
+	// Schema.
+	putUvarint(uint64(len(w.schema.Fields)))
+	for _, fd := range w.schema.Fields {
+		putUvarint(uint64(len(fd.Name)))
+		f = append(f, fd.Name...)
+		f = append(f, byte(fd.Type))
+	}
+	// Groups.
+	putUvarint(uint64(len(w.groups)))
+	for _, g := range w.groups {
+		putUvarint(uint64(g.rows))
+		for c := range w.schema.Fields {
+			putUvarint(uint64(g.chunks[c].offset))
+			putUvarint(uint64(g.chunks[c].length))
+			st := g.stats[c]
+			f = appendValue(f, st.Min)
+			f = appendValue(f, st.Max)
+			putUvarint(uint64(st.Count))
+		}
+	}
+	w.buf.Write(f)
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[:4], uint32(len(f)))
+	copy(trailer[4:], magic)
+	w.buf.Write(trailer[:])
+	return w.buf.Bytes(), nil
+}
+
+// Reader provides random and scanning access to a columnar file held in
+// memory.
+type Reader struct {
+	data   []byte
+	schema Schema
+	groups []groupMeta
+}
+
+// Open parses a file produced by Writer.Finish.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < len(magic)+1+8 || !bytes.Equal(data[:4], magic) || !bytes.Equal(data[len(data)-4:], magic) {
+		return nil, errors.New("colfile: bad magic")
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("colfile: unsupported version %d", data[4])
+	}
+	footerLen := binary.LittleEndian.Uint32(data[len(data)-8 : len(data)-4])
+	if int(footerLen) > len(data)-8 {
+		return nil, errors.New("colfile: footer length out of range")
+	}
+	f := data[len(data)-8-int(footerLen) : len(data)-8]
+
+	readUvarint := func() (uint64, error) {
+		v, sz := binary.Uvarint(f)
+		if sz <= 0 {
+			return 0, errors.New("colfile: truncated footer")
+		}
+		f = f[sz:]
+		return v, nil
+	}
+	nf, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	var schema Schema
+	for i := uint64(0); i < nf; i++ {
+		nl, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(f)) < nl+1 {
+			return nil, errors.New("colfile: truncated footer schema")
+		}
+		name := string(f[:nl])
+		t := Type(f[nl])
+		f = f[nl+1:]
+		schema.Fields = append(schema.Fields, Field{Name: name, Type: t})
+	}
+	ng, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{data: data, schema: schema}
+	for i := uint64(0); i < ng; i++ {
+		rows, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Untrusted row count: guard the int conversion. Per-chunk
+		// decoders validate the count against the decompressed data
+		// (compression makes tighter file-size bounds unsound).
+		if rows > 1<<31 {
+			return nil, errors.New("colfile: group row count out of range")
+		}
+		g := groupMeta{rows: int(rows)}
+		for c := 0; c < len(schema.Fields); c++ {
+			off, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			length, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			var st Stats
+			st.Min, f, err = readValue(f)
+			if err != nil {
+				return nil, err
+			}
+			st.Max, f, err = readValue(f)
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			st.Count = int64(cnt)
+			g.chunks = append(g.chunks, chunkRef{offset: int64(off), length: int64(length)})
+			g.stats = append(g.stats, st)
+		}
+		r.groups = append(r.groups, g)
+	}
+	return r, nil
+}
+
+// Schema returns the file's schema.
+func (r *Reader) Schema() Schema { return r.schema }
+
+// NumRowGroups returns the row-group count.
+func (r *Reader) NumRowGroups() int { return len(r.groups) }
+
+// NumRows returns the total row count from the footer (no data read).
+func (r *Reader) NumRows() int64 {
+	var n int64
+	for _, g := range r.groups {
+		n += int64(g.rows)
+	}
+	return n
+}
+
+// GroupRows returns the row count of group g.
+func (r *Reader) GroupRows(g int) int { return r.groups[g].rows }
+
+// GroupStats returns the statistics of column c in group g.
+func (r *Reader) GroupStats(g, c int) Stats { return r.groups[g].stats[c] }
+
+// GroupBytes returns the encoded size of group g across all columns,
+// used for byte-level skipping accounting (Figure 16-b).
+func (r *Reader) GroupBytes(g int) int64 {
+	var n int64
+	for _, ch := range r.groups[g].chunks {
+		n += ch.length
+	}
+	return n
+}
+
+// ReadColumn decodes column c of group g.
+func (r *Reader) ReadColumn(g, c int) ([]Value, error) {
+	gm := r.groups[g]
+	ch := gm.chunks[c]
+	if ch.offset+ch.length > int64(len(r.data)) {
+		return nil, errors.New("colfile: chunk out of range")
+	}
+	return decodeChunk(r.schema.Fields[c].Type, r.data[ch.offset:ch.offset+ch.length], gm.rows)
+}
+
+// ReadGroup decodes the named columns (nil means all) of group g,
+// returning column-major values aligned with cols.
+func (r *Reader) ReadGroup(g int, cols []int) ([][]Value, error) {
+	if cols == nil {
+		cols = make([]int, len(r.schema.Fields))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	out := make([][]Value, len(cols))
+	for i, c := range cols {
+		vals, err := r.ReadColumn(g, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// Scan iterates every row in order; fn returning false stops the scan.
+func (r *Reader) Scan(fn func(Row) bool) error {
+	for g := range r.groups {
+		cols, err := r.ReadGroup(g, nil)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < r.groups[g].rows; i++ {
+			row := make(Row, len(cols))
+			for c := range cols {
+				row[c] = cols[c][i]
+			}
+			if !fn(row) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

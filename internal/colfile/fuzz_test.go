@@ -1,0 +1,36 @@
+package colfile
+
+import (
+	"testing"
+)
+
+// FuzzOpen hardens the file parser: arbitrary bytes must never panic,
+// and files that parse must scan without panicking.
+func FuzzOpen(f *testing.F) {
+	schema := MustSchema("a:int64", "b:string", "c:float64", "d:bool")
+	w := NewWriter(schema, 4)
+	for i := 0; i < 10; i++ {
+		w.Append(Row{IntValue(int64(i)), StringValue("x"), FloatValue(1.5), BoolValue(i%2 == 0)})
+	}
+	valid, _ := w.Finish()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SLCF"))
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Open(data)
+		if err != nil {
+			return
+		}
+		n := 0
+		r.Scan(func(Row) bool {
+			n++
+			return n < 10_000
+		})
+		for g := 0; g < r.NumRowGroups() && g < 100; g++ {
+			for c := 0; c < r.Schema().NumFields(); c++ {
+				r.GroupStats(g, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,276 @@
+// Package gateway implements StreamLake's data access layer (Section
+// III): the protocol endpoint that translates external requests into
+// internal operations, and the place where authentication and access
+// control lists are enforced so that "only valid user requests are
+// translated into internal requests". The reproduction exposes an HTTP
+// API (the stdlib stand-in for the paper's iSCSI/NFS/SMB/S3 portfolio):
+//
+//	GET  /v1/topics                         list topics
+//	POST /v1/topics/{topic}/messages        produce  {"key","value"} (base64 value)
+//	GET  /v1/topics/{topic}/messages        consume  ?group=&max=
+//	GET  /v1/tables                         list tables
+//	GET  /v1/tables/{table}/snapshot        current snapshot summary
+//	POST /v1/sql                            {"query": "select ..."}
+//	GET  /v1/stats                          storage statistics
+//
+// Every request must carry "Authorization: Bearer <token>"; tokens map
+// to principals whose ACL lists the verbs they may use.
+package gateway
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"streamlake"
+)
+
+// Permission is one grantable capability.
+type Permission string
+
+// The gateway's capability set.
+const (
+	PermProduce Permission = "produce"
+	PermConsume Permission = "consume"
+	PermQuery   Permission = "query"
+	PermAdmin   Permission = "admin"
+)
+
+// Principal is an authenticated identity with its granted permissions.
+type Principal struct {
+	Name        string
+	Permissions map[Permission]bool
+}
+
+// ACL maps bearer tokens to principals.
+type ACL struct {
+	mu     sync.RWMutex
+	tokens map[string]*Principal
+}
+
+// NewACL builds an empty ACL.
+func NewACL() *ACL { return &ACL{tokens: make(map[string]*Principal)} }
+
+// Grant registers a token for a principal with the given permissions.
+func (a *ACL) Grant(token, name string, perms ...Permission) {
+	p := &Principal{Name: name, Permissions: make(map[Permission]bool, len(perms))}
+	for _, perm := range perms {
+		p.Permissions[perm] = true
+	}
+	a.mu.Lock()
+	a.tokens[token] = p
+	a.mu.Unlock()
+}
+
+// Revoke removes a token.
+func (a *ACL) Revoke(token string) {
+	a.mu.Lock()
+	delete(a.tokens, token)
+	a.mu.Unlock()
+}
+
+// authenticate resolves a bearer token.
+func (a *ACL) authenticate(r *http.Request) (*Principal, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return nil, false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	p, ok := a.tokens[strings.TrimPrefix(h, prefix)]
+	return p, ok
+}
+
+// Server is the access-layer HTTP handler over one Lake.
+type Server struct {
+	lake *streamlake.Lake
+	acl  *ACL
+	mux  *http.ServeMux
+
+	mu        sync.Mutex
+	consumers map[string]*streamlake.Consumer
+	producers map[string]*streamlake.Producer
+}
+
+// New builds a gateway server.
+func New(lake *streamlake.Lake, acl *ACL) *Server {
+	s := &Server{
+		lake: lake, acl: acl, mux: http.NewServeMux(),
+		consumers: map[string]*streamlake.Consumer{},
+		producers: map[string]*streamlake.Producer{},
+	}
+	s.mux.HandleFunc("GET /v1/topics", s.guard(PermAdmin, s.listTopics))
+	s.mux.HandleFunc("POST /v1/topics/{topic}/messages", s.guard(PermProduce, s.produce))
+	s.mux.HandleFunc("GET /v1/topics/{topic}/messages", s.guard(PermConsume, s.consume))
+	s.mux.HandleFunc("GET /v1/tables", s.guard(PermAdmin, s.listTables))
+	s.mux.HandleFunc("GET /v1/tables/{table}/snapshot", s.guard(PermQuery, s.snapshot))
+	s.mux.HandleFunc("POST /v1/sql", s.guard(PermQuery, s.sql))
+	s.mux.HandleFunc("GET /v1/stats", s.guard(PermAdmin, s.stats))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// guard wraps a handler with authentication and the required permission.
+func (s *Server) guard(perm Permission, h func(http.ResponseWriter, *http.Request, *Principal)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p, ok := s.acl.authenticate(r)
+		if !ok {
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		if !p.Permissions[perm] && !p.Permissions[PermAdmin] {
+			httpError(w, http.StatusForbidden, fmt.Sprintf("principal %s lacks %s", p.Name, perm))
+			return
+		}
+		h(w, r, p)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) listTopics(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	writeJSON(w, map[string]any{"topics": s.lake.Service().Topics()})
+}
+
+// produceRequest is the produce body.
+type produceRequest struct {
+	Key   string `json:"key"`
+	Value string `json:"value"` // base64
+}
+
+func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
+	topic := r.PathValue("topic")
+	var req produceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	value, err := base64.StdEncoding.DecodeString(req.Value)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "value must be base64")
+		return
+	}
+	// One long-lived producer per principal: its sequence numbers drive
+	// the stream objects' idempotent dedup, so it must not be recreated
+	// per request.
+	s.mu.Lock()
+	producer, ok := s.producers[p.Name]
+	if !ok {
+		producer = s.lake.Producer("gw/" + p.Name)
+		s.producers[p.Name] = producer
+	}
+	s.mu.Unlock()
+	msg, cost, err := producer.Send(topic, []byte(req.Key), value)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"stream": msg.Stream, "offset": msg.Offset, "latency_ns": cost.Nanoseconds()})
+}
+
+func (s *Server) consume(w http.ResponseWriter, r *http.Request, p *Principal) {
+	topic := r.PathValue("topic")
+	group := r.URL.Query().Get("group")
+	if group == "" {
+		group = "gw/" + p.Name
+	}
+	max := 100
+	if m := r.URL.Query().Get("max"); m != "" {
+		if v, err := strconv.Atoi(m); err == nil && v > 0 {
+			max = v
+		}
+	}
+	s.mu.Lock()
+	key := group + "/" + topic
+	c, ok := s.consumers[key]
+	if !ok {
+		c = s.lake.Consumer(group)
+		if err := c.Subscribe(topic); err != nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s.consumers[key] = c
+	}
+	s.mu.Unlock()
+	msgs, _, err := c.Poll(max)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	c.CommitOffsets()
+	out := make([]map[string]any, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, map[string]any{
+			"stream": m.Stream, "offset": m.Offset,
+			"key":   string(m.Key),
+			"value": base64.StdEncoding.EncodeToString(m.Value),
+		})
+	}
+	writeJSON(w, map[string]any{"messages": out})
+}
+
+func (s *Server) listTables(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	writeJSON(w, map[string]any{"tables": s.lake.Catalog().List()})
+}
+
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	table := r.PathValue("table")
+	snap, err := s.lake.TableSnapshot(table)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"id": snap.ID, "parent": snap.ParentID,
+		"rows": snap.RowCount, "files": len(snap.Files),
+		"commits": len(snap.CommitIDs),
+	})
+}
+
+// sqlRequest is the query body.
+type sqlRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) sql(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	var req sqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	res, cost, err := s.lake.QueryCost(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"columns": res.Columns, "rows": res.Rows,
+		"latency_ns": cost.Nanoseconds(),
+	})
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	st := s.lake.Stats()
+	writeJSON(w, map[string]any{
+		"topics": st.Topics, "stream_objects": st.StreamObjects,
+		"table_files": st.TableFiles, "logical_bytes": st.LogicalBytes,
+		"physical_bytes": st.PhysicalBytes,
+	})
+}

@@ -1,0 +1,114 @@
+package kv
+
+import (
+	"bytes"
+
+	"streamlake/internal/sim"
+)
+
+// skiplist is a byte-ordered concurrent-unsafe skip list used as the
+// memtable; the DB serializes access. Values are stored as-is; deletes
+// are tombstones (nil value with present==true handled by entry.tomb).
+const (
+	maxLevel = 24
+	levelP   = 4 // 1/4 promotion probability
+)
+
+type slNode struct {
+	key   []byte
+	value []byte
+	tomb  bool
+	next  []*slNode
+}
+
+type skiplist struct {
+	head  *slNode
+	level int
+	size  int // live entries (including tombstones)
+	bytes int64
+	rng   *sim.RNG
+}
+
+func newSkiplist(seed uint64) *skiplist {
+	return &skiplist{
+		head:  &slNode{next: make([]*slNode, maxLevel)},
+		level: 1,
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(levelP) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or replaces key. tomb marks a delete record.
+func (s *skiplist) put(key, value []byte, tomb bool) {
+	update := make([]*slNode, maxLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		s.bytes += int64(len(value) - len(x.value))
+		x.value = value
+		x.tomb = tomb
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &slNode{key: key, value: value, tomb: tomb, next: make([]*slNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.size++
+	s.bytes += int64(len(key) + len(value))
+}
+
+// get returns (value, tomb, found).
+func (s *skiplist) get(key []byte) ([]byte, bool, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.value, x.tomb, true
+	}
+	return nil, false, false
+}
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(target []byte) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// entries returns all records in order (tombstones included), for flush.
+func (s *skiplist) entries() []entry {
+	out := make([]entry, 0, s.size)
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, entry{key: x.key, value: x.value, tomb: x.tomb})
+	}
+	return out
+}

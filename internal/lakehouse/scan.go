@@ -1,0 +1,313 @@
+package lakehouse
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/tableobj"
+)
+
+// RangeFilter is a pushdown predicate on one column: lo <= col <= hi,
+// with nil bounds unbounded. It is the storage-side predicate shape the
+// engine understands for data skipping and pushdown.
+type RangeFilter struct {
+	Column string
+	Lo, Hi *colfile.Value
+}
+
+// Plan is the result of query planning: the data files a scan must
+// visit, plus accounting of the planning work — the quantities Figure 15
+// measures.
+type Plan struct {
+	Files []tableobj.DataFile
+	// MetadataBytes is how much metadata the compute engine had to load
+	// to plan the query; the baseline loads the whole listing, the
+	// accelerated path only the matched manifest entries (Figure 15-b's
+	// memory pressure).
+	MetadataBytes int64
+	// SkippedFiles counts files pruned by statistics.
+	SkippedFiles int
+	// TotalFiles is the table's current file count.
+	TotalFiles int
+}
+
+const fileMetaBytes = 220 // approximate manifest entry footprint
+
+// PlanScan resolves the files a filtered scan must read. With
+// acceleration the current snapshot manifest comes from the catalog
+// pointer + snapshot file + cached pending records (cost independent of
+// partition count); without it the engine behaves like a file-based
+// catalog: it lists the data directory and opens every file's footer.
+func (e *Engine) PlanScan(name string, filters []RangeFilter) (Plan, time.Duration, error) {
+	st, err := e.state(name)
+	if err != nil {
+		return Plan{}, 0, err
+	}
+	if e.opts.Acceleration {
+		return e.planAccelerated(st, filters)
+	}
+	return e.planFileBased(st, filters)
+}
+
+func (e *Engine) planAccelerated(st *tableState, filters []RangeFilter) (Plan, time.Duration, error) {
+	snap, cost, err := st.tbl.Current()
+	if err != nil {
+		return Plan{}, cost, err
+	}
+	e.mu.Lock()
+	files := append(append([]tableobj.DataFile(nil), snap.Files...), st.pendingAdds...)
+	removed := map[string]bool{}
+	for _, f := range st.pendingRemoves {
+		removed[f.Path] = true
+	}
+	e.mu.Unlock()
+	plan := Plan{TotalFiles: 0}
+	for _, f := range files {
+		if removed[f.Path] {
+			continue
+		}
+		plan.TotalFiles++
+		if fileMatches(st.tbl.Schema(), f, filters) {
+			plan.Files = append(plan.Files, f)
+		} else {
+			plan.SkippedFiles++
+		}
+	}
+	// Only the matched entries reach the compute engine.
+	plan.MetadataBytes = int64(len(plan.Files)) * fileMetaBytes
+	return plan, cost, nil
+}
+
+func (e *Engine) planFileBased(st *tableState, filters []RangeFilter) (Plan, time.Duration, error) {
+	// Baseline: list every file under /data, then read each file's
+	// footer for statistics. Planning cost and memory both scale with
+	// the file count.
+	paths, cost := e.fs.List(st.tbl.Meta().Path + "/data/")
+	plan := Plan{TotalFiles: len(paths)}
+	schema := st.tbl.Schema()
+	for _, p := range paths {
+		blob, rc, err := e.fs.Read(p)
+		if err != nil {
+			return plan, cost, err
+		}
+		cost += rc
+		r, err := colfile.Open(blob)
+		if err != nil {
+			return plan, cost, err
+		}
+		f := tableobj.DataFile{Path: p, Partition: partitionOf(p), Rows: r.NumRows(), Bytes: int64(len(blob))}
+		// Reconstruct file-level stats from the row-group footers.
+		for c := 0; c < schema.NumFields(); c++ {
+			var lo, hi colfile.Value
+			for g := 0; g < r.NumRowGroups(); g++ {
+				gs := r.GroupStats(g, c)
+				if g == 0 {
+					lo, hi = gs.Min, gs.Max
+					continue
+				}
+				if colfile.Compare(gs.Min, lo) < 0 {
+					lo = gs.Min
+				}
+				if colfile.Compare(gs.Max, hi) > 0 {
+					hi = gs.Max
+				}
+			}
+			f.Min = append(f.Min, lo)
+			f.Max = append(f.Max, hi)
+		}
+		if fileMatches(schema, f, filters) {
+			plan.Files = append(plan.Files, f)
+		} else {
+			plan.SkippedFiles++
+		}
+	}
+	// The whole listing plus every footer passed through compute memory.
+	plan.MetadataBytes = int64(len(paths)) * fileMetaBytes * 4
+	return plan, cost, nil
+}
+
+func partitionOf(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) >= 2 {
+		return parts[len(parts)-2]
+	}
+	return ""
+}
+
+func fileMatches(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilter) bool {
+	if f.Rows == 0 {
+		return false
+	}
+	for _, flt := range filters {
+		c := schema.FieldIndex(flt.Column)
+		if c < 0 {
+			continue
+		}
+		if !f.Overlaps(c, flt.Lo, flt.Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+func rowMatches(schema colfile.Schema, row colfile.Row, filters []RangeFilter) bool {
+	for _, flt := range filters {
+		c := schema.FieldIndex(flt.Column)
+		if c < 0 {
+			continue
+		}
+		if flt.Lo != nil && colfile.Compare(row[c], *flt.Lo) < 0 {
+			return false
+		}
+		if flt.Hi != nil && colfile.Compare(row[c], *flt.Hi) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan reads the planned files and streams matching rows to fn,
+// skipping row groups whose statistics exclude the filters (data
+// skipping within the file) and returning the modelled read latency
+// plus the bytes actually read vs skipped.
+func (e *Engine) Scan(name string, plan Plan, filters []RangeFilter, fn func(colfile.Row) bool) (ScanStats, time.Duration, error) {
+	st, err := e.state(name)
+	if err != nil {
+		return ScanStats{}, 0, err
+	}
+	schema := st.tbl.Schema()
+	var stats ScanStats
+	var cost time.Duration
+	for _, f := range plan.Files {
+		blob, rc, err := e.fs.Read(f.Path)
+		if err != nil {
+			return stats, cost, err
+		}
+		cost += rc
+		r, err := colfile.Open(blob)
+		if err != nil {
+			return stats, cost, err
+		}
+		for g := 0; g < r.NumRowGroups(); g++ {
+			if !groupMatches(schema, r, g, filters) {
+				stats.SkippedBytes += r.GroupBytes(g)
+				stats.SkippedGroups++
+				continue
+			}
+			stats.ReadBytes += r.GroupBytes(g)
+			cols, err := r.ReadGroup(g, nil)
+			if err != nil {
+				return stats, cost, err
+			}
+			for i := 0; i < r.GroupRows(g); i++ {
+				row := make(colfile.Row, len(cols))
+				for c := range cols {
+					row[c] = cols[c][i]
+				}
+				stats.RowsScanned++
+				if rowMatches(schema, row, filters) {
+					stats.RowsMatched++
+					if !fn(row) {
+						return stats, cost, nil
+					}
+				}
+			}
+		}
+	}
+	return stats, cost, nil
+}
+
+func groupMatches(schema colfile.Schema, r *colfile.Reader, g int, filters []RangeFilter) bool {
+	for _, flt := range filters {
+		c := schema.FieldIndex(flt.Column)
+		if c < 0 {
+			continue
+		}
+		if !r.GroupStats(g, c).Overlaps(flt.Lo, flt.Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanStats accounts a scan's work.
+type ScanStats struct {
+	RowsScanned   int64
+	RowsMatched   int64
+	ReadBytes     int64
+	SkippedBytes  int64
+	SkippedGroups int
+}
+
+// AggregateResult is one group of a pushed-down aggregation.
+type AggregateResult struct {
+	Group string
+	Count int64
+	Sum   float64
+}
+
+// AggregatePushdown runs COUNT (and SUM of sumColumn, when non-empty)
+// grouped by groupColumn entirely at the storage side — the computation
+// pushdown that keeps the Figure 13 DAU query from shipping raw rows to
+// the compute engine.
+func (e *Engine) AggregatePushdown(name string, filters []RangeFilter, groupColumn, sumColumn string) ([]AggregateResult, time.Duration, error) {
+	st, err := e.state(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	plan, cost, err := e.PlanScan(name, filters)
+	if err != nil {
+		return nil, cost, err
+	}
+	schema := st.tbl.Schema()
+	gi := schema.FieldIndex(groupColumn)
+	if groupColumn != "" && gi < 0 {
+		return nil, cost, errors.New("lakehouse: unknown group column " + groupColumn)
+	}
+	si := schema.FieldIndex(sumColumn)
+	if sumColumn != "" && si < 0 {
+		return nil, cost, errors.New("lakehouse: unknown sum column " + sumColumn)
+	}
+	groups := map[string]*AggregateResult{}
+	_, scanCost, err := e.Scan(name, plan, filters, func(row colfile.Row) bool {
+		key := ""
+		if gi >= 0 {
+			key = row[gi].String()
+		}
+		g := groups[key]
+		if g == nil {
+			g = &AggregateResult{Group: key}
+			groups[key] = g
+		}
+		g.Count++
+		if si >= 0 {
+			switch row[si].Type {
+			case colfile.Int64:
+				g.Sum += float64(row[si].Int)
+			case colfile.Float64:
+				g.Sum += row[si].Float
+			}
+		}
+		return true
+	})
+	cost += scanCost
+	if err != nil {
+		return nil, cost, err
+	}
+	out := make([]AggregateResult, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sortAggregates(out)
+	return out, cost, nil
+}
+
+func sortAggregates(rs []AggregateResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Group < rs[j-1].Group; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package plog implements PLog persistence units (Section IV-A, Figure
+// 4-e/f). A PLog is an append-only unit of persistence that controls a
+// fixed amount of storage space — 128 MB of addresses per logical shard —
+// across multiple disks of a storage pool. When a message is received the
+// PLog replicates it to multiple disks (or erasure-codes it across them)
+// for redundancy. PLogs underlie both stream objects and table objects.
+package plog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamlake/internal/ec"
+	"streamlake/internal/pool"
+)
+
+// DefaultCapacity is the paper's fixed PLog address space: 128 MB.
+const DefaultCapacity int64 = 128 << 20
+
+// RedundancyKind selects between full-copy replication and erasure
+// coding, the two data redundancy methods the stream object's CREATE
+// options expose (Figure 3).
+type RedundancyKind int
+
+const (
+	// Replicate stores Replicas full copies on distinct disks.
+	Replicate RedundancyKind = iota
+	// ErasureCode stores K data + M parity shards on distinct disks.
+	ErasureCode
+)
+
+// Redundancy describes a PLog's redundancy policy.
+type Redundancy struct {
+	Kind     RedundancyKind
+	Replicas int // total copies for Replicate (>= 1)
+	K, M     int // shards for ErasureCode
+}
+
+// ReplicateN builds an n-copy replication policy.
+func ReplicateN(n int) Redundancy { return Redundancy{Kind: Replicate, Replicas: n} }
+
+// EC builds a k+m erasure-coding policy.
+func EC(k, m int) Redundancy { return Redundancy{Kind: ErasureCode, K: k, M: m} }
+
+// Width returns the number of distinct disks the policy spans.
+func (r Redundancy) Width() int {
+	if r.Kind == Replicate {
+		return r.Replicas
+	}
+	return r.K + r.M
+}
+
+// Overhead returns the physical-to-logical byte multiplier: Replicas for
+// replication, (K+M)/K for erasure coding. This ratio is the whole story
+// of Figure 14(d).
+func (r Redundancy) Overhead() float64 {
+	if r.Kind == Replicate {
+		return float64(r.Replicas)
+	}
+	return float64(r.K+r.M) / float64(r.K)
+}
+
+// FaultTolerance returns how many disk losses the policy survives.
+func (r Redundancy) FaultTolerance() int {
+	if r.Kind == Replicate {
+		return r.Replicas - 1
+	}
+	return r.M
+}
+
+func (r Redundancy) validate() error {
+	switch r.Kind {
+	case Replicate:
+		if r.Replicas < 1 {
+			return fmt.Errorf("plog: replication needs >= 1 copy, got %d", r.Replicas)
+		}
+	case ErasureCode:
+		if r.K < 1 || r.M < 0 || r.K+r.M > 255 {
+			return fmt.Errorf("plog: invalid EC parameters k=%d m=%d", r.K, r.M)
+		}
+	default:
+		return fmt.Errorf("plog: unknown redundancy kind %d", r.Kind)
+	}
+	return nil
+}
+
+// ID identifies a PLog within its manager.
+type ID int64
+
+// Errors returned by PLog operations.
+var (
+	ErrSealed      = errors.New("plog: log is sealed")
+	ErrFull        = errors.New("plog: append exceeds log capacity")
+	ErrOutOfRange  = errors.New("plog: read out of range")
+	ErrUnavailable = errors.New("plog: too many placement disks failed")
+)
+
+// PLog is one append-only persistence unit. The logical byte stream is
+// retained in memory (the simulated substrate's stand-in for the disk
+// medium); redundancy is charged to the placement disks so space and time
+// accounting match the policy.
+type PLog struct {
+	id       ID
+	capacity int64
+	red      Redundancy
+	pool     *pool.Pool
+	codec    *ec.Codec // nil for replication
+
+	mu     sync.RWMutex
+	slices []*pool.Slice
+	buf    []byte
+	sealed bool
+}
+
+// ID returns the log's identifier.
+func (l *PLog) ID() ID { return l.id }
+
+// Size returns the logical bytes appended so far.
+func (l *PLog) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int64(len(l.buf))
+}
+
+// Capacity returns the log's fixed address space.
+func (l *PLog) Capacity() int64 { return l.capacity }
+
+// Sealed reports whether the log has been sealed.
+func (l *PLog) Sealed() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.sealed
+}
+
+// Redundancy returns the log's redundancy policy.
+func (l *PLog) Redundancy() Redundancy { return l.red }
+
+// Append writes data at the end of the log, charging the redundant
+// physical writes to the placement disks. It returns the starting offset
+// and the modelled persistence latency (the slowest parallel device
+// write, as replicas are written concurrently).
+func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return 0, 0, ErrSealed
+	}
+	if int64(len(l.buf))+int64(len(data)) > l.capacity {
+		return 0, 0, ErrFull
+	}
+	offset = int64(len(l.buf))
+	var max time.Duration
+	switch l.red.Kind {
+	case Replicate:
+		for _, s := range l.slices {
+			d, werr := l.pool.Write(s.ID, int64(len(data)))
+			if werr != nil {
+				return 0, 0, fmt.Errorf("plog: replica write: %w", werr)
+			}
+			if d > max {
+				max = d
+			}
+		}
+	case ErasureCode:
+		shard := int64(len(data)+l.red.K-1) / int64(l.red.K)
+		for _, s := range l.slices {
+			d, werr := l.pool.Write(s.ID, shard)
+			if werr != nil {
+				return 0, 0, fmt.Errorf("plog: shard write: %w", werr)
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	l.buf = append(l.buf, data...)
+	return offset, max, nil
+}
+
+// Read returns n bytes starting at offset, charging the device reads. For
+// replication it reads one healthy copy; for erasure coding it reads the
+// K data shards in parallel (cost is the slowest). When placement disks
+// have failed it degrades to surviving replicas or EC reconstruction, and
+// returns ErrUnavailable only when the policy's fault tolerance is
+// exceeded.
+func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if offset < 0 || n < 0 || offset+n > int64(len(l.buf)) {
+		return nil, 0, ErrOutOfRange
+	}
+	switch l.red.Kind {
+	case Replicate:
+		var lastErr error
+		for _, s := range l.slices {
+			d, rerr := l.pool.Read(s.ID, n)
+			if rerr == nil {
+				return l.buf[offset : offset+n : offset+n], d, nil
+			}
+			lastErr = rerr
+		}
+		return nil, 0, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+	case ErasureCode:
+		shard := (n + int64(l.red.K) - 1) / int64(l.red.K)
+		var max time.Duration
+		healthy := 0
+		for _, s := range l.slices {
+			if healthy == l.red.K {
+				break
+			}
+			d, rerr := l.pool.Read(s.ID, shard)
+			if rerr != nil {
+				continue // failed disk; try the next shard (degraded read)
+			}
+			healthy++
+			if d > max {
+				max = d
+			}
+		}
+		if healthy < l.red.K {
+			return nil, 0, ErrUnavailable
+		}
+		return l.buf[offset : offset+n : offset+n], max, nil
+	}
+	return nil, 0, fmt.Errorf("plog: unknown redundancy kind %d", l.red.Kind)
+}
+
+// VerifyReconstruct exercises the actual erasure decode on the log's
+// contents: it splits the logical bytes into K shards, encodes parity,
+// erases `erasures` shards and reconstructs. It exists so failure
+// injection tests exercise real decoding, not just accounting.
+func (l *PLog) VerifyReconstruct(erasures []int) error {
+	if l.red.Kind != ErasureCode {
+		return errors.New("plog: VerifyReconstruct on a replicated log")
+	}
+	l.mu.RLock()
+	data := append([]byte(nil), l.buf...)
+	l.mu.RUnlock()
+	shards := l.codec.Split(data)
+	stripe, err := l.codec.Encode(shards)
+	if err != nil {
+		return err
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= len(stripe) {
+			return fmt.Errorf("plog: erasure index %d out of range", e)
+		}
+		stripe[e] = nil
+	}
+	if err := l.codec.Reconstruct(stripe); err != nil {
+		return err
+	}
+	got, err := l.codec.Join(stripe, len(data))
+	if err != nil {
+		return err
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			return fmt.Errorf("plog: reconstruction mismatch at byte %d", i)
+		}
+	}
+	return nil
+}
+
+// Seal makes the log immutable. Sealed logs are what the tiering service
+// migrates and the stream-to-table converter drains.
+func (l *PLog) Seal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sealed = true
+}
+
+// PhysicalBytes reports the redundant bytes this log occupies on disk.
+func (l *PLog) PhysicalBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	switch l.red.Kind {
+	case Replicate:
+		return int64(len(l.buf)) * int64(l.red.Replicas)
+	default:
+		shard := (int64(len(l.buf)) + int64(l.red.K) - 1) / int64(l.red.K)
+		return shard * int64(l.red.K+l.red.M)
+	}
+}
+
+// Manager creates and tracks PLogs over one storage pool.
+type Manager struct {
+	pool     *pool.Pool
+	capacity int64
+
+	mu     sync.Mutex
+	logs   map[ID]*PLog
+	nextID ID
+}
+
+// NewManager builds a manager creating logs of the given capacity (0
+// means DefaultCapacity) on p.
+func NewManager(p *pool.Pool, capacity int64) *Manager {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Manager{pool: p, capacity: capacity, logs: make(map[ID]*PLog)}
+}
+
+// Create allocates a new PLog with the given redundancy policy: a
+// placement group of Width() slices on distinct disks.
+func (m *Manager) Create(red Redundancy) (*PLog, error) {
+	if err := red.validate(); err != nil {
+		return nil, err
+	}
+	slices, err := m.pool.AllocGroup(red.Width())
+	if err != nil {
+		return nil, err
+	}
+	var codec *ec.Codec
+	if red.Kind == ErasureCode {
+		codec, err = ec.New(red.K, red.M)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	l := &PLog{
+		id:       m.nextID,
+		capacity: m.capacity,
+		red:      red,
+		pool:     m.pool,
+		codec:    codec,
+		slices:   slices,
+	}
+	m.logs[l.id] = l
+	return l, nil
+}
+
+// Get returns the log with the given id, or nil.
+func (m *Manager) Get(id ID) *PLog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.logs[id]
+}
+
+// Destroy releases a log's slices and forgets it.
+func (m *Manager) Destroy(id ID) error {
+	m.mu.Lock()
+	l, ok := m.logs[id]
+	if ok {
+		delete(m.logs, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("plog: no log %d", id)
+	}
+	for _, s := range l.slices {
+		if err := m.pool.Free(s.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live logs.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.logs)
+}
+
+// PhysicalBytes sums the physical footprint of all live logs.
+func (m *Manager) PhysicalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, l := range m.logs {
+		total += l.PhysicalBytes()
+	}
+	return total
+}
+
+// LogInfo describes one live log for enumeration (tiering, diagnostics).
+type LogInfo struct {
+	ID     ID
+	Size   int64
+	Sealed bool
+}
+
+// Logs snapshots all live logs.
+func (m *Manager) Logs() []LogInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LogInfo, 0, len(m.logs))
+	for _, l := range m.logs {
+		out = append(out, LogInfo{ID: l.ID(), Size: l.Size(), Sealed: l.Sealed()})
+	}
+	return out
+}
+
+// LogicalBytes sums the logical bytes of all live logs.
+func (m *Manager) LogicalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, l := range m.logs {
+		total += l.Size()
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+package plog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+func newManager(t *testing.T, disks int) *Manager {
+	t.Helper()
+	p := pool.New("plogtest", sim.NewClock(), sim.NVMeSSD, disks, 1<<20)
+	return NewManager(p, 1<<20) // 1 MiB logs keep tests snappy
+}
+
+func TestRedundancyPolicies(t *testing.T) {
+	r3 := ReplicateN(3)
+	if r3.Width() != 3 || r3.Overhead() != 3 || r3.FaultTolerance() != 2 {
+		t.Fatalf("replicate(3): %+v", r3)
+	}
+	e := EC(4, 2)
+	if e.Width() != 6 || e.Overhead() != 1.5 || e.FaultTolerance() != 2 {
+		t.Fatalf("ec(4,2): %+v", e)
+	}
+	// The paper's headline: EC lifts disk utilization from 33% (3x
+	// replication) to 91% (EC ~ 10+1).
+	if u := 1 / ReplicateN(3).Overhead(); u > 0.34 || u < 0.33 {
+		t.Fatalf("replication utilization %v", u)
+	}
+	if u := 1 / EC(10, 1).Overhead(); u < 0.90 {
+		t.Fatalf("EC utilization %v", u)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := newManager(t, 6)
+	for _, red := range []Redundancy{ReplicateN(0), EC(0, 1), EC(1, -1), EC(200, 100), {Kind: RedundancyKind(9)}} {
+		if _, err := m.Create(red); err == nil {
+			t.Fatalf("invalid policy accepted: %+v", red)
+		}
+	}
+	if _, err := m.Create(ReplicateN(7)); err == nil {
+		t.Fatal("placement wider than pool accepted")
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	m := newManager(t, 3)
+	l, err := m.Create(ReplicateN(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][]byte{[]byte("hello"), []byte("stream"), []byte("lake")}
+	var offsets []int64
+	for _, msg := range msgs {
+		off, cost, err := l.Append(msg)
+		if err != nil || cost <= 0 {
+			t.Fatalf("append: off=%d cost=%v err=%v", off, cost, err)
+		}
+		offsets = append(offsets, off)
+	}
+	if offsets[0] != 0 || offsets[1] != 5 || offsets[2] != 11 {
+		t.Fatalf("offsets: %v", offsets)
+	}
+	for i, msg := range msgs {
+		got, cost, err := l.Read(offsets[i], int64(len(msg)))
+		if err != nil || cost <= 0 {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("read %d: got %q", i, got)
+		}
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	m := newManager(t, 3)
+	l, _ := m.Create(ReplicateN(2))
+	l.Append([]byte("abc"))
+	for _, tc := range []struct{ off, n int64 }{{-1, 1}, {0, 4}, {3, 1}, {0, -1}} {
+		if _, _, err := l.Read(tc.off, tc.n); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("Read(%d,%d) err = %v", tc.off, tc.n, err)
+		}
+	}
+	if _, _, err := l.Read(3, 0); err != nil { // empty read at end is legal
+		t.Fatalf("empty read at end: %v", err)
+	}
+}
+
+func TestSealAndCapacity(t *testing.T) {
+	p := pool.New("cap", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 16)
+	l, _ := m.Create(ReplicateN(2))
+	if _, _, err := l.Append(make([]byte, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(make([]byte, 8)); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity append: %v", err)
+	}
+	if _, _, err := l.Append(make([]byte, 4)); err != nil {
+		t.Fatalf("exact fill: %v", err)
+	}
+	l.Seal()
+	if !l.Sealed() {
+		t.Fatal("not sealed")
+	}
+	if _, _, err := l.Append([]byte("x")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append to sealed: %v", err)
+	}
+	if _, _, err := l.Read(0, 16); err != nil {
+		t.Fatalf("sealed read: %v", err)
+	}
+}
+
+func TestPhysicalBytesMatchesOverhead(t *testing.T) {
+	m := newManager(t, 8)
+	data := make([]byte, 3000)
+
+	rep, _ := m.Create(ReplicateN(3))
+	rep.Append(data)
+	if got := rep.PhysicalBytes(); got != 9000 {
+		t.Fatalf("replication physical = %d, want 9000", got)
+	}
+
+	ecl, _ := m.Create(EC(4, 2))
+	ecl.Append(data)
+	// ceil(3000/4)=750 per shard, 6 shards = 4500 = 1.5x.
+	if got := ecl.PhysicalBytes(); got != 4500 {
+		t.Fatalf("EC physical = %d, want 4500", got)
+	}
+	if got := m.PhysicalBytes(); got != 13500 {
+		t.Fatalf("manager physical = %d", got)
+	}
+	if got := m.LogicalBytes(); got != 6000 {
+		t.Fatalf("manager logical = %d", got)
+	}
+}
+
+func TestDegradedReadReplication(t *testing.T) {
+	p := pool.New("deg", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(ReplicateN(3))
+	l.Append([]byte("survive"))
+	p.FailDisk(0)
+	p.FailDisk(1)
+	got, _, err := l.Read(0, 7)
+	if err != nil || string(got) != "survive" {
+		t.Fatalf("degraded read: %q %v", got, err)
+	}
+	p.FailDisk(2)
+	if _, _, err := l.Read(0, 7); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read with all replicas gone: %v", err)
+	}
+}
+
+func TestDegradedReadEC(t *testing.T) {
+	p := pool.New("degec", sim.NewClock(), sim.NVMeSSD, 6, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(EC(4, 2))
+	l.Append([]byte("erasure coded payload"))
+	// Up to M=2 failures tolerated.
+	p.FailDisk(0)
+	p.FailDisk(1)
+	got, _, err := l.Read(0, 21)
+	if err != nil || string(got) != "erasure coded payload" {
+		t.Fatalf("degraded EC read: %q %v", got, err)
+	}
+	p.FailDisk(2)
+	if _, _, err := l.Read(0, 21); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("EC read beyond fault tolerance: %v", err)
+	}
+}
+
+func TestVerifyReconstruct(t *testing.T) {
+	m := newManager(t, 8)
+	l, _ := m.Create(EC(5, 3))
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	l.Append(payload)
+	if err := l.VerifyReconstruct([]int{0, 4, 7}); err != nil {
+		t.Fatalf("3 erasures within tolerance: %v", err)
+	}
+	if err := l.VerifyReconstruct([]int{0, 1, 2, 3}); err == nil {
+		t.Fatal("4 erasures beyond tolerance reconstructed")
+	}
+	rep, _ := m.Create(ReplicateN(2))
+	if err := rep.VerifyReconstruct(nil); err == nil {
+		t.Fatal("VerifyReconstruct accepted a replicated log")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m := newManager(t, 4)
+	l, err := m.Create(ReplicateN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(l.ID()) != l || m.Count() != 1 {
+		t.Fatal("manager lost the log")
+	}
+	if err := m.Destroy(l.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(l.ID()) != nil || m.Count() != 0 {
+		t.Fatal("destroy left the log registered")
+	}
+	if err := m.Destroy(l.ID()); err == nil {
+		t.Fatal("double destroy succeeded")
+	}
+}
+
+func TestQuickAppendOffsetsContiguous(t *testing.T) {
+	// Property: appended chunks produce contiguous offsets and read back
+	// exactly, for any chunk size sequence.
+	f := func(sizes []uint8) bool {
+		p := pool.New("quick", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+		m := NewManager(p, 1<<20)
+		l, err := m.Create(ReplicateN(2))
+		if err != nil {
+			return false
+		}
+		var want []byte
+		for i, sz := range sizes {
+			chunk := bytes.Repeat([]byte{byte(i)}, int(sz)+1)
+			off, _, err := l.Append(chunk)
+			if err != nil || off != int64(len(want)) {
+				return false
+			}
+			want = append(want, chunk...)
+		}
+		got, _, err := l.Read(0, int64(len(want)))
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,416 @@
+// Package pool implements the SSD/HDD data storage pools of StreamLake's
+// store layer (Section III). Physical space on every disk in the cluster
+// is divided into fixed-size slices; slices are organized as logical
+// units across disks in different servers for redundancy and load
+// balance. The pool also implements the storage-space features the paper
+// lists: garbage collection, data reconstruction after disk failure,
+// snapshot reference counting, and thin provisioning.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+// DiskID identifies a disk within one pool.
+type DiskID int
+
+// SliceID identifies an allocated slice within one pool.
+type SliceID int64
+
+// DefaultSliceSize is the allocation granularity: 4 MiB, a typical slice
+// size for distributed block pools.
+const DefaultSliceSize int64 = 4 << 20
+
+// Slice is one allocated unit of physical space on a specific disk.
+type Slice struct {
+	ID      SliceID
+	Disk    DiskID
+	Size    int64
+	refs    int32 // snapshot/clone reference count; freed at zero
+	garbage int64 // dead bytes awaiting GC
+	live    int64 // valid bytes written
+}
+
+// Live reports the valid bytes in the slice.
+func (s *Slice) Live() int64 { return s.live }
+
+// Garbage reports the dead bytes in the slice.
+func (s *Slice) Garbage() int64 { return s.garbage }
+
+type disk struct {
+	id     DiskID
+	dev    *sim.Device
+	failed bool
+	slices map[SliceID]*Slice
+}
+
+// Stats is a snapshot of pool-wide accounting.
+type Stats struct {
+	Disks         int
+	FailedDisks   int
+	Capacity      int64
+	Used          int64 // bytes held by allocated slices
+	Live          int64
+	Garbage       int64
+	LogicalBytes  int64 // thin-provisioned logical commitments
+	SliceCount    int
+	Reconstructed int64 // bytes migrated by reconstruction so far
+}
+
+// Utilization reports used/capacity, the disk utilization rate from the
+// paper's TCO discussion.
+func (s Stats) Utilization() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.Used) / float64(s.Capacity)
+}
+
+// Pool is a redundancy-aware slice allocator over a set of homogeneous
+// simulated disks.
+type Pool struct {
+	name      string
+	clock     *sim.Clock
+	sliceSize int64
+
+	mu            sync.Mutex
+	disks         []*disk
+	slices        map[SliceID]*Slice
+	nextSlice     SliceID
+	logicalBytes  int64
+	reconstructed int64
+}
+
+// Errors returned by pool operations.
+var (
+	ErrNoSpace      = errors.New("pool: no disk with free capacity")
+	ErrUnknownSlice = errors.New("pool: unknown slice")
+	ErrDiskFailed   = errors.New("pool: disk has failed")
+	ErrNotEnough    = errors.New("pool: not enough healthy disks for placement group")
+)
+
+// New builds a pool of n identical disks of the given device class. The
+// clock receives no charges directly; operation costs are returned to
+// callers, who decide how to combine parallel device times.
+func New(name string, clock *sim.Clock, class sim.DeviceClass, n int, sliceSize int64) *Pool {
+	if sliceSize <= 0 {
+		sliceSize = DefaultSliceSize
+	}
+	p := &Pool{
+		name:      name,
+		clock:     clock,
+		sliceSize: sliceSize,
+		slices:    make(map[SliceID]*Slice),
+	}
+	for i := 0; i < n; i++ {
+		p.disks = append(p.disks, &disk{
+			id:     DiskID(i),
+			dev:    sim.NewDeviceOf(fmt.Sprintf("%s-disk%d", name, i), class),
+			slices: make(map[SliceID]*Slice),
+		})
+	}
+	return p
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// SliceSize returns the allocation granularity.
+func (p *Pool) SliceSize() int64 { return p.sliceSize }
+
+// DiskCount returns the number of disks, healthy or not.
+func (p *Pool) DiskCount() int { return len(p.disks) }
+
+// Provision records a thin-provisioned logical commitment. Logical space
+// may exceed physical capacity; physical writes still fail when disks
+// fill, which is exactly what thin provisioning means.
+func (p *Pool) Provision(logical int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.logicalBytes += logical
+}
+
+// Alloc allocates one slice on the least-used healthy disk not in
+// exclude.
+func (p *Pool) Alloc(exclude map[DiskID]bool) (*Slice, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocLocked(exclude)
+}
+
+func (p *Pool) allocLocked(exclude map[DiskID]bool) (*Slice, error) {
+	var best *disk
+	for _, d := range p.disks {
+		if d.failed || exclude[d.id] {
+			continue
+		}
+		if best == nil || d.dev.Used() < best.dev.Used() {
+			best = d
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSpace
+	}
+	if err := best.dev.Alloc(p.sliceSize); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	p.nextSlice++
+	s := &Slice{ID: p.nextSlice, Disk: best.id, Size: p.sliceSize, refs: 1}
+	p.slices[s.ID] = s
+	best.slices[s.ID] = s
+	return s, nil
+}
+
+// AllocGroup allocates n slices on n distinct healthy disks — the
+// placement-group primitive the PLog layer uses for replication and
+// erasure-coded stripes.
+func (p *Pool) AllocGroup(n int) ([]*Slice, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	healthy := 0
+	for _, d := range p.disks {
+		if !d.failed {
+			healthy++
+		}
+	}
+	if healthy < n {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnough, n, healthy)
+	}
+	exclude := make(map[DiskID]bool, n)
+	out := make([]*Slice, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := p.allocLocked(exclude)
+		if err != nil {
+			for _, prev := range out {
+				p.freeLocked(prev.ID)
+			}
+			return nil, err
+		}
+		exclude[s.Disk] = true
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Retain increments a slice's reference count (snapshot/clone support:
+// copy-on-write sharing keeps a slice alive while any snapshot points at
+// it).
+func (p *Pool) Retain(id SliceID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return ErrUnknownSlice
+	}
+	s.refs++
+	return nil
+}
+
+// Free decrements a slice's reference count, releasing the physical space
+// when it reaches zero.
+func (p *Pool) Free(id SliceID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freeLocked(id)
+}
+
+func (p *Pool) freeLocked(id SliceID) error {
+	s, ok := p.slices[id]
+	if !ok {
+		return ErrUnknownSlice
+	}
+	s.refs--
+	if s.refs > 0 {
+		return nil
+	}
+	delete(p.slices, id)
+	d := p.disks[s.Disk]
+	delete(d.slices, id)
+	d.dev.Free(s.Size)
+	return nil
+}
+
+// Write charges a write of n bytes against the slice's disk and advances
+// live-byte accounting. It returns the modelled device time.
+func (p *Pool) Write(id SliceID, n int64) (time.Duration, error) {
+	p.mu.Lock()
+	s, ok := p.slices[id]
+	if !ok {
+		p.mu.Unlock()
+		return 0, ErrUnknownSlice
+	}
+	d := p.disks[s.Disk]
+	if d.failed {
+		p.mu.Unlock()
+		return 0, ErrDiskFailed
+	}
+	s.live += n
+	p.mu.Unlock()
+	return d.dev.Write(n), nil
+}
+
+// Read charges a read of n bytes against the slice's disk and returns the
+// modelled device time.
+func (p *Pool) Read(id SliceID, n int64) (time.Duration, error) {
+	p.mu.Lock()
+	s, ok := p.slices[id]
+	if !ok {
+		p.mu.Unlock()
+		return 0, ErrUnknownSlice
+	}
+	d := p.disks[s.Disk]
+	if d.failed {
+		p.mu.Unlock()
+		return 0, ErrDiskFailed
+	}
+	p.mu.Unlock()
+	return d.dev.Read(n), nil
+}
+
+// MarkGarbage converts n live bytes of the slice into garbage awaiting
+// collection (an overwrite or delete in the log-structured pools).
+func (p *Pool) MarkGarbage(id SliceID, n int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return ErrUnknownSlice
+	}
+	if n > s.live {
+		n = s.live
+	}
+	s.live -= n
+	s.garbage += n
+	return nil
+}
+
+// GC compacts slices whose garbage fraction exceeds threshold: live bytes
+// are rewritten (read + write charged) and the garbage is reclaimed. It
+// returns the bytes reclaimed and the total modelled device time.
+func (p *Pool) GC(threshold float64) (reclaimed int64, cost time.Duration) {
+	p.mu.Lock()
+	var victims []*Slice
+	for _, s := range p.slices {
+		if s.garbage > 0 && float64(s.garbage)/float64(s.garbage+s.live+1) >= threshold {
+			victims = append(victims, s)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	p.mu.Unlock()
+
+	for _, s := range victims {
+		p.mu.Lock()
+		d := p.disks[s.Disk]
+		g, live := s.garbage, s.live
+		s.garbage = 0
+		p.mu.Unlock()
+		// Rewrite the live portion to reclaim the dead bytes.
+		cost += d.dev.Read(live)
+		cost += d.dev.Write(live)
+		reclaimed += g
+	}
+	return reclaimed, cost
+}
+
+// FailDisk marks a disk as failed. Its slices stay registered until
+// Reconstruct migrates them.
+func (p *Pool) FailDisk(id DiskID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return fmt.Errorf("pool: no disk %d", id)
+	}
+	p.disks[id].failed = true
+	return nil
+}
+
+// Reconstruct migrates every slice on failed disks onto healthy disks,
+// charging the read (from a surviving redundancy copy, modelled as a read
+// of the slice's live bytes spread over healthy disks) and the write to
+// the new location. It returns bytes migrated and modelled time.
+func (p *Pool) Reconstruct() (migrated int64, cost time.Duration, err error) {
+	p.mu.Lock()
+	var victims []*Slice
+	for _, d := range p.disks {
+		if !d.failed {
+			continue
+		}
+		for _, s := range d.slices {
+			victims = append(victims, s)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	p.mu.Unlock()
+
+	for _, s := range victims {
+		p.mu.Lock()
+		old := p.disks[s.Disk]
+		target, allocErr := p.allocLocked(map[DiskID]bool{s.Disk: true})
+		if allocErr != nil {
+			p.mu.Unlock()
+			return migrated, cost, allocErr
+		}
+		// Move the slice identity to the new location; the replacement
+		// slice record is folded into the original's ID so callers'
+		// references stay valid.
+		delete(old.slices, s.ID)
+		delete(p.slices, target.ID)
+		newDisk := p.disks[target.Disk]
+		delete(newDisk.slices, target.ID)
+		s.Disk = target.Disk
+		newDisk.slices[s.ID] = s
+		old.dev.Free(s.Size)
+		live := s.live
+		p.mu.Unlock()
+
+		// Rebuild cost: read redundancy from healthy peers, write here.
+		cost += newDisk.dev.Read(live)
+		cost += newDisk.dev.Write(live)
+		migrated += live
+		p.mu.Lock()
+		p.reconstructed += live
+		p.mu.Unlock()
+	}
+	return migrated, cost, nil
+}
+
+// Stats returns a snapshot of pool accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Disks:         len(p.disks),
+		LogicalBytes:  p.logicalBytes,
+		SliceCount:    len(p.slices),
+		Reconstructed: p.reconstructed,
+	}
+	for _, d := range p.disks {
+		if d.failed {
+			st.FailedDisks++
+			continue
+		}
+		st.Capacity += d.dev.Spec().Capacity
+		st.Used += d.dev.Used()
+	}
+	for _, s := range p.slices {
+		st.Live += s.live
+		st.Garbage += s.garbage
+	}
+	return st
+}
+
+// DiskUsed reports the allocated bytes on one disk, for balance tests.
+func (p *Pool) DiskUsed(id DiskID) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return 0
+	}
+	return p.disks[id].dev.Used()
+}

@@ -1,0 +1,246 @@
+package pool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamlake/internal/sim"
+)
+
+func newTestPool(t *testing.T, disks int) *Pool {
+	t.Helper()
+	return New("test", sim.NewClock(), sim.NVMeSSD, disks, 1<<20)
+}
+
+func TestAllocBalancesAcrossDisks(t *testing.T) {
+	p := newTestPool(t, 4)
+	for i := 0; i < 40; i++ {
+		if _, err := p.Alloc(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := DiskID(0); d < 4; d++ {
+		if used := p.DiskUsed(d); used != 10<<20 {
+			t.Fatalf("disk %d used %d, want 10MiB (balanced)", d, used)
+		}
+	}
+}
+
+func TestAllocGroupDistinctDisks(t *testing.T) {
+	p := newTestPool(t, 5)
+	g, err := p.AllocGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[DiskID]bool{}
+	for _, s := range g {
+		if seen[s.Disk] {
+			t.Fatalf("placement group reused disk %d", s.Disk)
+		}
+		seen[s.Disk] = true
+	}
+	if _, err := p.AllocGroup(6); err == nil {
+		t.Fatal("placement group wider than pool accepted")
+	}
+}
+
+func TestAllocGroupRollsBackOnFailure(t *testing.T) {
+	// A pool of 3 tiny disks: a group of 3 that cannot fit must leave no
+	// partial allocations behind.
+	clock := sim.NewClock()
+	p := &Pool{name: "tiny", clock: clock, sliceSize: 1 << 20, slices: map[SliceID]*Slice{}}
+	for i := 0; i < 3; i++ {
+		spec := sim.Spec(sim.NVMeSSD)
+		spec.Capacity = 1 << 20 // one slice each
+		p.disks = append(p.disks, &disk{id: DiskID(i), dev: sim.NewDevice("d", spec), slices: map[SliceID]*Slice{}})
+	}
+	if _, err := p.AllocGroup(3); err != nil {
+		t.Fatalf("first group should fit: %v", err)
+	}
+	if _, err := p.AllocGroup(3); err == nil {
+		t.Fatal("second group cannot fit")
+	}
+	st := p.Stats()
+	if st.SliceCount != 3 {
+		t.Fatalf("rollback leaked slices: %d registered", st.SliceCount)
+	}
+}
+
+func TestRetainFreeRefCounting(t *testing.T) {
+	p := newTestPool(t, 2)
+	s, err := p.Alloc(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Retain(s.ID); err != nil { // snapshot reference
+		t.Fatal(err)
+	}
+	if err := p.Free(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().SliceCount != 1 {
+		t.Fatal("slice freed while snapshot still references it")
+	}
+	if err := p.Free(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().SliceCount != 0 {
+		t.Fatal("slice not freed at refcount zero")
+	}
+	if err := p.Free(s.ID); err != ErrUnknownSlice {
+		t.Fatalf("double free: err = %v", err)
+	}
+}
+
+func TestWriteReadAccounting(t *testing.T) {
+	p := newTestPool(t, 1)
+	s, _ := p.Alloc(nil)
+	d1, err := p.Write(s.ID, 4096)
+	if err != nil || d1 <= 0 {
+		t.Fatalf("write: %v %v", d1, err)
+	}
+	d2, err := p.Read(s.ID, 4096)
+	if err != nil || d2 <= 0 {
+		t.Fatalf("read: %v %v", d2, err)
+	}
+	if got := p.Stats().Live; got != 4096 {
+		t.Fatalf("live = %d", got)
+	}
+	if _, err := p.Write(SliceID(9999), 1); err != ErrUnknownSlice {
+		t.Fatalf("unknown slice write: %v", err)
+	}
+}
+
+func TestGarbageCollection(t *testing.T) {
+	p := newTestPool(t, 1)
+	s, _ := p.Alloc(nil)
+	if _, err := p.Write(s.ID, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkGarbage(s.ID, 800); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Live != 200 || st.Garbage != 800 {
+		t.Fatalf("live=%d garbage=%d", st.Live, st.Garbage)
+	}
+	reclaimed, cost := p.GC(0.5)
+	if reclaimed != 800 || cost <= 0 {
+		t.Fatalf("GC reclaimed %d cost %v", reclaimed, cost)
+	}
+	if st := p.Stats(); st.Garbage != 0 || st.Live != 200 {
+		t.Fatalf("after GC live=%d garbage=%d", st.Live, st.Garbage)
+	}
+	// Below-threshold garbage is left alone.
+	p.MarkGarbage(s.ID, 10)
+	if reclaimed, _ := p.GC(0.5); reclaimed != 0 {
+		t.Fatalf("GC collected below-threshold slice: %d", reclaimed)
+	}
+}
+
+func TestMarkGarbageClampsToLive(t *testing.T) {
+	p := newTestPool(t, 1)
+	s, _ := p.Alloc(nil)
+	p.Write(s.ID, 100)
+	p.MarkGarbage(s.ID, 1000)
+	st := p.Stats()
+	if st.Live != 0 || st.Garbage != 100 {
+		t.Fatalf("clamp failed: live=%d garbage=%d", st.Live, st.Garbage)
+	}
+}
+
+func TestFailDiskAndReconstruct(t *testing.T) {
+	p := newTestPool(t, 3)
+	var slices []*Slice
+	for i := 0; i < 9; i++ {
+		s, err := p.Alloc(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Write(s.ID, 1<<19)
+		slices = append(slices, s)
+	}
+	if err := p.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	// Failed disk rejects I/O.
+	for _, s := range slices {
+		if s.Disk == 0 {
+			if _, err := p.Read(s.ID, 10); err != ErrDiskFailed {
+				t.Fatalf("read from failed disk: %v", err)
+			}
+		}
+	}
+	migrated, cost, err := p.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 3*(1<<19) || cost <= 0 {
+		t.Fatalf("migrated %d cost %v", migrated, cost)
+	}
+	// All slices must be readable again, and none on disk 0.
+	for _, s := range slices {
+		if s.Disk == 0 {
+			t.Fatal("slice still placed on failed disk")
+		}
+		if _, err := p.Read(s.ID, 10); err != nil {
+			t.Fatalf("post-reconstruction read: %v", err)
+		}
+	}
+	st := p.Stats()
+	if st.FailedDisks != 1 || st.Reconstructed != migrated {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestThinProvisioning(t *testing.T) {
+	p := newTestPool(t, 1)
+	p.Provision(100 << 40) // 100 TiB logical on an 800 GB disk: allowed
+	st := p.Stats()
+	if st.LogicalBytes != 100<<40 {
+		t.Fatalf("logical = %d", st.LogicalBytes)
+	}
+	if st.LogicalBytes < st.Capacity {
+		t.Fatal("test premise broken: logical should exceed physical")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var s Stats
+	if s.Utilization() != 0 {
+		t.Fatal("empty stats utilization")
+	}
+	s = Stats{Capacity: 100, Used: 91}
+	if got := s.Utilization(); got != 0.91 {
+		t.Fatalf("utilization = %v", got)
+	}
+}
+
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	// Property: after any interleaving of allocs and frees, the sum of
+	// per-disk used space equals sliceSize * live slice count.
+	f := func(ops []bool) bool {
+		p := New("q", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+		var live []SliceID
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				s, err := p.Alloc(nil)
+				if err != nil {
+					return false
+				}
+				live = append(live, s.ID)
+			} else {
+				p.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+		}
+		var used int64
+		for d := DiskID(0); d < 3; d++ {
+			used += p.DiskUsed(d)
+		}
+		return used == int64(len(live))<<20 && p.Stats().SliceCount == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package query is the reproduction's stand-in for the Spark SQL jobs of
+// the paper's evaluation: a small SQL engine (SELECT–FROM–WHERE–GROUP
+// BY with COUNT/SUM aggregates) over lakehouse tables, with predicate
+// and aggregate pushdown into the storage engine and a compute-side
+// memory budget that reproduces the OOM behaviour of Figure 15(b).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenizer
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokSymbol
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src []rune
+	pos int
+	out []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src)}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Comment to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.out = append(l.out, token{tokIdent, string(l.src[start:l.pos])})
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.out = append(l.out, token{tokNumber, string(l.src[start:l.pos])})
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, errors.New("query: unterminated string literal")
+			}
+			l.out = append(l.out, token{tokString, string(l.src[start:l.pos])})
+			l.pos++
+		case strings.ContainsRune("(),*=", c):
+			l.out = append(l.out, token{tokSymbol, string(c)})
+			l.pos++
+		case c == '<' || c == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.out = append(l.out, token{tokSymbol, string(c) + "="})
+				l.pos += 2
+			} else {
+				l.out = append(l.out, token{tokSymbol, string(c)})
+				l.pos++
+			}
+		case c == ';':
+			l.pos++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q", c)
+		}
+	}
+	l.out = append(l.out, token{tokEOF, ""})
+	return l.out, nil
+}
+
+// AST
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregates and plain column selection.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+)
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Agg    AggKind
+	Column string // empty for COUNT(*)
+	Alias  string
+}
+
+// CondOp is a comparison operator in WHERE.
+type CondOp int
+
+// Comparison operators.
+const (
+	OpEQ CondOp = iota
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// Literal is a typed literal value.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64
+	IsInt    bool
+	Int      int64
+}
+
+// Cond is one WHERE conjunct: column op literal.
+type Cond struct {
+	Column string
+	Op     CondOp
+	Lit    Literal
+}
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Select  []SelectItem
+	Table   string
+	Where   []Cond
+	GroupBy string
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectIdent(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("query: expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectIdent("select"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected table name, got %q", t.text)
+	}
+	stmt.Table = strings.ToLower(t.text)
+
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "where") {
+		p.next()
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "group") {
+		p.next()
+		if err := p.expectIdent("by"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("query: expected group-by column, got %q", t.text)
+		}
+		stmt.GroupBy = strings.ToLower(t.text)
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.next()
+	if t.kind != tokIdent && !(t.kind == tokSymbol && t.text == "*") {
+		return SelectItem{}, fmt.Errorf("query: bad select item %q", t.text)
+	}
+	item := SelectItem{}
+	switch {
+	case strings.EqualFold(t.text, "count"):
+		item.Agg = AggCount
+	case strings.EqualFold(t.text, "sum"):
+		item.Agg = AggSum
+	case t.text == "*":
+		item.Column = "*"
+	default:
+		item.Column = strings.ToLower(t.text)
+	}
+	if item.Agg != AggNone {
+		if tok := p.next(); tok.text != "(" {
+			return SelectItem{}, errors.New("query: expected ( after aggregate")
+		}
+		arg := p.next()
+		if arg.text == "*" && item.Agg == AggCount {
+			item.Column = ""
+		} else if arg.kind == tokIdent {
+			item.Column = strings.ToLower(arg.text)
+		} else {
+			return SelectItem{}, fmt.Errorf("query: bad aggregate argument %q", arg.text)
+		}
+		if tok := p.next(); tok.text != ")" {
+			return SelectItem{}, errors.New("query: expected ) after aggregate")
+		}
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "as") {
+		p.next()
+		a := p.next()
+		if a.kind != tokIdent {
+			return SelectItem{}, fmt.Errorf("query: bad alias %q", a.text)
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	col := p.next()
+	if col.kind != tokIdent {
+		return Cond{}, fmt.Errorf("query: expected column in WHERE, got %q", col.text)
+	}
+	op := p.next()
+	var cop CondOp
+	switch op.text {
+	case "=":
+		cop = OpEQ
+	case "<":
+		cop = OpLT
+	case "<=":
+		cop = OpLE
+	case ">":
+		cop = OpGT
+	case ">=":
+		cop = OpGE
+	default:
+		return Cond{}, fmt.Errorf("query: bad operator %q", op.text)
+	}
+	lit := p.next()
+	c := Cond{Column: strings.ToLower(col.text), Op: cop}
+	switch lit.kind {
+	case tokString:
+		c.Lit = Literal{IsString: true, Str: lit.text}
+	case tokNumber:
+		if !strings.Contains(lit.text, ".") {
+			v, err := strconv.ParseInt(lit.text, 10, 64)
+			if err != nil {
+				return Cond{}, err
+			}
+			c.Lit = Literal{IsInt: true, Int: v, Num: float64(v)}
+		} else {
+			v, err := strconv.ParseFloat(lit.text, 64)
+			if err != nil {
+				return Cond{}, err
+			}
+			c.Lit = Literal{Num: v}
+		}
+	default:
+		return Cond{}, fmt.Errorf("query: bad literal %q", lit.text)
+	}
+	return c, nil
+}

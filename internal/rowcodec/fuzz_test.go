@@ -1,0 +1,31 @@
+package rowcodec
+
+import (
+	"testing"
+
+	"streamlake/internal/colfile"
+)
+
+// FuzzDecode hardens the record-batch parser against arbitrary input.
+func FuzzDecode(f *testing.F) {
+	schema := colfile.MustSchema("a:int64", "b:string")
+	valid, _ := Encode(schema, []colfile.Row{
+		{colfile.IntValue(7), colfile.StringValue("hello")},
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SLRC"))
+	f.Add(valid[:len(valid)-2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, rows, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent.
+		for _, r := range rows {
+			if len(r) != s.NumFields() {
+				t.Fatalf("row width %d != schema %d", len(r), s.NumFields())
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package rowcodec is a compact schema'd binary record codec — the
+// reproduction's stand-in for the Avro files the paper uses for commit
+// metadata (Section IV-B) — and the message-payload codec used when
+// stream records carry structured fields for stream-to-table conversion.
+// A record batch carries its schema inline, so files are self-describing
+// the way Avro object container files are.
+package rowcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"streamlake/internal/colfile"
+)
+
+var magic = []byte("SLRC")
+
+// Encode serializes rows (validated against schema) into a
+// self-describing batch.
+func Encode(schema colfile.Schema, rows []colfile.Row) ([]byte, error) {
+	var out []byte
+	out = append(out, magic...)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	// Schema block.
+	putUvarint(uint64(len(schema.Fields)))
+	for _, f := range schema.Fields {
+		putUvarint(uint64(len(f.Name)))
+		out = append(out, f.Name...)
+		out = append(out, byte(f.Type))
+	}
+	// Rows.
+	putUvarint(uint64(len(rows)))
+	for i, r := range rows {
+		if err := schema.Validate(r); err != nil {
+			return nil, fmt.Errorf("rowcodec: row %d: %w", i, err)
+		}
+		for c, v := range r {
+			switch schema.Fields[c].Type {
+			case colfile.Int64:
+				n := binary.PutVarint(tmp[:], v.Int)
+				out = append(out, tmp[:n]...)
+			case colfile.Float64:
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], floatBits(v.Float))
+				out = append(out, b[:]...)
+			case colfile.String:
+				putUvarint(uint64(len(v.Str)))
+				out = append(out, v.Str...)
+			case colfile.Bool:
+				if v.Bool {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Decode parses a batch produced by Encode, returning the embedded schema
+// and rows.
+func Decode(data []byte) (colfile.Schema, []colfile.Row, error) {
+	if len(data) < 4 || string(data[:4]) != string(magic) {
+		return colfile.Schema{}, nil, errors.New("rowcodec: bad magic")
+	}
+	data = data[4:]
+	readUvarint := func() (uint64, error) {
+		v, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return 0, errors.New("rowcodec: truncated")
+		}
+		data = data[sz:]
+		return v, nil
+	}
+	nf, err := readUvarint()
+	if err != nil {
+		return colfile.Schema{}, nil, err
+	}
+	var schema colfile.Schema
+	for i := uint64(0); i < nf; i++ {
+		nl, err := readUvarint()
+		if err != nil {
+			return colfile.Schema{}, nil, err
+		}
+		if uint64(len(data)) < nl+1 {
+			return colfile.Schema{}, nil, errors.New("rowcodec: truncated schema")
+		}
+		schema.Fields = append(schema.Fields, colfile.Field{
+			Name: string(data[:nl]),
+			Type: colfile.Type(data[nl]),
+		})
+		data = data[nl+1:]
+	}
+	nr, err := readUvarint()
+	if err != nil {
+		return colfile.Schema{}, nil, err
+	}
+	// The count is untrusted input: rows cost at least one byte each, so
+	// a count beyond the remaining bytes is corrupt, and preallocation
+	// is clamped regardless.
+	if nr > uint64(len(data))+1 {
+		return colfile.Schema{}, nil, errors.New("rowcodec: row count exceeds input")
+	}
+	cap := nr
+	if cap > 1024 {
+		cap = 1024
+	}
+	rows := make([]colfile.Row, 0, cap)
+	for i := uint64(0); i < nr; i++ {
+		row := make(colfile.Row, len(schema.Fields))
+		for c, f := range schema.Fields {
+			switch f.Type {
+			case colfile.Int64:
+				v, sz := binary.Varint(data)
+				if sz <= 0 {
+					return colfile.Schema{}, nil, errors.New("rowcodec: truncated int")
+				}
+				data = data[sz:]
+				row[c] = colfile.IntValue(v)
+			case colfile.Float64:
+				if len(data) < 8 {
+					return colfile.Schema{}, nil, errors.New("rowcodec: truncated float")
+				}
+				row[c] = colfile.FloatValue(floatFrom(binary.LittleEndian.Uint64(data)))
+				data = data[8:]
+			case colfile.String:
+				l, err := readUvarint()
+				if err != nil || uint64(len(data)) < l {
+					return colfile.Schema{}, nil, errors.New("rowcodec: truncated string")
+				}
+				row[c] = colfile.StringValue(string(data[:l]))
+				data = data[l:]
+			case colfile.Bool:
+				if len(data) < 1 {
+					return colfile.Schema{}, nil, errors.New("rowcodec: truncated bool")
+				}
+				row[c] = colfile.BoolValue(data[0] != 0)
+				data = data[1:]
+			default:
+				return colfile.Schema{}, nil, fmt.Errorf("rowcodec: unknown type %d", f.Type)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return schema, rows, nil
+}

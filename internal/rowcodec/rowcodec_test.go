@@ -1,0 +1,111 @@
+package rowcodec
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := colfile.MustSchema("path:string", "rows:int64", "min_ts:int64", "max_ts:int64", "score:float64", "valid:bool")
+	rows := []colfile.Row{
+		{colfile.StringValue("data/p=1/f1.col"), colfile.IntValue(100), colfile.IntValue(5), colfile.IntValue(50), colfile.FloatValue(0.5), colfile.BoolValue(true)},
+		{colfile.StringValue(""), colfile.IntValue(-3), colfile.IntValue(0), colfile.IntValue(0), colfile.FloatValue(-1.25), colfile.BoolValue(false)},
+	}
+	data, err := Encode(s, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSchema, gotRows, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotSchema.Equal(s) {
+		t.Fatalf("schema: %+v", gotSchema)
+	}
+	if len(gotRows) != len(rows) {
+		t.Fatalf("rows: %d", len(gotRows))
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			if colfile.Compare(rows[i][c], gotRows[i][c]) != 0 {
+				t.Fatalf("row %d col %d: %v != %v", i, c, gotRows[i][c], rows[i][c])
+			}
+		}
+	}
+}
+
+func TestEncodeValidates(t *testing.T) {
+	s := colfile.MustSchema("a:int64")
+	if _, err := Encode(s, []colfile.Row{{colfile.StringValue("x")}}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := Encode(s, []colfile.Row{{}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	s := colfile.MustSchema("a:int64", "b:string")
+	good, _ := Encode(s, []colfile.Row{{colfile.IntValue(7), colfile.StringValue("hello")}})
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-3],
+	} {
+		if _, _, err := Decode(data); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := colfile.MustSchema("a:int64")
+	data, err := Encode(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, rows, err := Decode(data)
+	if err != nil || len(rows) != 0 || !gs.Equal(s) {
+		t.Fatalf("empty batch: %v rows=%d", err, len(rows))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := colfile.MustSchema("i:int64", "f:float64", "s:string", "b:bool")
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := rng.Intn(50)
+		rows := make([]colfile.Row, n)
+		for i := range rows {
+			rows[i] = colfile.Row{
+				colfile.IntValue(int64(rng.Uint64())),
+				colfile.FloatValue(rng.Float64() * 1e9),
+				colfile.StringValue(fmt.Sprintf("%016x", rng.Uint64())[:rng.Intn(16)]),
+				colfile.BoolValue(rng.Intn(2) == 0),
+			}
+		}
+		data, err := Encode(s, rows)
+		if err != nil {
+			return false
+		}
+		_, got, err := Decode(data)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range rows {
+			for c := range rows[i] {
+				if colfile.Compare(rows[i][c], got[i][c]) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

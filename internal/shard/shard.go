@@ -1,0 +1,231 @@
+// Package shard implements the distributed hash table of Figure 4-d:
+// data slices are distributed evenly over 4096 logical shards, each of
+// which manages its storage space through a chain of PLogs. The package
+// also implements the serving-side shard→node map whose metadata-only
+// rebalance is what gives StreamLake its elasticity claim (Figure 14-c):
+// scaling the serving layer reassigns shard ownership without moving
+// data.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"streamlake/internal/plog"
+)
+
+// NumShards is the paper's fixed logical shard count.
+const NumShards = 4096
+
+// ID is a logical shard identifier in [0, NumShards).
+type ID uint16
+
+// ForKey maps a key to its shard by FNV-1a hash, the even-distribution
+// step of Figure 4-d.
+func ForKey(key []byte) ID {
+	h := fnv.New32a()
+	h.Write(key)
+	return ID(h.Sum32() % NumShards)
+}
+
+// rendezvous computes the HRW weight of (node, shard); the owner of a
+// shard is the node with the highest weight, which changes for only
+// ~1/n of shards when a node joins or leaves.
+func rendezvous(node string, s ID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{byte(s >> 8), byte(s)})
+	// FNV alone lacks avalanche in the high bits, which HRW's max
+	// comparison is sensitive to; finish with a splitmix64 mix.
+	z := h.Sum64() + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Map assigns shards to serving nodes with rendezvous hashing.
+type Map struct {
+	mu      sync.RWMutex
+	nodes   []string
+	version int64
+}
+
+// NewMap builds a map over the given serving nodes.
+func NewMap(nodes []string) *Map {
+	m := &Map{}
+	m.SetNodes(nodes)
+	return m
+}
+
+// Owner returns the node currently serving shard s, or "" with no nodes.
+func (m *Map) Owner(s ID) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ownerLocked(s)
+}
+
+func (m *Map) ownerLocked(s ID) string {
+	var best string
+	var bestW uint64
+	for _, n := range m.nodes {
+		if w := rendezvous(n, s); best == "" || w > bestW {
+			best, bestW = n, w
+		}
+	}
+	return best
+}
+
+// Nodes returns a copy of the current node set.
+func (m *Map) Nodes() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.nodes...)
+}
+
+// Version returns the map's topology version, bumped on every change.
+func (m *Map) Version() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// SetNodes replaces the node set and returns how many shards changed
+// owner — the metadata-only "migration" of the disaggregated design.
+func (m *Map) SetNodes(nodes []string) (moved int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := make([]string, NumShards)
+	if len(m.nodes) > 0 {
+		for s := 0; s < NumShards; s++ {
+			old[s] = m.ownerLocked(ID(s))
+		}
+	}
+	m.nodes = append([]string(nil), nodes...)
+	m.version++
+	for s := 0; s < NumShards; s++ {
+		if old[s] != m.ownerLocked(ID(s)) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// Loc addresses a record inside the shard space: which PLog, where, and
+// how long.
+type Loc struct {
+	Shard  ID
+	Log    plog.ID
+	Offset int64
+	Len    int32
+}
+
+// Space manages per-shard storage through chains of PLogs: appends go to
+// the shard's open log, rolling to a fresh one when the 128 MB address
+// space fills; sealed logs stay readable.
+type Space struct {
+	mgr *plog.Manager
+	red plog.Redundancy
+
+	mu     sync.Mutex
+	open   map[ID]*plog.PLog
+	chains map[ID][]plog.ID
+}
+
+// NewSpace builds a shard space creating PLogs from mgr with the given
+// redundancy.
+func NewSpace(mgr *plog.Manager, red plog.Redundancy) *Space {
+	return &Space{
+		mgr:    mgr,
+		red:    red,
+		open:   make(map[ID]*plog.PLog),
+		chains: make(map[ID][]plog.ID),
+	}
+}
+
+// Append persists data in shard s, rolling the PLog chain as needed, and
+// returns the record's location and the modelled persistence latency.
+func (sp *Space) Append(s ID, data []byte) (Loc, time.Duration, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	l := sp.open[s]
+	if l == nil {
+		nl, err := sp.mgr.Create(sp.red)
+		if err != nil {
+			return Loc{}, 0, err
+		}
+		l = nl
+		sp.open[s] = l
+		sp.chains[s] = append(sp.chains[s], l.ID())
+	}
+	off, cost, err := l.Append(data)
+	if err == plog.ErrFull || err == plog.ErrSealed {
+		l.Seal()
+		nl, cerr := sp.mgr.Create(sp.red)
+		if cerr != nil {
+			return Loc{}, 0, cerr
+		}
+		sp.open[s] = nl
+		sp.chains[s] = append(sp.chains[s], nl.ID())
+		l = nl
+		off, cost, err = l.Append(data)
+	}
+	if err != nil {
+		return Loc{}, 0, err
+	}
+	return Loc{Shard: s, Log: l.ID(), Offset: off, Len: int32(len(data))}, cost, nil
+}
+
+// Read fetches the record at loc.
+func (sp *Space) Read(loc Loc) ([]byte, time.Duration, error) {
+	l := sp.mgr.Get(loc.Log)
+	if l == nil {
+		return nil, 0, fmt.Errorf("shard: no PLog %d", loc.Log)
+	}
+	return l.Read(loc.Offset, int64(loc.Len))
+}
+
+// Chain returns the PLog chain of shard s, oldest first.
+func (sp *Space) Chain(s ID) []plog.ID {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return append([]plog.ID(nil), sp.chains[s]...)
+}
+
+// DestroyLog destroys one PLog in the space, removing it from its
+// chain — the reclamation step after stream-to-table conversion has
+// drained a sealed log.
+func (sp *Space) DestroyLog(id plog.ID) error {
+	sp.mu.Lock()
+	for s, chain := range sp.chains {
+		for i, cid := range chain {
+			if cid == id {
+				sp.chains[s] = append(chain[:i:i], chain[i+1:]...)
+				if sp.open[s] != nil && sp.open[s].ID() == id {
+					delete(sp.open, s)
+				}
+				sp.mu.Unlock()
+				return sp.mgr.Destroy(id)
+			}
+		}
+	}
+	sp.mu.Unlock()
+	return fmt.Errorf("shard: log %d not in any chain", id)
+}
+
+// Drop destroys every PLog in shard s's chain (used when a stream object
+// is destroyed or its data converted to a table and reclaimed).
+func (sp *Space) Drop(s ID) error {
+	sp.mu.Lock()
+	chain := sp.chains[s]
+	delete(sp.chains, s)
+	delete(sp.open, s)
+	sp.mu.Unlock()
+	for _, id := range chain {
+		if err := sp.mgr.Destroy(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

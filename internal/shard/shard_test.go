@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+func TestForKeyRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		s := ForKey([]byte(fmt.Sprintf("key-%d", i)))
+		if s >= NumShards {
+			t.Fatalf("shard %d out of range", s)
+		}
+	}
+}
+
+func TestForKeyEvenDistribution(t *testing.T) {
+	counts := make(map[ID]int)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		counts[ForKey([]byte(fmt.Sprintf("topic/%d/key-%d", i%7, i)))]++
+	}
+	// With 100k keys over 4096 shards, expect ~24 per shard; no shard
+	// should be wildly hot.
+	for s, c := range counts {
+		if c > 100 {
+			t.Fatalf("shard %d has %d keys (hot spot)", s, c)
+		}
+	}
+	if len(counts) < 4000 {
+		t.Fatalf("only %d shards used", len(counts))
+	}
+}
+
+func TestForKeyDeterministic(t *testing.T) {
+	if ForKey([]byte("abc")) != ForKey([]byte("abc")) {
+		t.Fatal("ForKey not deterministic")
+	}
+}
+
+func TestMapOwnerStable(t *testing.T) {
+	m := NewMap([]string{"n1", "n2", "n3"})
+	for s := ID(0); s < 100; s++ {
+		if m.Owner(s) != m.Owner(s) {
+			t.Fatal("owner not stable")
+		}
+		if m.Owner(s) == "" {
+			t.Fatal("no owner assigned")
+		}
+	}
+}
+
+func TestMapRebalanceIsMinimal(t *testing.T) {
+	// Rendezvous hashing: adding one node to n nodes should move about
+	// NumShards/(n+1) shards, far less than a full reshuffle.
+	m := NewMap([]string{"n1", "n2", "n3"})
+	moved := m.SetNodes([]string{"n1", "n2", "n3", "n4"})
+	want := NumShards / 4
+	if moved < want/2 || moved > want*2 {
+		t.Fatalf("adding 4th node moved %d shards, want ~%d", moved, want)
+	}
+	// Removing it moves the same shards back.
+	movedBack := m.SetNodes([]string{"n1", "n2", "n3"})
+	if movedBack != moved {
+		t.Fatalf("remove moved %d, add moved %d", movedBack, moved)
+	}
+}
+
+func TestMapVersionBumps(t *testing.T) {
+	m := NewMap([]string{"a"})
+	v := m.Version()
+	m.SetNodes([]string{"a", "b"})
+	if m.Version() <= v {
+		t.Fatal("version did not advance")
+	}
+	if got := m.Nodes(); len(got) != 2 {
+		t.Fatalf("nodes: %v", got)
+	}
+}
+
+func TestMapBalance(t *testing.T) {
+	m := NewMap([]string{"n1", "n2", "n3", "n4"})
+	counts := map[string]int{}
+	for s := 0; s < NumShards; s++ {
+		counts[m.Owner(ID(s))]++
+	}
+	for n, c := range counts {
+		if c < NumShards/4-300 || c > NumShards/4+300 {
+			t.Fatalf("node %s owns %d shards (imbalanced)", n, c)
+		}
+	}
+}
+
+func newSpace(t *testing.T) *Space {
+	t.Helper()
+	p := pool.New("shardtest", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	return NewSpace(plog.NewManager(p, 4096), plog.ReplicateN(2))
+}
+
+func TestSpaceAppendRead(t *testing.T) {
+	sp := newSpace(t)
+	loc, cost, err := sp.Append(7, []byte("record-1"))
+	if err != nil || cost <= 0 {
+		t.Fatalf("append: %v", err)
+	}
+	got, _, err := sp.Read(loc)
+	if err != nil || string(got) != "record-1" {
+		t.Fatalf("read: %q %v", got, err)
+	}
+}
+
+func TestSpaceRollsPLogChain(t *testing.T) {
+	sp := newSpace(t) // 4096-byte PLogs
+	var locs []Loc
+	for i := 0; i < 10; i++ {
+		loc, _, err := sp.Append(3, make([]byte, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	chain := sp.Chain(3)
+	if len(chain) < 3 {
+		t.Fatalf("chain length %d, want rolling", len(chain))
+	}
+	// Every record still readable across the chain.
+	for i, loc := range locs {
+		if _, _, err := sp.Read(loc); err != nil {
+			t.Fatalf("read %d across chain: %v", i, err)
+		}
+	}
+	// All but the open log are sealed.
+	for _, id := range chain[:len(chain)-1] {
+		if l := spLog(t, sp, id); !l.Sealed() {
+			t.Fatalf("log %d in chain not sealed", id)
+		}
+	}
+}
+
+func spLog(t *testing.T, sp *Space, id plog.ID) *plog.PLog {
+	t.Helper()
+	l := sp.mgr.Get(id)
+	if l == nil {
+		t.Fatalf("no plog %d", id)
+	}
+	return l
+}
+
+func TestSpaceDrop(t *testing.T) {
+	sp := newSpace(t)
+	loc, _, err := sp.Append(9, []byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Drop(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.Read(loc); err == nil {
+		t.Fatal("read after drop succeeded")
+	}
+	if got := sp.Chain(9); len(got) != 0 {
+		t.Fatalf("chain after drop: %v", got)
+	}
+	if sp.mgr.Count() != 0 {
+		t.Fatalf("manager still holds %d logs", sp.mgr.Count())
+	}
+}
+
+func TestSpaceShardsIsolated(t *testing.T) {
+	sp := newSpace(t)
+	l1, _, _ := sp.Append(1, []byte("one"))
+	l2, _, _ := sp.Append(2, []byte("two"))
+	if l1.Log == l2.Log {
+		t.Fatal("shards share a PLog")
+	}
+}
+
+func TestQuickRendezvousConsistency(t *testing.T) {
+	// Property: a shard's owner changes only when its owner node leaves.
+	f := func(shardSel uint16) bool {
+		s := ID(shardSel % NumShards)
+		m := NewMap([]string{"a", "b", "c", "d"})
+		before := m.Owner(s)
+		// Remove a node that is NOT the owner.
+		var rest []string
+		removed := false
+		for _, n := range []string{"a", "b", "c", "d"} {
+			if !removed && n != before {
+				removed = true
+				continue
+			}
+			rest = append(rest, n)
+		}
+		m.SetNodes(rest)
+		return m.Owner(s) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeviceClassStrings(t *testing.T) {
+	cases := map[DeviceClass]string{
+		SCM: "scm", NVMeSSD: "nvme-ssd", SASHDD: "sas-hdd",
+		Net10GbE: "10gbe", NetRDMA: "rdma",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+	if DeviceClass(99).String() == "" {
+		t.Fatal("unknown class has empty name")
+	}
+}
+
+func TestSpecUnknownClassHasSaneDefaults(t *testing.T) {
+	s := Spec(DeviceClass(42))
+	if s.ReadBandwidth <= 0 || s.WriteBandwidth <= 0 {
+		t.Fatalf("default spec: %+v", s)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentile ordering: %+v", s)
+	}
+	if s.Mean < 40*time.Millisecond || s.Mean > 60*time.Millisecond {
+		t.Fatalf("mean: %v", s.Mean)
+	}
+}
+
+func TestNormFloat64Distribution(t *testing.T) {
+	r := NewRNG(17)
+	var sum, sumSq float64
+	n := 10_000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.1 || mean > 0.1 {
+		t.Fatalf("mean %v not near 0", mean)
+	}
+	if variance < 0.8 || variance > 1.2 {
+		t.Fatalf("variance %v not near 1", variance)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(-1) did not panic")
+		}
+	}()
+	NewRNG(1).Int63n(-1)
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	a := NewRNG(0)
+	if a.Uint64() == 0 {
+		t.Fatal("zero-seed generator degenerate")
+	}
+}

@@ -1,0 +1,143 @@
+package streamobj
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+func TestReclaimThroughFreesDrainedLogs(t *testing.T) {
+	clock := sim.NewClock()
+	p := pool.New("rec", clock, sim.NVMeSSD, 6, 4<<20)
+	mgr := plog.NewManager(p, 32<<10) // small logs roll quickly
+	store := NewStore(clock, mgr)
+	o, _ := store.Create(CreateOptions{Topic: "t"})
+	for i := 0; i < 3000; i++ {
+		o.Append([]Record{{Key: []byte("k"), Value: []byte(fmt.Sprintf("v%06d", i))}}, "p", int64(i+1))
+	}
+	o.Flush()
+	logsBefore := mgr.Count()
+	if logsBefore < 2 {
+		t.Fatalf("test premise: need multiple logs, have %d", logsBefore)
+	}
+	// Reclaim the first half.
+	freed, err := o.ReclaimThrough(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("nothing freed")
+	}
+	if mgr.Count() >= logsBefore {
+		t.Fatalf("no logs destroyed: %d -> %d", logsBefore, mgr.Count())
+	}
+	// Records beyond the reclaim point stay readable.
+	recs, _, err := o.Read(2500, ReadCtrl{MaxRecords: 5})
+	if err != nil || len(recs) != 5 || recs[0].Offset != 2500 {
+		t.Fatalf("post-reclaim read: %d recs %v", len(recs), err)
+	}
+	// Appends continue with correct offsets.
+	off, _, err := o.Append([]Record{{Key: []byte("k"), Value: []byte("new")}}, "p", 9001)
+	if err != nil || off != 3000 {
+		t.Fatalf("append after reclaim: off=%d %v", off, err)
+	}
+	// Full reclaim of everything persisted so far.
+	o.Flush()
+	if _, err := o.ReclaimThrough(o.End()); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Stats().Slices; got != 0 {
+		t.Fatalf("slices left after full reclaim: %d", got)
+	}
+}
+
+func TestReclaimThroughPartialLogKept(t *testing.T) {
+	clock := sim.NewClock()
+	p := pool.New("rec2", clock, sim.NVMeSSD, 6, 4<<20)
+	mgr := plog.NewManager(p, 1<<20) // one big log holds everything
+	store := NewStore(clock, mgr)
+	o, _ := store.Create(CreateOptions{Topic: "t"})
+	for i := 0; i < 600; i++ {
+		o.Append([]Record{{Key: []byte("k"), Value: []byte("v")}}, "p", int64(i+1))
+	}
+	o.Flush()
+	// A watermark in the middle of a slice: the slice (and its log)
+	// still holds unconverted records, so nothing may be reclaimed from
+	// it.
+	freed, err := o.ReclaimThrough(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 0 {
+		t.Fatalf("freed %d from a slice with live records", freed)
+	}
+	if _, _, err := o.Read(0, ReadCtrl{MaxRecords: 1}); err != nil {
+		t.Fatalf("read below mid-slice watermark should still work: %v", err)
+	}
+}
+
+func TestSCMCacheEviction(t *testing.T) {
+	s, _ := newStore(t)
+	o, _ := s.Create(CreateOptions{Topic: "t", SCMCache: true})
+	// Write far more than cacheSlices slices.
+	for i := 0; i < (cacheSlices+10)*SliceRecords; i++ {
+		o.Append([]Record{{Key: []byte("k"), Value: []byte("v")}}, "p", int64(i+1))
+	}
+	o.mu.Lock()
+	cached := len(o.cache)
+	o.mu.Unlock()
+	if cached > cacheSlices {
+		t.Fatalf("cache grew to %d slices, cap %d", cached, cacheSlices)
+	}
+	// Evicted slices still readable (from PLogs, at SSD cost).
+	recs, _, err := o.Read(0, ReadCtrl{MaxRecords: 3})
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("read of evicted slice: %v", err)
+	}
+}
+
+func TestCanAppendPeeksWithoutConsuming(t *testing.T) {
+	s, clock := newStore(t)
+	o, _ := s.Create(CreateOptions{Topic: "t", QuotaPerSec: 10})
+	clock.Advance(time.Second)
+	// Peeking never consumes tokens.
+	for i := 0; i < 100; i++ {
+		if err := o.CanAppend(10); err != nil {
+			t.Fatalf("peek %d: %v", i, err)
+		}
+	}
+	if err := o.CanAppend(11); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("over-quota peek: %v", err)
+	}
+	// Unlimited quota always admits.
+	free, _ := s.Create(CreateOptions{Topic: "free"})
+	if err := free.CanAppend(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCostsReflectTiering(t *testing.T) {
+	// A read served from persisted slices charges SSD-class time; the
+	// open buffer is free. This is what makes recent data cheap.
+	s, _ := newStore(t)
+	o, _ := s.Create(CreateOptions{Topic: "t"})
+	for i := 0; i < SliceRecords+10; i++ {
+		o.Append([]Record{{Key: []byte("k"), Value: []byte("v")}}, "p", int64(i+1))
+	}
+	_, costPersisted, err := o.Read(0, ReadCtrl{MaxRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, costBuffer, err := o.Read(int64(SliceRecords), ReadCtrl{MaxRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costPersisted <= costBuffer {
+		t.Fatalf("persisted read %v not dearer than buffer read %v", costPersisted, costBuffer)
+	}
+}

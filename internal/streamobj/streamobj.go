@@ -1,0 +1,595 @@
+// Package streamobj implements the stream object (Section IV-A), the
+// paper's novel storage abstraction for key-value message streaming: a
+// partition of key-value records organized as data slices of up to 256
+// records, appended by topic/key/offset, distributed over the 4096
+// logical shards of Figure 4 and persisted redundantly through PLogs.
+//
+// The Go API mirrors the C operations of Figure 3:
+//
+//	CreateServerStreamObject  -> Store.Create
+//	DestroyServerStreamObject -> Store.Destroy
+//	AppendServerStreamObject  -> Object.Append
+//	ReadServerStreamObject    -> Object.Read
+//
+// IO_CONTENT_S's non-blocking buffers appear as the open slice buffer:
+// appends accumulate in memory and persist a full slice at a time;
+// ReadCtrl carries the read limits.
+package streamobj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamlake/internal/kv"
+	"streamlake/internal/plog"
+	"streamlake/internal/shard"
+	"streamlake/internal/sim"
+)
+
+// SliceRecords is the paper's fixed slice capacity: up to 256 records.
+const SliceRecords = 256
+
+// Record is one key-value message. Offset and Timestamp are assigned by
+// the object on append.
+type Record struct {
+	Key       []byte
+	Value     []byte
+	Offset    int64
+	Timestamp time.Duration
+}
+
+func (r Record) encodedSize() int64 {
+	return int64(len(r.Key) + len(r.Value) + 2*binary.MaxVarintLen64)
+}
+
+// CreateOptions is the CREATE_OPTIONS_S of Figure 3: redundancy method,
+// I/O quota, and cache policy.
+type CreateOptions struct {
+	// Topic names the message stream the object belongs to.
+	Topic string
+	// Redundancy selects replicate or erasure code (default: 3 copies).
+	Redundancy plog.Redundancy
+	// QuotaPerSec caps appended records per virtual second; 0 = unlimited
+	// (the quota field of Figure 8).
+	QuotaPerSec int64
+	// SCMCache acks appends from a storage-class-memory buffer and keeps
+	// recent slices cached there (the scm_cache flag of Figure 8,
+	// hardware Set-2 of Section VII-C).
+	SCMCache bool
+}
+
+// ReadCtrl is the READ_CTRL_S of Figure 3: limits on a read.
+type ReadCtrl struct {
+	// MaxRecords caps returned records; 0 means SliceRecords.
+	MaxRecords int
+	// MaxBytes caps returned payload bytes; 0 means unlimited.
+	MaxBytes int64
+}
+
+// Errors returned by stream object operations.
+var (
+	ErrThrottled     = errors.New("streamobj: quota exceeded, retry later")
+	ErrUnknownObject = errors.New("streamobj: unknown object")
+	ErrPastEnd       = errors.New("streamobj: offset past end of stream")
+)
+
+// ObjectID identifies a stream object, the object_id_t of Figure 3.
+type ObjectID int64
+
+// Store creates and owns stream objects over a shard space; it is the
+// store-layer entry point for the stream abstraction.
+type Store struct {
+	clock   *sim.Clock
+	mgr     *plog.Manager
+	index   *kv.DB
+	scm     *sim.Device
+	journal *sim.Device
+
+	mu      sync.Mutex
+	objects map[ObjectID]*Object
+	nextID  ObjectID
+}
+
+// NewStore builds a store creating PLogs from mgr. The index DB serves as
+// the key-value record-lookup index for PLogs the paper describes; the
+// SCM device backs objects created with SCMCache.
+func NewStore(clock *sim.Clock, mgr *plog.Manager) *Store {
+	return &Store{
+		clock:   clock,
+		mgr:     mgr,
+		index:   kv.Open(kv.Options{Device: sim.NewDeviceOf("plog-index", sim.SCM)}),
+		scm:     sim.NewDeviceOf("stream-scm", sim.SCM),
+		journal: sim.NewDeviceOf("stream-journal", sim.NVMeSSD),
+		objects: make(map[ObjectID]*Object),
+	}
+}
+
+// Create allocates a new stream object (CreateServerStreamObject).
+func (s *Store) Create(opts CreateOptions) (*Object, error) {
+	if opts.Redundancy.Width() == 0 {
+		opts.Redundancy = plog.ReplicateN(3)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	o := &Object{
+		id:          s.nextID,
+		opts:        opts,
+		store:       s,
+		space:       shard.NewSpace(s.mgr, opts.Redundancy),
+		producerSeq: make(map[string]int64),
+		cache:       make(map[int64][]Record),
+	}
+	s.objects[o.id] = o
+	return o, nil
+}
+
+// Get returns the object with the given id, or nil.
+func (s *Store) Get(id ObjectID) *Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objects[id]
+}
+
+// Destroy releases an object and its PLogs (DestroyServerStreamObject).
+func (s *Store) Destroy(id ObjectID) error {
+	s.mu.Lock()
+	o, ok := s.objects[id]
+	if ok {
+		delete(s.objects, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownObject
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, sh := range o.touchedShards() {
+		if err := o.space.Drop(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count reports live objects.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// sliceEntry locates one persisted slice.
+type sliceEntry struct {
+	base  int64 // offset of the slice's first record
+	count int
+	loc   shard.Loc
+}
+
+// Object is one stream object: a strictly ordered partition of records.
+type Object struct {
+	id    ObjectID
+	opts  CreateOptions
+	store *Store
+	space *shard.Space
+
+	mu          sync.Mutex
+	nextOffset  int64
+	buf         []Record // open slice (non-blocking append buffer)
+	bufBase     int64
+	slices      []sliceEntry // persisted slice directory, ascending base
+	producerSeq map[string]int64
+	cache       map[int64][]Record // recent slices kept in SCM
+	cacheOrder  []int64
+	// Quota token bucket on the virtual clock.
+	tokens        float64
+	lastRefill    time.Duration
+	appended      int64
+	bytesAppended int64
+}
+
+// ID returns the object's identifier.
+func (o *Object) ID() ObjectID { return o.id }
+
+// Topic returns the topic the object serves.
+func (o *Object) Topic() string { return o.opts.Topic }
+
+// End returns the offset one past the last appended record.
+func (o *Object) End() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nextOffset
+}
+
+// Append appends records (AppendServerStreamObject), returning the
+// offset of the first appended record and the modelled latency. Writes
+// are idempotent per producer: a batch whose sequence number was already
+// seen is acknowledged again without being re-appended, which is how
+// duplicate sends after a network failure are absorbed.
+func (o *Object) Append(records []Record, producerID string, seq int64) (int64, time.Duration, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if last, ok := o.producerSeq[producerID]; ok && producerID != "" && seq <= last {
+		return o.nextOffset, 0, nil // duplicate batch: already durable
+	}
+	if err := o.takeTokens(len(records)); err != nil {
+		return 0, 0, err
+	}
+	base := o.nextOffset
+	now := o.store.clock.Now()
+	var cost time.Duration
+	for i := range records {
+		r := records[i]
+		r.Offset = o.nextOffset
+		r.Timestamp = now
+		o.nextOffset++
+		o.buf = append(o.buf, r)
+		// Each record is durable before it is acknowledged: the ack path
+		// is a journal write to SCM (Set-2) or to the SSD pool (Set-1).
+		// The slice flush into PLogs below happens off the ack path.
+		if o.opts.SCMCache {
+			cost += o.store.scm.Write(r.encodedSize())
+		} else {
+			cost += o.store.journal.Write(r.encodedSize())
+		}
+		if len(o.buf) >= SliceRecords {
+			if _, err := o.flushSliceLocked(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if producerID != "" {
+		o.producerSeq[producerID] = seq
+	}
+	o.appended += int64(len(records))
+	for i := range records {
+		o.bytesAppended += records[i].encodedSize()
+	}
+	return base, cost, nil
+}
+
+// CanAppend reports whether the quota currently admits n more records,
+// without consuming tokens — the prepare check of the streaming
+// service's two-phase commit.
+func (o *Object) CanAppend(n int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.opts.QuotaPerSec <= 0 {
+		return nil
+	}
+	now := o.store.clock.Now()
+	tokens := o.tokens + (now-o.lastRefill).Seconds()*float64(o.opts.QuotaPerSec)
+	if max := float64(o.opts.QuotaPerSec); tokens > max {
+		tokens = max
+	}
+	if tokens < float64(n) {
+		return ErrThrottled
+	}
+	return nil
+}
+
+// takeTokens enforces the per-second quota against the virtual clock.
+func (o *Object) takeTokens(n int) error {
+	if o.opts.QuotaPerSec <= 0 {
+		return nil
+	}
+	now := o.store.clock.Now()
+	elapsed := now - o.lastRefill
+	o.lastRefill = now
+	o.tokens += elapsed.Seconds() * float64(o.opts.QuotaPerSec)
+	if max := float64(o.opts.QuotaPerSec); o.tokens > max {
+		o.tokens = max
+	}
+	if o.tokens < float64(n) {
+		return ErrThrottled
+	}
+	o.tokens -= float64(n)
+	return nil
+}
+
+// Flush persists the open slice even if it is short — used on topic
+// shutdown and before conversion so no records are stranded in memory.
+func (o *Object) Flush() (time.Duration, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.flushSliceLocked()
+}
+
+func (o *Object) flushSliceLocked() (time.Duration, error) {
+	if len(o.buf) == 0 {
+		return 0, nil
+	}
+	data := encodeSlice(o.buf)
+	// Figure 4 a-d: the slice is assigned to a logical shard by hashing
+	// topic and slice position, spreading the object's slices over the
+	// 4096-shard DHT.
+	sh := shard.ForKey([]byte(fmt.Sprintf("%s/%d/%d", o.opts.Topic, o.id, o.bufBase)))
+	loc, cost, err := o.space.Append(sh, data)
+	if err != nil {
+		return 0, err
+	}
+	entry := sliceEntry{base: o.bufBase, count: len(o.buf), loc: loc}
+	o.slices = append(o.slices, entry)
+	// Persist the slice index in the KV store (the PLog lookup index).
+	key := fmt.Sprintf("sobj/%d/%020d", o.id, o.bufBase)
+	val := encodeLoc(loc, len(o.buf))
+	if _, err := o.store.index.Put([]byte(key), val); err != nil {
+		return 0, err
+	}
+	if o.opts.SCMCache {
+		o.cacheSlice(o.bufBase, o.buf)
+	}
+	o.bufBase = o.nextOffset
+	o.buf = nil
+	return cost, nil
+}
+
+const cacheSlices = 64
+
+func (o *Object) cacheSlice(base int64, recs []Record) {
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	o.cache[base] = cp
+	o.cacheOrder = append(o.cacheOrder, base)
+	if len(o.cacheOrder) > cacheSlices {
+		evict := o.cacheOrder[0]
+		o.cacheOrder = o.cacheOrder[1:]
+		delete(o.cache, evict)
+	}
+}
+
+// Read returns records from offset (ReadServerStreamObject), subject to
+// ctrl limits, with the modelled read latency. Reads past the current
+// end return ErrPastEnd; the streaming service turns that into a poll.
+func (o *Object) Read(offset int64, ctrl ReadCtrl) ([]Record, time.Duration, error) {
+	maxRecords := ctrl.MaxRecords
+	if maxRecords <= 0 {
+		maxRecords = SliceRecords
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if offset < 0 || offset > o.nextOffset {
+		return nil, 0, ErrPastEnd
+	}
+	if offset == o.nextOffset {
+		return nil, 0, nil // caught up; poll again
+	}
+	var out []Record
+	var cost time.Duration
+	var bytes int64
+	for int64(len(out)) == 0 || (offset < o.nextOffset && len(out) < maxRecords) {
+		if offset >= o.bufBase {
+			// Open slice: served from memory.
+			for _, r := range o.buf {
+				if r.Offset >= offset && len(out) < maxRecords {
+					if ctrl.MaxBytes > 0 && bytes+r.encodedSize() > ctrl.MaxBytes && len(out) > 0 {
+						return out, cost, nil
+					}
+					out = append(out, r)
+					bytes += r.encodedSize()
+					offset = r.Offset + 1
+				}
+			}
+			break
+		}
+		entry, ok := o.findSlice(offset)
+		if !ok {
+			break
+		}
+		recs, c, err := o.loadSlice(entry)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost += c
+		for _, r := range recs {
+			if r.Offset >= offset && len(out) < maxRecords {
+				if ctrl.MaxBytes > 0 && bytes+r.encodedSize() > ctrl.MaxBytes && len(out) > 0 {
+					return out, cost, nil
+				}
+				out = append(out, r)
+				bytes += r.encodedSize()
+			}
+		}
+		offset = entry.base + int64(entry.count)
+		if len(out) >= maxRecords {
+			break
+		}
+	}
+	return out, cost, nil
+}
+
+// findSlice locates the persisted slice containing offset.
+func (o *Object) findSlice(offset int64) (sliceEntry, bool) {
+	i := sort.Search(len(o.slices), func(i int) bool {
+		return o.slices[i].base+int64(o.slices[i].count) > offset
+	})
+	if i >= len(o.slices) {
+		return sliceEntry{}, false
+	}
+	return o.slices[i], true
+}
+
+// loadSlice fetches a slice from SCM cache or PLog storage.
+func (o *Object) loadSlice(e sliceEntry) ([]Record, time.Duration, error) {
+	if recs, ok := o.cache[e.base]; ok {
+		var n int64
+		for _, r := range recs {
+			n += r.encodedSize()
+		}
+		return recs, o.store.scm.Read(n), nil
+	}
+	data, cost, err := o.space.Read(e.loc)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, err := decodeSlice(data, e.base)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, cost, nil
+}
+
+// ReclaimThrough destroys the PLogs whose slices all end at or before
+// offset — the storage-reclamation half of stream-to-table conversion
+// with delete_msg set (Section V-B): once messages are converted to
+// table records, the stream copy is released so only one copy remains.
+// It returns the logical bytes freed. The open slice buffer and any log
+// still holding unconverted slices are untouched.
+func (o *Object) ReclaimThrough(offset int64) (int64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	type logGroup struct {
+		reclaimable bool
+		entries     []int
+	}
+	groups := map[plog.ID]*logGroup{}
+	for i, e := range o.slices {
+		g := groups[e.loc.Log]
+		if g == nil {
+			g = &logGroup{reclaimable: true}
+			groups[e.loc.Log] = g
+		}
+		g.entries = append(g.entries, i)
+		if e.base+int64(e.count) > offset {
+			g.reclaimable = false
+		}
+	}
+	var freed int64
+	drop := map[int]bool{}
+	for id, g := range groups {
+		if !g.reclaimable {
+			continue
+		}
+		l := o.store.mgr.Get(id)
+		if l == nil {
+			continue
+		}
+		// A fully drained log still open for appends is sealed here; the
+		// shard space rolls a fresh log on the next append.
+		l.Seal()
+		freed += l.Size()
+		if err := o.space.DestroyLog(id); err != nil {
+			return freed, err
+		}
+		for _, i := range g.entries {
+			drop[i] = true
+			delete(o.cache, o.slices[i].base)
+		}
+	}
+	if len(drop) > 0 {
+		kept := o.slices[:0]
+		for i, e := range o.slices {
+			if !drop[i] {
+				kept = append(kept, e)
+			}
+		}
+		o.slices = kept
+	}
+	return freed, nil
+}
+
+// touchedShards returns the distinct shards the object has written.
+func (o *Object) touchedShards() []shard.ID {
+	seen := map[shard.ID]bool{}
+	var out []shard.ID
+	for _, e := range o.slices {
+		if !seen[e.loc.Shard] {
+			seen[e.loc.Shard] = true
+			out = append(out, e.loc.Shard)
+		}
+	}
+	return out
+}
+
+// Stats reports object counters.
+type Stats struct {
+	Appended int64
+	Bytes    int64
+	End      int64
+	OpenBuf  int
+	Slices   int
+}
+
+// Stats returns a snapshot of the object's counters.
+func (o *Object) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Stats{
+		Appended: o.appended,
+		Bytes:    o.bytesAppended,
+		End:      o.nextOffset,
+		OpenBuf:  len(o.buf),
+		Slices:   len(o.slices),
+	}
+}
+
+// Slice wire format: count, then per record key/value lengths and bytes
+// plus the timestamp. Offsets are implicit from the slice base.
+
+func encodeSlice(recs []Record) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(recs)))
+	out = append(out, tmp[:n]...)
+	for _, r := range recs {
+		n = binary.PutUvarint(tmp[:], uint64(len(r.Key)))
+		out = append(out, tmp[:n]...)
+		out = append(out, r.Key...)
+		n = binary.PutUvarint(tmp[:], uint64(len(r.Value)))
+		out = append(out, tmp[:n]...)
+		out = append(out, r.Value...)
+		n = binary.PutVarint(tmp[:], int64(r.Timestamp))
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+func decodeSlice(data []byte, base int64) ([]Record, error) {
+	count, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, errors.New("streamobj: truncated slice")
+	}
+	data = data[sz:]
+	// Untrusted count: each record costs at least 3 bytes.
+	if count > uint64(len(data))/3+1 {
+		return nil, errors.New("streamobj: record count exceeds slice size")
+	}
+	out := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < kl {
+			return nil, errors.New("streamobj: truncated key")
+		}
+		data = data[sz:]
+		key := append([]byte(nil), data[:kl]...)
+		data = data[kl:]
+		vl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < vl {
+			return nil, errors.New("streamobj: truncated value")
+		}
+		data = data[sz:]
+		val := append([]byte(nil), data[:vl]...)
+		data = data[vl:]
+		ts, sz := binary.Varint(data)
+		if sz <= 0 {
+			return nil, errors.New("streamobj: truncated timestamp")
+		}
+		data = data[sz:]
+		out = append(out, Record{Key: key, Value: val, Offset: base + int64(i), Timestamp: time.Duration(ts)})
+	}
+	return out, nil
+}
+
+func encodeLoc(loc shard.Loc, count int) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []int64{int64(loc.Shard), int64(loc.Log), loc.Offset, int64(loc.Len), int64(count)} {
+		n := binary.PutVarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package streamsvc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamlake/internal/streamobj"
+)
+
+// Consumer subscribes to topics and polls for published messages
+// (Figure 7's consumer loop). Consumers belong to a group whose read
+// offsets are tracked in the dispatcher's KV store, so a restarted
+// consumer resumes where the group left off.
+type Consumer struct {
+	svc   *Service
+	group string
+
+	mu   sync.Mutex
+	subs map[string]*subscription
+}
+
+type subscription struct {
+	topic   string
+	offsets []int64
+	rr      int // round-robin cursor over the topic's streams
+}
+
+// Consumer returns a consumer handle in the given group.
+func (s *Service) Consumer(group string) *Consumer {
+	return &Consumer{svc: s, group: group, subs: make(map[string]*subscription)}
+}
+
+func offsetKey(group, topic string, idx int) []byte {
+	return []byte(fmt.Sprintf("offsets/%s/%s/%d", group, topic, idx))
+}
+
+// Subscribe registers interest in a topic, resuming from the group's
+// committed offsets.
+func (c *Consumer) Subscribe(topic string) error {
+	c.svc.mu.Lock()
+	ts, ok := c.svc.topics[topic]
+	c.svc.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
+	}
+	sub := &subscription{topic: topic, offsets: make([]int64, len(ts.streams))}
+	for i := range sub.offsets {
+		if blob, _, ok := c.svc.meta.Get(offsetKey(c.group, topic, i)); ok {
+			if v, n := binary.Varint(blob); n > 0 {
+				sub.offsets[i] = v
+			}
+		}
+	}
+	c.mu.Lock()
+	c.subs[topic] = sub
+	c.mu.Unlock()
+	return nil
+}
+
+// Poll fetches up to max messages across the consumer's subscriptions,
+// returning the modelled read latency. An empty result means the
+// consumer is caught up.
+func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
+	if max <= 0 {
+		max = 256
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.subs) == 0 {
+		return nil, 0, ErrNotSubscribed
+	}
+	var out []Message
+	var cost time.Duration
+	// The commit latch: transactions become visible atomically.
+	c.svc.commitMu.RLock()
+	defer c.svc.commitMu.RUnlock()
+	for _, sub := range c.subs {
+		c.svc.mu.Lock()
+		ts, ok := c.svc.topics[sub.topic]
+		c.svc.mu.Unlock()
+		if !ok {
+			continue
+		}
+		for tries := 0; tries < len(ts.streams) && len(out) < max; tries++ {
+			idx := sub.rr % len(ts.streams)
+			sub.rr++
+			obj := ts.streams[idx]
+			recs, rc, err := obj.Read(sub.offsets[idx], streamobj.ReadCtrl{MaxRecords: max - len(out)})
+			if err == streamobj.ErrPastEnd {
+				continue
+			}
+			if err != nil {
+				return out, cost, err
+			}
+			cost += rc
+			for _, r := range recs {
+				out = append(out, Message{
+					Topic: sub.topic, Stream: idx, Key: r.Key, Value: r.Value,
+					Offset: r.Offset, Timestamp: r.Timestamp,
+				})
+			}
+			if len(recs) > 0 {
+				sub.offsets[idx] = recs[len(recs)-1].Offset + 1
+			}
+		}
+	}
+	return out, cost, nil
+}
+
+// CommitOffsets persists the group's current read positions to the
+// dispatcher KV store.
+func (c *Consumer) CommitOffsets() (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var cost time.Duration
+	for _, sub := range c.subs {
+		for i, off := range sub.offsets {
+			cst, err := c.svc.meta.Put(offsetKey(c.group, sub.topic, i), binary.AppendVarint(nil, off))
+			if err != nil {
+				return cost, err
+			}
+			cost += cst
+		}
+	}
+	return cost, nil
+}
+
+// Seek repositions the consumer on one stream of a topic.
+func (c *Consumer) Seek(topic string, stream int, offset int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[topic]
+	if !ok {
+		return ErrNotSubscribed
+	}
+	if stream < 0 || stream >= len(sub.offsets) {
+		return fmt.Errorf("streamsvc: topic %s has no stream %d", topic, stream)
+	}
+	sub.offsets[stream] = offset
+	return nil
+}
+
+// Lag reports how many messages the consumer is behind across a topic's
+// streams.
+func (c *Consumer) Lag(topic string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[topic]
+	if !ok {
+		return 0, ErrNotSubscribed
+	}
+	c.svc.mu.Lock()
+	ts, tok := c.svc.topics[topic]
+	c.svc.mu.Unlock()
+	if !tok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
+	}
+	var lag int64
+	for i, obj := range ts.streams {
+		lag += obj.End() - sub.offsets[i]
+	}
+	return lag, nil
+}

@@ -1,0 +1,216 @@
+package streamsvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamlake/internal/bus"
+	"streamlake/internal/streamobj"
+)
+
+// Producer publishes messages to topics. The API mirrors the open-source
+// de facto standard of Figure 7: construct a producer, Send to a topic.
+// Producers are idempotent: every (producer, stream) batch carries a
+// sequence number the stream object deduplicates on.
+type Producer struct {
+	svc *Service
+	id  string
+
+	mu  sync.Mutex
+	seq map[string]int64
+}
+
+// Producer returns a producer handle with the given client id. Sequence
+// numbers — and therefore idempotent deduplication — are scoped to the
+// id, so two producer instances sharing an id are treated as the same
+// logical producer (a restart), not as independent senders. An empty id
+// is assigned a fresh unique identity.
+func (s *Service) Producer(id string) *Producer {
+	if id == "" {
+		s.mu.Lock()
+		s.txnSeq++
+		id = fmt.Sprintf("producer-%d", s.txnSeq)
+		s.mu.Unlock()
+	}
+	return &Producer{svc: s, id: id, seq: make(map[string]int64)}
+}
+
+// Send publishes one key-value message, returning the stored message and
+// the modelled end-to-end produce latency (bus transfer to the stream
+// worker plus the durable append).
+func (p *Producer) Send(topic string, key, value []byte) (Message, time.Duration, error) {
+	msgs, cost, err := p.SendBatch(topic, []streamobj.Record{{Key: key, Value: value}})
+	if err != nil {
+		return Message{}, cost, err
+	}
+	return msgs[0], cost, nil
+}
+
+// SendBatch publishes records that share a routing key stream (each
+// record routes independently by its key).
+func (p *Producer) SendBatch(topic string, recs []streamobj.Record) ([]Message, time.Duration, error) {
+	p.svc.mu.Lock()
+	ts, ok := p.svc.topics[topic]
+	p.svc.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
+	}
+	// Group records by target stream.
+	byStream := make(map[int][]streamobj.Record)
+	for _, r := range recs {
+		byStream[routeKey(r.Key, len(ts.streams))] = append(byStream[routeKey(r.Key, len(ts.streams))], r)
+	}
+	var out []Message
+	var cost time.Duration
+	for idx, batch := range byStream {
+		obj := ts.streams[idx]
+		w := p.svc.ownerOf(topic, idx)
+		var bytes int64
+		for _, r := range batch {
+			bytes += int64(len(r.Key) + len(r.Value))
+		}
+		cost += w.bus.Send(bytes, bus.Normal)
+		p.mu.Lock()
+		p.seq[streamKey(topic, idx)]++
+		seq := p.seq[streamKey(topic, idx)]
+		p.mu.Unlock()
+		base, c, err := obj.Append(batch, p.id, seq)
+		if err != nil {
+			return nil, cost, err
+		}
+		cost += c
+		w.mu.Lock()
+		w.appended += int64(len(batch))
+		w.mu.Unlock()
+		for i, r := range batch {
+			out = append(out, Message{
+				Topic: topic, Stream: idx, Key: r.Key, Value: r.Value,
+				Offset: base + int64(i), Timestamp: p.svc.clock.Now(),
+			})
+		}
+	}
+	return out, cost, nil
+}
+
+// TxnState tracks a transaction through the two-phase commit protocol.
+type TxnState int
+
+const (
+	// TxnOpen accepts sends.
+	TxnOpen TxnState = iota
+	// TxnCommitted is terminal success.
+	TxnCommitted
+	// TxnAborted is terminal failure.
+	TxnAborted
+)
+
+// Txn is a producer transaction: sends are buffered and made durable
+// atomically at Commit through the transaction manager's two-phase
+// commit, giving exactly-once semantics — all of the transaction's
+// messages become visible together or not at all.
+type Txn struct {
+	p     *Producer
+	id    int64
+	state TxnState
+	// buffered records per (topic, stream).
+	parts map[string]*txnPart
+}
+
+type txnPart struct {
+	topic string
+	idx   int
+	obj   *streamobj.Object
+	recs  []streamobj.Record
+}
+
+// BeginTxn opens a transaction, logging it with the transaction manager
+// (the dispatcher's KV store).
+func (p *Producer) BeginTxn() *Txn {
+	p.svc.mu.Lock()
+	p.svc.txnSeq++
+	id := p.svc.txnSeq
+	p.svc.mu.Unlock()
+	p.svc.meta.Put([]byte(fmt.Sprintf("txn/%d", id)), []byte("begin"))
+	return &Txn{p: p, id: id, parts: make(map[string]*txnPart)}
+}
+
+// Send buffers one message in the transaction.
+func (t *Txn) Send(topic string, key, value []byte) error {
+	if t.state != TxnOpen {
+		return ErrTxnAborted
+	}
+	t.p.svc.mu.Lock()
+	ts, ok := t.p.svc.topics[topic]
+	t.p.svc.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
+	}
+	idx := routeKey(key, len(ts.streams))
+	k := streamKey(topic, idx)
+	part, ok := t.parts[k]
+	if !ok {
+		part = &txnPart{topic: topic, idx: idx, obj: ts.streams[idx]}
+		t.parts[k] = part
+	}
+	part.recs = append(part.recs, streamobj.Record{Key: key, Value: value})
+	return nil
+}
+
+// Commit runs two-phase commit: every participant stream prepares
+// (validating it can accept the batch), then all batches are appended
+// under the service's commit latch so consumers observe the transaction
+// atomically. Any prepare failure aborts the whole transaction.
+func (t *Txn) Commit() (time.Duration, error) {
+	if t.state != TxnOpen {
+		return 0, ErrTxnAborted
+	}
+	svc := t.p.svc
+	// Phase 1: prepare.
+	for _, part := range t.parts {
+		if err := part.obj.CanAppend(len(part.recs)); err != nil {
+			t.abortInternal()
+			return 0, fmt.Errorf("%w: prepare failed on %s/%d: %v", ErrTxnAborted, part.topic, part.idx, err)
+		}
+	}
+	svc.meta.Put([]byte(fmt.Sprintf("txn/%d", t.id)), []byte("prepared"))
+	// Phase 2: commit. The commit latch makes the appends atomic with
+	// respect to polling consumers.
+	svc.commitMu.Lock()
+	var cost time.Duration
+	for _, part := range t.parts {
+		t.p.mu.Lock()
+		t.p.seq[streamKey(part.topic, part.idx)]++
+		seq := t.p.seq[streamKey(part.topic, part.idx)]
+		t.p.mu.Unlock()
+		_, c, err := part.obj.Append(part.recs, t.p.id, seq)
+		if err != nil {
+			// Prepare validated capacity; failure here is a programming
+			// error surfaced loudly rather than silently partial.
+			svc.commitMu.Unlock()
+			t.state = TxnAborted
+			svc.meta.Put([]byte(fmt.Sprintf("txn/%d", t.id)), []byte("failed"))
+			return cost, fmt.Errorf("streamsvc: commit phase-2 append: %w", err)
+		}
+		cost += c
+	}
+	svc.commitMu.Unlock()
+	svc.meta.Put([]byte(fmt.Sprintf("txn/%d", t.id)), []byte("committed"))
+	t.state = TxnCommitted
+	return cost, nil
+}
+
+// Abort discards the transaction's buffered messages.
+func (t *Txn) Abort() {
+	if t.state == TxnOpen {
+		t.abortInternal()
+	}
+}
+
+func (t *Txn) abortInternal() {
+	t.state = TxnAborted
+	t.p.svc.meta.Put([]byte(fmt.Sprintf("txn/%d", t.id)), []byte("aborted"))
+}
+
+// State returns the transaction's current state.
+func (t *Txn) State() TxnState { return t.state }

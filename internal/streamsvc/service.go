@@ -1,0 +1,332 @@
+package streamsvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"streamlake/internal/bus"
+	"streamlake/internal/kv"
+	"streamlake/internal/sim"
+	"streamlake/internal/streamobj"
+)
+
+// Errors returned by the streaming service.
+var (
+	ErrUnknownTopic  = errors.New("streamsvc: unknown topic")
+	ErrTopicExists   = errors.New("streamsvc: topic already exists")
+	ErrNotSubscribed = errors.New("streamsvc: consumer not subscribed to topic")
+	ErrTxnAborted    = errors.New("streamsvc: transaction aborted")
+)
+
+// topicState is the dispatcher's view of one topic.
+type topicState struct {
+	cfg     TopicConfig
+	streams []*streamobj.Object
+}
+
+// Worker is one stream worker: it owns the stream object clients for the
+// streams assigned to it and talks to storage over the data bus via
+// RDMA.
+type Worker struct {
+	id  int
+	bus *bus.Bus
+
+	mu       sync.Mutex
+	streams  map[string]bool // "topic/idx" keys currently assigned
+	appended int64
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// StreamCount reports how many streams the worker currently serves.
+func (w *Worker) StreamCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.streams)
+}
+
+// Service is the streaming service: dispatcher plus worker fleet.
+type Service struct {
+	clock *sim.Clock
+	store *streamobj.Store
+	meta  *kv.DB // the dispatcher's fault-tolerant key-value store
+
+	mu       sync.Mutex
+	topics   map[string]*topicState
+	workers  []*Worker
+	topology int64 // topology version, bumped on every change
+	txnSeq   int64
+
+	// commitMu is the transaction visibility latch: Txn.Commit holds it
+	// exclusively while appending so Poll (shared) observes either all
+	// of a transaction's messages or none.
+	commitMu sync.RWMutex
+}
+
+// New builds a streaming service with workerCount stream workers over
+// the given stream object store.
+func New(clock *sim.Clock, store *streamobj.Store, workerCount int) *Service {
+	if workerCount <= 0 {
+		workerCount = 1
+	}
+	s := &Service{
+		clock:  clock,
+		store:  store,
+		meta:   kv.Open(kv.Options{Device: sim.NewDeviceOf("dispatcher-kv", sim.SCM)}),
+		topics: make(map[string]*topicState),
+	}
+	for i := 0; i < workerCount; i++ {
+		s.workers = append(s.workers, newWorker(i))
+	}
+	return s
+}
+
+func newWorker(id int) *Worker {
+	return &Worker{id: id, bus: bus.New(bus.Config{Path: bus.RDMA, Aggregation: true}), streams: map[string]bool{}}
+}
+
+// Clock exposes the virtual clock the service charges costs against.
+func (s *Service) Clock() *sim.Clock { return s.clock }
+
+// Store exposes the underlying stream object store.
+func (s *Service) Store() *streamobj.Store { return s.store }
+
+// CreateTopic declares a topic: StreamNum stream objects are created and
+// the streams are added to the stream workers in a round-robin manner.
+func (s *Service) CreateTopic(cfg TopicConfig) error {
+	cfg.applyDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.topics[cfg.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTopicExists, cfg.Name)
+	}
+	ts := &topicState{cfg: cfg}
+	for i := 0; i < cfg.StreamNum; i++ {
+		o, err := s.store.Create(streamobj.CreateOptions{
+			Topic:       cfg.Name,
+			Redundancy:  cfg.Redundancy,
+			QuotaPerSec: cfg.QuotaPerSec,
+			SCMCache:    cfg.SCMCache,
+		})
+		if err != nil {
+			return err
+		}
+		ts.streams = append(ts.streams, o)
+	}
+	s.topics[cfg.Name] = ts
+	s.assignStreamsLocked(cfg.Name, cfg.StreamNum)
+	s.topology++
+	s.recordTopologyLocked()
+	return nil
+}
+
+// assignStreamsLocked distributes a topic's streams round-robin over the
+// workers, recording each assignment in the dispatcher KV store.
+func (s *Service) assignStreamsLocked(topic string, n int) {
+	for i := 0; i < n; i++ {
+		w := s.workers[i%len(s.workers)]
+		w.mu.Lock()
+		w.streams[streamKey(topic, i)] = true
+		w.mu.Unlock()
+		s.meta.Put([]byte("assign/"+streamKey(topic, i)), []byte(fmt.Sprintf("%d", w.id)))
+	}
+}
+
+func streamKey(topic string, idx int) string { return fmt.Sprintf("%s/%d", topic, idx) }
+
+func (s *Service) recordTopologyLocked() {
+	s.meta.Put([]byte("topology/version"), binary.AppendVarint(nil, s.topology))
+	s.meta.Put([]byte("topology/workers"), binary.AppendVarint(nil, int64(len(s.workers))))
+}
+
+// DeleteTopic removes a topic and destroys its stream objects.
+func (s *Service) DeleteTopic(name string) error {
+	s.mu.Lock()
+	ts, ok := s.topics[name]
+	if ok {
+		delete(s.topics, name)
+	}
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for k := range w.streams {
+			if len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '/' {
+				delete(w.streams, k)
+			}
+		}
+		w.mu.Unlock()
+	}
+	s.topology++
+	s.recordTopologyLocked()
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTopic, name)
+	}
+	for _, o := range ts.streams {
+		if err := s.store.Destroy(o.ID()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Topic returns a topic's configuration.
+func (s *Service) Topic(name string) (TopicConfig, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.topics[name]
+	if !ok {
+		return TopicConfig{}, fmt.Errorf("%w: %s", ErrUnknownTopic, name)
+	}
+	return ts.cfg, nil
+}
+
+// Topics lists declared topic names.
+func (s *Service) Topics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.topics))
+	for name := range s.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Streams returns a topic's stream objects (read-only use: conversion,
+// archiving, metrics).
+func (s *Service) Streams(topic string) ([]*streamobj.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.topics[topic]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
+	}
+	return append([]*streamobj.Object(nil), ts.streams...), nil
+}
+
+// WorkerCount reports the current worker fleet size.
+func (s *Service) WorkerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}
+
+// SetWorkerCount rescales the worker fleet. Because storage is
+// disaggregated, only the stream→worker mapping changes: the method
+// returns how many stream assignments moved and the modelled remap time
+// (a metadata update per moved stream), with zero data migration —
+// the elasticity of Figure 14(c).
+func (s *Service) SetWorkerCount(n int) (moved int, cost time.Duration) {
+	if n <= 0 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Collect all stream keys in deterministic topic order.
+	old := make(map[string]int) // stream key -> worker id
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for k := range w.streams {
+			old[k] = w.id
+		}
+		w.mu.Unlock()
+	}
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		workers[i] = newWorker(i)
+	}
+	for name, ts := range s.topics {
+		for i := range ts.streams {
+			k := streamKey(name, i)
+			target := int(hashString(k) % uint64(n))
+			workers[target].streams[k] = true
+			if old[k] != target {
+				moved++
+				// Metadata-only move: one dispatcher KV update.
+				c, _ := s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", target)))
+				cost += c
+			}
+		}
+	}
+	s.workers = workers
+	s.topology++
+	s.recordTopologyLocked()
+	return moved, cost
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// FailWorker simulates a stream worker crash: the dispatcher detects it
+// through the health exchange (Section V-A) and reassigns the dead
+// worker's streams across the survivors — a metadata-only failover,
+// since the stream objects live in disaggregated storage. It returns
+// how many streams were reassigned.
+func (s *Service) FailWorker(id int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.workers) {
+		return 0, fmt.Errorf("streamsvc: no worker %d", id)
+	}
+	if len(s.workers) < 2 {
+		return 0, errors.New("streamsvc: cannot fail the last worker")
+	}
+	dead := s.workers[id]
+	s.workers = append(s.workers[:id:id], s.workers[id+1:]...)
+	dead.mu.Lock()
+	orphans := make([]string, 0, len(dead.streams))
+	for k := range dead.streams {
+		orphans = append(orphans, k)
+	}
+	dead.streams = map[string]bool{}
+	dead.mu.Unlock()
+	for i, k := range orphans {
+		w := s.workers[i%len(s.workers)]
+		w.mu.Lock()
+		w.streams[k] = true
+		w.mu.Unlock()
+		s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", w.id)))
+	}
+	s.topology++
+	s.recordTopologyLocked()
+	return len(orphans), nil
+}
+
+// TopologyVersion returns the dispatcher's topology version.
+func (s *Service) TopologyVersion() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topology
+}
+
+// ownerOf returns the worker serving a stream.
+func (s *Service) ownerOf(topic string, idx int) *Worker {
+	key := streamKey(topic, idx)
+	for _, w := range s.workers {
+		w.mu.Lock()
+		ok := w.streams[key]
+		w.mu.Unlock()
+		if ok {
+			return w
+		}
+	}
+	return s.workers[0]
+}
+
+// routeLocked picks the stream index for a key (hash routing, matching
+// the stream object's topic/key assignment of Figure 4).
+func routeKey(key []byte, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,443 @@
+package streamsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+	"streamlake/internal/streamobj"
+)
+
+func newService(t testing.TB, workers int) *Service {
+	t.Helper()
+	clock := sim.NewClock()
+	p := pool.New("svc", clock, sim.NVMeSSD, 6, 4<<20)
+	store := streamobj.NewStore(clock, plog.NewManager(p, 1<<20))
+	return New(clock, store, workers)
+}
+
+func TestCreateDeleteTopic(t *testing.T) {
+	s := newService(t, 2)
+	if err := s.CreateTopic(TopicConfig{Name: "logins", StreamNum: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTopic(TopicConfig{Name: "logins"}); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate topic: %v", err)
+	}
+	cfg, err := s.Topic("logins")
+	if err != nil || cfg.StreamNum != 3 {
+		t.Fatalf("topic: %+v %v", cfg, err)
+	}
+	if s.Store().Count() != 3 {
+		t.Fatalf("stream objects: %d", s.Store().Count())
+	}
+	if err := s.DeleteTopic("logins"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Store().Count() != 0 {
+		t.Fatal("delete topic left stream objects")
+	}
+	if err := s.DeleteTopic("logins"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestTopicDefaults(t *testing.T) {
+	s := newService(t, 1)
+	s.CreateTopic(TopicConfig{Name: "t", Convert: ConvertConfig{Enabled: true}, Archive: ArchiveConfig{Enabled: true}})
+	cfg, _ := s.Topic("t")
+	if cfg.StreamNum != 1 || cfg.Convert.SplitOffset != 10_000_000 ||
+		cfg.Convert.SplitTime != 36000*time.Second || cfg.Archive.ArchiveBytes != 256<<20 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestRoundRobinWorkerAssignment(t *testing.T) {
+	s := newService(t, 3)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 9})
+	for _, w := range s.workers {
+		if w.StreamCount() != 3 {
+			t.Fatalf("worker %d has %d streams, want 3", w.ID(), w.StreamCount())
+		}
+	}
+}
+
+func TestProduceConsume(t *testing.T) {
+	s := newService(t, 2)
+	s.CreateTopic(TopicConfig{Name: "topic_streamlake_test", StreamNum: 2})
+	p := s.Producer("p1")
+	msg, cost, err := p.Send("topic_streamlake_test", []byte("key"), []byte("Hello world"))
+	if err != nil || cost <= 0 {
+		t.Fatalf("send: %v cost=%v", err, cost)
+	}
+	if msg.Topic != "topic_streamlake_test" || msg.Offset != 0 {
+		t.Fatalf("message: %+v", msg)
+	}
+	c := s.Consumer("g1")
+	if err := c.Subscribe("topic_streamlake_test"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Poll(10)
+	if err != nil || len(got) != 1 || string(got[0].Value) != "Hello world" {
+		t.Fatalf("poll: %+v %v", got, err)
+	}
+	// Caught up: empty poll.
+	got, _, err = c.Poll(10)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("second poll: %+v %v", got, err)
+	}
+}
+
+func TestProduceToUnknownTopic(t *testing.T) {
+	s := newService(t, 1)
+	if _, _, err := s.Producer("p").Send("nope", []byte("k"), []byte("v")); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("unknown topic: %v", err)
+	}
+	c := s.Consumer("g")
+	if err := c.Subscribe("nope"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("subscribe unknown: %v", err)
+	}
+	if _, _, err := c.Poll(1); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("poll unsubscribed: %v", err)
+	}
+}
+
+func TestOrderingWithinStream(t *testing.T) {
+	s := newService(t, 2)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 3})
+	p := s.Producer("p")
+	key := []byte("same-key") // one key -> one stream -> strict order
+	for i := 0; i < 500; i++ {
+		if _, _, err := p.Send("t", key, []byte(fmt.Sprintf("%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	var seen []string
+	for {
+		msgs, _, err := c.Poll(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			seen = append(seen, string(m.Value))
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("got %d messages", len(seen))
+	}
+	for i, v := range seen {
+		if v != fmt.Sprintf("%06d", i) {
+			t.Fatalf("order broken at %d: %q", i, v)
+		}
+	}
+}
+
+func TestConsumerGroupOffsetsSurviveRestart(t *testing.T) {
+	s := newService(t, 1)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 1})
+	p := s.Producer("p")
+	for i := 0; i < 10; i++ {
+		p.Send("t", []byte("k"), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c1 := s.Consumer("group-a")
+	c1.Subscribe("t")
+	msgs, _, _ := c1.Poll(4)
+	if len(msgs) != 4 {
+		t.Fatalf("first poll: %d", len(msgs))
+	}
+	if _, err := c1.CommitOffsets(); err != nil {
+		t.Fatal(err)
+	}
+	// A new consumer in the same group resumes at the committed offset.
+	c2 := s.Consumer("group-a")
+	c2.Subscribe("t")
+	msgs, _, _ = c2.Poll(100)
+	if len(msgs) != 6 || string(msgs[0].Value) != "v4" {
+		t.Fatalf("resumed poll: %d msgs, first %q", len(msgs), msgs[0].Value)
+	}
+	// A different group starts from zero.
+	c3 := s.Consumer("group-b")
+	c3.Subscribe("t")
+	msgs, _, _ = c3.Poll(100)
+	if len(msgs) != 10 {
+		t.Fatalf("fresh group: %d msgs", len(msgs))
+	}
+}
+
+func TestSeekAndLag(t *testing.T) {
+	s := newService(t, 1)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 1})
+	p := s.Producer("p")
+	for i := 0; i < 20; i++ {
+		p.Send("t", []byte("k"), []byte("v"))
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	lag, err := c.Lag("t")
+	if err != nil || lag != 20 {
+		t.Fatalf("lag: %d %v", lag, err)
+	}
+	if err := c.Seek("t", 0, 15); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _, _ := c.Poll(100)
+	if len(msgs) != 5 {
+		t.Fatalf("after seek: %d msgs", len(msgs))
+	}
+	if err := c.Seek("t", 9, 0); err == nil {
+		t.Fatal("seek to bad stream accepted")
+	}
+}
+
+func TestElasticScaleNoDataMigration(t *testing.T) {
+	s := newService(t, 2)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 100})
+	p := s.Producer("p")
+	for i := 0; i < 1000; i++ {
+		p.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	objs, _ := s.Streams("t")
+	var before int64
+	for _, o := range objs {
+		before += o.End()
+	}
+	moved, cost := s.SetWorkerCount(8)
+	if moved == 0 {
+		t.Fatal("scale-out moved no streams")
+	}
+	if s.WorkerCount() != 8 {
+		t.Fatalf("worker count: %d", s.WorkerCount())
+	}
+	// Remap is metadata-only: stream contents untouched, and fast
+	// (paper: 1000->10000 partitions in under 10 s).
+	var after int64
+	for _, o := range objs {
+		after += o.End()
+	}
+	if after != before {
+		t.Fatal("scaling migrated data")
+	}
+	if cost > 10*time.Second {
+		t.Fatalf("remap cost %v too slow", cost)
+	}
+	// Service still works end to end.
+	if _, _, err := p.Send("t", []byte("post-scale"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	total := 0
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 1001 {
+		t.Fatalf("consumed %d messages after scaling", total)
+	}
+}
+
+func TestTransactionCommitAtomicVisibility(t *testing.T) {
+	s := newService(t, 2)
+	s.CreateTopic(TopicConfig{Name: "accounts", StreamNum: 4})
+	p := s.Producer("txn-p")
+	c := s.Consumer("g")
+	c.Subscribe("accounts")
+
+	txn := p.BeginTxn()
+	for i := 0; i < 10; i++ {
+		if err := txn.Send("accounts", []byte(fmt.Sprintf("acct-%d", i)), []byte("debit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing visible before commit.
+	if msgs, _, _ := c.Poll(100); len(msgs) != 0 {
+		t.Fatalf("uncommitted messages visible: %d", len(msgs))
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if txn.State() != TxnCommitted {
+		t.Fatalf("state: %v", txn.State())
+	}
+	var total int
+	for {
+		msgs, _, err := c.Poll(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 10 {
+		t.Fatalf("committed messages: %d", total)
+	}
+	// Terminal transactions reject further use.
+	if err := txn.Send("accounts", []byte("k"), []byte("v")); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("send after commit: %v", err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestTransactionAbortDiscardsAll(t *testing.T) {
+	s := newService(t, 1)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 2})
+	p := s.Producer("p")
+	txn := p.BeginTxn()
+	txn.Send("t", []byte("a"), []byte("1"))
+	txn.Send("t", []byte("b"), []byte("2"))
+	txn.Abort()
+	if txn.State() != TxnAborted {
+		t.Fatalf("state: %v", txn.State())
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	if msgs, _, _ := c.Poll(100); len(msgs) != 0 {
+		t.Fatalf("aborted messages visible: %d", len(msgs))
+	}
+}
+
+func TestTransactionPrepareFailureAbortsAll(t *testing.T) {
+	// One participant stream has a tiny quota; 2PC must abort the whole
+	// transaction and no stream may receive anything.
+	s := newService(t, 1)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 2, QuotaPerSec: 5})
+	s.Clock().Advance(time.Second) // fill buckets: 5 tokens per stream
+	p := s.Producer("p")
+	txn := p.BeginTxn()
+	// Overload one stream (same key -> same stream) beyond its quota.
+	for i := 0; i < 8; i++ {
+		txn.Send("t", []byte("hot-key"), []byte("v"))
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("over-quota commit: %v", err)
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	if msgs, _, _ := c.Poll(100); len(msgs) != 0 {
+		t.Fatalf("partial transaction visible: %d msgs", len(msgs))
+	}
+}
+
+func TestConcurrentProducersAndConsumer(t *testing.T) {
+	s := newService(t, 4)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 8})
+	var wg sync.WaitGroup
+	const perProducer = 200
+	for pi := 0; pi < 4; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			p := s.Producer(fmt.Sprintf("p%d", pi))
+			for i := 0; i < perProducer; i++ {
+				if _, _, err := p.Send("t", []byte(fmt.Sprintf("k%d-%d", pi, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pi)
+	}
+	wg.Wait()
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	total := 0
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 4*perProducer {
+		t.Fatalf("consumed %d, want %d", total, 4*perProducer)
+	}
+}
+
+func TestTopologyVersionAdvances(t *testing.T) {
+	s := newService(t, 1)
+	v0 := s.TopologyVersion()
+	s.CreateTopic(TopicConfig{Name: "t"})
+	v1 := s.TopologyVersion()
+	s.SetWorkerCount(3)
+	v2 := s.TopologyVersion()
+	if !(v0 < v1 && v1 < v2) {
+		t.Fatalf("topology versions: %d %d %d", v0, v1, v2)
+	}
+}
+
+func TestWorkerFailover(t *testing.T) {
+	s := newService(t, 3)
+	s.CreateTopic(TopicConfig{Name: "t", StreamNum: 9})
+	p := s.Producer("p")
+	for i := 0; i < 300; i++ {
+		if _, _, err := p.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.TopologyVersion()
+	moved, err := s.FailWorker(1)
+	if err != nil || moved != 3 {
+		t.Fatalf("failover moved %d streams: %v", moved, err)
+	}
+	if s.WorkerCount() != 2 {
+		t.Fatalf("workers after failure: %d", s.WorkerCount())
+	}
+	if s.TopologyVersion() <= v {
+		t.Fatal("topology version did not advance")
+	}
+	// Every stream is still owned and the service keeps flowing.
+	for _, w := range s.workers {
+		if w.StreamCount() == 0 {
+			t.Fatal("survivor owns nothing")
+		}
+	}
+	if _, _, err := p.Send("t", []byte("post"), []byte("failover")); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Consumer("g")
+	c.Subscribe("t")
+	total := 0
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 301 {
+		t.Fatalf("consumed %d after failover", total)
+	}
+	// Guard rails.
+	if _, err := s.FailWorker(99); err == nil {
+		t.Fatal("failed unknown worker")
+	}
+	s.FailWorker(0)
+	if _, err := s.FailWorker(0); err == nil {
+		t.Fatal("failed the last worker")
+	}
+}

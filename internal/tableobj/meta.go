@@ -1,0 +1,277 @@
+package tableobj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/rowcodec"
+)
+
+// DataFile is the file-level metadata a commit records: path, partition,
+// record counts and per-column value ranges (the statistics commits
+// carry for data skipping at the file level).
+type DataFile struct {
+	Path      string
+	Partition string
+	Rows      int64
+	Bytes     int64
+	Min, Max  []colfile.Value // aligned with the table schema
+}
+
+// Overlaps reports whether the file's value range for column c can
+// intersect [lo, hi] (nil bounds are unbounded).
+func (f DataFile) Overlaps(c int, lo, hi *colfile.Value) bool {
+	if c < 0 || c >= len(f.Min) {
+		return true // no stats for the column: cannot skip
+	}
+	if lo != nil && colfile.Compare(f.Max[c], *lo) < 0 {
+		return false
+	}
+	if hi != nil && colfile.Compare(f.Min[c], *hi) > 0 {
+		return false
+	}
+	return true
+}
+
+// FileOp is one entry in a commit: a data file added or removed.
+type FileOp struct {
+	Add  bool
+	File DataFile
+}
+
+// Commit is the paper's commit file: file-level metadata and statistics
+// recording the changes of one insert/update/delete operation.
+type Commit struct {
+	ID        int64
+	Timestamp time.Duration
+	Ops       []FileOp
+}
+
+// Snapshot is the paper's snapshot index file: the set of valid commits
+// for a time period, the current complete file manifest, and operation
+// log statistics (rows/files added and removed).
+type Snapshot struct {
+	ID           int64
+	ParentID     int64
+	Timestamp    time.Duration
+	CommitIDs    []int64
+	Files        []DataFile
+	RowCount     int64
+	AddedFiles   int64
+	RemovedFiles int64
+	AddedRows    int64
+	RemovedRows  int64
+}
+
+var commitSchema = colfile.MustSchema(
+	"op:string", "path:string", "partition:string", "rows:int64", "bytes:int64", "stats:string")
+
+func encodeStats(min, max []colfile.Value) string {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(min)))
+	for i := range min {
+		buf = colfile.AppendValue(buf, min[i])
+		buf = colfile.AppendValue(buf, max[i])
+	}
+	return string(buf)
+}
+
+func decodeStats(s string) (min, max []colfile.Value, err error) {
+	data := []byte(s)
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, nil, errors.New("tableobj: truncated stats")
+	}
+	data = data[sz:]
+	for i := uint64(0); i < n; i++ {
+		var lo, hi colfile.Value
+		lo, data, err = colfile.ReadValue(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		hi, data, err = colfile.ReadValue(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		min = append(min, lo)
+		max = append(max, hi)
+	}
+	return min, max, nil
+}
+
+func fileToRow(op string, f DataFile) colfile.Row {
+	return colfile.Row{
+		colfile.StringValue(op),
+		colfile.StringValue(f.Path),
+		colfile.StringValue(f.Partition),
+		colfile.IntValue(f.Rows),
+		colfile.IntValue(f.Bytes),
+		colfile.StringValue(encodeStats(f.Min, f.Max)),
+	}
+}
+
+func rowToFile(r colfile.Row) (string, DataFile, error) {
+	min, max, err := decodeStats(r[5].Str)
+	if err != nil {
+		return "", DataFile{}, err
+	}
+	return r[0].Str, DataFile{
+		Path:      r[1].Str,
+		Partition: r[2].Str,
+		Rows:      r[3].Int,
+		Bytes:     r[4].Int,
+		Min:       min,
+		Max:       max,
+	}, nil
+}
+
+// EncodeCommit serializes a commit file.
+func EncodeCommit(c Commit) ([]byte, error) {
+	var hdr []byte
+	hdr = binary.AppendVarint(hdr, c.ID)
+	hdr = binary.AppendVarint(hdr, int64(c.Timestamp))
+	rows := make([]colfile.Row, len(c.Ops))
+	for i, op := range c.Ops {
+		kind := "add"
+		if !op.Add {
+			kind = "remove"
+		}
+		rows[i] = fileToRow(kind, op.File)
+	}
+	batch, err := rowcodec.Encode(commitSchema, rows)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, batch...), nil
+}
+
+// DecodeCommit parses a commit file.
+func DecodeCommit(data []byte) (Commit, error) {
+	var c Commit
+	id, sz := binary.Varint(data)
+	if sz <= 0 {
+		return c, errors.New("tableobj: truncated commit id")
+	}
+	data = data[sz:]
+	ts, sz := binary.Varint(data)
+	if sz <= 0 {
+		return c, errors.New("tableobj: truncated commit timestamp")
+	}
+	data = data[sz:]
+	c.ID, c.Timestamp = id, time.Duration(ts)
+	schema, rows, err := rowcodec.Decode(data)
+	if err != nil {
+		return c, err
+	}
+	if !schema.Equal(commitSchema) {
+		return c, errors.New("tableobj: commit batch has wrong schema")
+	}
+	for _, r := range rows {
+		kind, f, err := rowToFile(r)
+		if err != nil {
+			return c, err
+		}
+		c.Ops = append(c.Ops, FileOp{Add: kind == "add", File: f})
+	}
+	return c, nil
+}
+
+var snapshotFileSchema = colfile.MustSchema(
+	"path:string", "partition:string", "rows:int64", "bytes:int64", "stats:string")
+
+// EncodeSnapshot serializes a snapshot index file.
+func EncodeSnapshot(s Snapshot) ([]byte, error) {
+	var hdr []byte
+	for _, v := range []int64{s.ID, s.ParentID, int64(s.Timestamp), s.RowCount,
+		s.AddedFiles, s.RemovedFiles, s.AddedRows, s.RemovedRows} {
+		hdr = binary.AppendVarint(hdr, v)
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(len(s.CommitIDs)))
+	for _, id := range s.CommitIDs {
+		hdr = binary.AppendVarint(hdr, id)
+	}
+	rows := make([]colfile.Row, len(s.Files))
+	for i, f := range s.Files {
+		r := fileToRow("", f)
+		rows[i] = r[1:] // drop the op column
+	}
+	batch, err := rowcodec.Encode(snapshotFileSchema, rows)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, batch...), nil
+}
+
+// DecodeSnapshot parses a snapshot index file.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	read := func() (int64, error) {
+		v, sz := binary.Varint(data)
+		if sz <= 0 {
+			return 0, errors.New("tableobj: truncated snapshot header")
+		}
+		data = data[sz:]
+		return v, nil
+	}
+	fields := []*int64{&s.ID, &s.ParentID, nil, &s.RowCount, &s.AddedFiles, &s.RemovedFiles, &s.AddedRows, &s.RemovedRows}
+	for i, p := range fields {
+		v, err := read()
+		if err != nil {
+			return s, err
+		}
+		if i == 2 {
+			s.Timestamp = time.Duration(v)
+		} else {
+			*p = v
+		}
+	}
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return s, errors.New("tableobj: truncated commit list")
+	}
+	data = data[sz:]
+	for i := uint64(0); i < n; i++ {
+		id, err := read()
+		if err != nil {
+			return s, err
+		}
+		s.CommitIDs = append(s.CommitIDs, id)
+	}
+	schema, rows, err := rowcodec.Decode(data)
+	if err != nil {
+		return s, err
+	}
+	if !schema.Equal(snapshotFileSchema) {
+		return s, errors.New("tableobj: snapshot batch has wrong schema")
+	}
+	for _, r := range rows {
+		full := append(colfile.Row{colfile.StringValue("")}, r...)
+		_, f, err := rowToFile(full)
+		if err != nil {
+			return s, err
+		}
+		s.Files = append(s.Files, f)
+	}
+	return s, nil
+}
+
+// CommitPath returns the metadata path of commit id under tablePath.
+func CommitPath(tablePath string, id int64) string {
+	return fmt.Sprintf("%s/metadata/commits/%012d.avro", tablePath, id)
+}
+
+// SnapshotPath returns the metadata path of snapshot id under tablePath.
+func SnapshotPath(tablePath string, id int64) string {
+	return fmt.Sprintf("%s/metadata/snapshots/%012d.idx", tablePath, id)
+}
+
+// DataPath returns the data-file path for a partition and file id.
+func DataPath(tablePath, partition string, id int64) string {
+	if partition == "" {
+		partition = "default"
+	}
+	return fmt.Sprintf("%s/data/%s/%012d.col", tablePath, partition, id)
+}

@@ -1,0 +1,565 @@
+package tableobj
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+type env struct {
+	clock *sim.Clock
+	fs    *FileStore
+	cat   *Catalog
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	clock := sim.NewClock()
+	p := pool.New("tbl", clock, sim.NVMeSSD, 8, 4<<20)
+	return &env{
+		clock: clock,
+		fs:    NewFileStore(plog.NewManager(p, 8<<20)),
+		cat:   NewCatalog(clock),
+	}
+}
+
+var dpiSchema = colfile.MustSchema("url:string", "start_time:int64", "province:string")
+
+func dpiRow(url string, ts int64, prov string) colfile.Row {
+	return colfile.Row{colfile.StringValue(url), colfile.IntValue(ts), colfile.StringValue(prov)}
+}
+
+func createTable(t testing.TB, e *env, name string) *Table {
+	t.Helper()
+	tbl, _, err := Create(e.clock, e.fs, e.cat, TableMeta{
+		Name: name, Path: "/lake/" + name, Schema: dpiSchema, PartitionColumn: "province",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestFileStoreBasics(t *testing.T) {
+	e := newEnv(t)
+	cost, err := e.fs.Write("a/b/one", []byte("hello"))
+	if err != nil || cost <= 0 {
+		t.Fatalf("write: %v", err)
+	}
+	data, _, err := e.fs.Read("a/b/one")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read: %q %v", data, err)
+	}
+	// Overwrite replaces content and keeps one PLog.
+	e.fs.Write("a/b/one", []byte("world"))
+	data, _, _ = e.fs.Read("a/b/one")
+	if string(data) != "world" {
+		t.Fatalf("overwrite: %q", data)
+	}
+	e.fs.Write("a/c/two", []byte("xx"))
+	paths, listCost := e.fs.List("a/b/")
+	if len(paths) != 1 || paths[0] != "a/b/one" || listCost <= 0 {
+		t.Fatalf("list: %v", paths)
+	}
+	if n, _ := e.fs.Size("a/b/one"); n != 5 {
+		t.Fatalf("size: %d", n)
+	}
+	if e.fs.TotalBytes() != 7 || e.fs.Count() != 2 {
+		t.Fatalf("totals: %d bytes %d files", e.fs.TotalBytes(), e.fs.Count())
+	}
+	if err := e.fs.Delete("a/b/one"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.fs.Read("a/b/one"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read deleted: %v", err)
+	}
+	if err := e.fs.Delete("a/b/one"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestFileStoreListCostLinear(t *testing.T) {
+	e := newEnv(t)
+	for i := 0; i < 100; i++ {
+		e.fs.Write(fmt.Sprintf("t/f%03d", i), []byte("x"))
+	}
+	_, c100 := e.fs.List("t/")
+	e2 := newEnv(t)
+	for i := 0; i < 1000; i++ {
+		e2.fs.Write(fmt.Sprintf("t/f%04d", i), []byte("x"))
+	}
+	_, c1000 := e2.fs.List("t/")
+	if c1000 < c100*8 {
+		t.Fatalf("listing cost not linear: %v vs %v", c100, c1000)
+	}
+}
+
+func TestCommitSnapshotCodecRoundTrip(t *testing.T) {
+	f := DataFile{
+		Path: "p/f1", Partition: "province=Beijing", Rows: 10, Bytes: 1000,
+		Min: []colfile.Value{colfile.StringValue("a"), colfile.IntValue(1), colfile.StringValue("B")},
+		Max: []colfile.Value{colfile.StringValue("z"), colfile.IntValue(9), colfile.StringValue("S")},
+	}
+	c := Commit{ID: 7, Timestamp: 3 * time.Second, Ops: []FileOp{{Add: true, File: f}, {Add: false, File: f}}}
+	blob, err := EncodeCommit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCommit(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Timestamp != 3*time.Second || len(got.Ops) != 2 {
+		t.Fatalf("commit: %+v", got)
+	}
+	if !got.Ops[0].Add || got.Ops[1].Add || got.Ops[0].File.Path != "p/f1" {
+		t.Fatalf("ops: %+v", got.Ops)
+	}
+	if colfile.Compare(got.Ops[0].File.Min[1], colfile.IntValue(1)) != 0 {
+		t.Fatalf("stats: %+v", got.Ops[0].File.Min)
+	}
+
+	s := Snapshot{ID: 9, ParentID: 7, Timestamp: 5 * time.Second, CommitIDs: []int64{1, 7, 9},
+		Files: []DataFile{f}, RowCount: 10, AddedFiles: 1, AddedRows: 10}
+	sblob, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := DecodeSnapshot(sblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.ID != 9 || gs.ParentID != 7 || len(gs.CommitIDs) != 3 || len(gs.Files) != 1 || gs.RowCount != 10 {
+		t.Fatalf("snapshot: %+v", gs)
+	}
+	if gs.Files[0].Partition != "province=Beijing" || gs.Files[0].Rows != 10 {
+		t.Fatalf("snapshot file: %+v", gs.Files[0])
+	}
+	// Corrupt inputs rejected.
+	if _, err := DecodeCommit(blob[:2]); err == nil {
+		t.Fatal("truncated commit accepted")
+	}
+	if _, err := DecodeSnapshot(sblob[:3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestCreateOpenTable(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "dpi_logs")
+	if tbl.Schema().NumFields() != 3 {
+		t.Fatalf("schema: %+v", tbl.Schema())
+	}
+	// Creation wrote the initial snapshot and the table properties.
+	if !e.fs.Exists("/lake/dpi_logs/metadata/table.properties") {
+		t.Fatal("table.properties missing")
+	}
+	cur, _, err := tbl.Current()
+	if err != nil || len(cur.Files) != 0 {
+		t.Fatalf("initial snapshot: %+v %v", cur, err)
+	}
+	// Duplicate create fails.
+	if _, _, err := Create(e.clock, e.fs, e.cat, TableMeta{Name: "dpi_logs", Path: "/x", Schema: dpiSchema}); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	// Open by name.
+	opened, _, err := Open(e.clock, e.fs, e.cat, "dpi_logs")
+	if err != nil || opened.Meta().Path != "/lake/dpi_logs" {
+		t.Fatalf("open: %+v %v", opened.Meta(), err)
+	}
+	if _, _, err := Open(e.clock, e.fs, e.cat, "nope"); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("open unknown: %v", err)
+	}
+	// Invalid schemas rejected.
+	if _, _, err := Create(e.clock, e.fs, e.cat, TableMeta{Name: "bad", Path: "/b"}); !errors.Is(err, ErrSchemaInvalid) {
+		t.Fatalf("empty schema: %v", err)
+	}
+	if _, _, err := Create(e.clock, e.fs, e.cat, TableMeta{Name: "bad2", Path: "/b", Schema: dpiSchema, PartitionColumn: "zz"}); !errors.Is(err, ErrSchemaInvalid) {
+		t.Fatalf("bad partition column: %v", err)
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	x, err := tbl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := x.WriteRows([]colfile.Row{
+		dpiRow("http://a", 100, "Beijing"),
+		dpiRow("http://b", 200, "Beijing"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows != 2 || f.Partition != "province=Beijing" {
+		t.Fatalf("data file: %+v", f)
+	}
+	if f.Min[1].Int != 100 || f.Max[1].Int != 200 {
+		t.Fatalf("file stats: %+v %+v", f.Min, f.Max)
+	}
+	snap, err := x.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RowCount != 2 || snap.AddedFiles != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	// Read the rows back through the snapshot manifest.
+	cur, _, _ := tbl.Current()
+	if len(cur.Files) != 1 {
+		t.Fatalf("manifest: %+v", cur.Files)
+	}
+	r, _, err := tbl.ReadFile(cur.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	r.Scan(func(row colfile.Row) bool { urls = append(urls, row[0].Str); return true })
+	if len(urls) != 2 || urls[0] != "http://a" {
+		t.Fatalf("rows: %v", urls)
+	}
+}
+
+func TestSnapshotIsolationReadersUnaffected(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	x, _ := tbl.Begin()
+	x.WriteRows([]colfile.Row{dpiRow("u1", 1, "Beijing")})
+	first, _ := x.Commit()
+
+	// Reader pins the first snapshot.
+	readerView, _, err := tbl.SnapshotByID(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer commits more data.
+	x2, _ := tbl.Begin()
+	x2.WriteRows([]colfile.Row{dpiRow("u2", 2, "Shanghai")})
+	if _, err := x2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader's view is unchanged; the current view has both.
+	if readerView.RowCount != 1 {
+		t.Fatalf("reader view mutated: %+v", readerView)
+	}
+	cur, _, _ := tbl.Current()
+	if cur.RowCount != 2 || len(cur.Files) != 2 {
+		t.Fatalf("current: %+v", cur)
+	}
+}
+
+func TestConcurrentCommitConflictAndRetry(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	// Two transactions race from the same base.
+	x1, _ := tbl.Begin()
+	x2, _ := tbl.Begin()
+	x1.WriteRows([]colfile.Row{dpiRow("u1", 1, "Beijing")})
+	x2.WriteRows([]colfile.Row{dpiRow("u2", 2, "Beijing")})
+	if _, err := x1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second commit: %v", err)
+	}
+	// Retry rebases and succeeds; both rows are in.
+	snap, err := x2.Retry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RowCount != 2 {
+		t.Fatalf("after retry: %+v", snap)
+	}
+}
+
+func TestCompactionConflictFailsRetry(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	x, _ := tbl.Begin()
+	x.WriteRows([]colfile.Row{dpiRow("u1", 1, "Beijing")})
+	base, _ := x.Commit()
+	target := base.Files[0]
+
+	// A "compaction" stages removal of the file; a concurrent delete
+	// removes it first.
+	compact, _ := tbl.Begin()
+	compact.RemoveFile(target)
+	compact.WriteRows([]colfile.Row{dpiRow("u1", 1, "Beijing")})
+
+	del, _ := tbl.Begin()
+	del.RemoveFile(target)
+	if _, err := del.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := compact.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("compact commit: %v", err)
+	}
+	if _, err := compact.Retry(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("compact retry should fail (file gone): %v", err)
+	}
+}
+
+func TestManyConcurrentWritersAllCommit(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x, err := tbl.Begin()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := x.WriteRows([]colfile.Row{dpiRow(fmt.Sprintf("u%d", i), int64(i), "Beijing")}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := x.Commit(); err != nil {
+				for errors.Is(err, ErrConflict) {
+					_, err = x.Retry()
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cur, _, _ := tbl.Current()
+	if cur.RowCount != 8 || len(cur.Files) != 8 {
+		t.Fatalf("after 8 writers: %+v", cur)
+	}
+}
+
+func TestTimeTravel(t *testing.T) {
+	e := newEnv(t)
+	e.clock.Advance(time.Hour) // so history has a definite beginning > 0
+	tbl := createTable(t, e, "t")
+	var stamps []time.Duration
+	for i := 0; i < 3; i++ {
+		e.clock.Advance(time.Hour)
+		x, _ := tbl.Begin()
+		x.WriteRows([]colfile.Row{dpiRow(fmt.Sprintf("u%d", i), int64(i), "Beijing")})
+		if _, err := x.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		stamps = append(stamps, e.clock.Now())
+	}
+	// As of each commit time, the table has i+1 rows.
+	for i, ts := range stamps {
+		s, _, err := tbl.AsOf(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.RowCount != int64(i+1) {
+			t.Fatalf("AsOf(%v): %d rows, want %d", ts, s.RowCount, i+1)
+		}
+	}
+	// Between commits, the earlier snapshot is returned.
+	s, _, err := tbl.AsOf(stamps[0] + 30*time.Minute)
+	if err != nil || s.RowCount != 1 {
+		t.Fatalf("mid-window AsOf: %+v %v", s, err)
+	}
+	// Before history begins: error.
+	if _, _, err := tbl.AsOf(1); err == nil {
+		t.Fatal("AsOf before creation succeeded")
+	}
+}
+
+func TestDropSoftRestoreHard(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	x, _ := tbl.Begin()
+	x.WriteRows([]colfile.Row{dpiRow("u", 1, "Beijing")})
+	x.Commit()
+
+	if _, err := tbl.DropSoft(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(e.clock, e.fs, e.cat, "t"); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("open soft-dropped: %v", err)
+	}
+	// Data retained.
+	if e.fs.Count() == 0 {
+		t.Fatal("soft drop deleted files")
+	}
+	// Restore brings it back with data intact.
+	if _, err := tbl.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := Open(e.clock, e.fs, e.cat, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, _ := restored.Current()
+	if cur.RowCount != 1 {
+		t.Fatalf("restored table: %+v", cur)
+	}
+
+	// Hard drop removes everything.
+	if _, err := restored.DropHard(); err != nil {
+		t.Fatal(err)
+	}
+	if e.fs.Count() != 0 {
+		t.Fatalf("hard drop left %d files", e.fs.Count())
+	}
+	if _, _, err := Open(e.clock, e.fs, e.cat, "t"); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("open hard-dropped: %v", err)
+	}
+}
+
+func TestAbortDeletesStagedFiles(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	before := e.fs.Count()
+	x, _ := tbl.Begin()
+	x.WriteRows([]colfile.Row{dpiRow("u", 1, "Beijing")})
+	if e.fs.Count() != before+1 {
+		t.Fatal("staged file not written")
+	}
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if e.fs.Count() != before {
+		t.Fatal("abort left staged file")
+	}
+	if _, err := x.Commit(); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+}
+
+func TestExpireSnapshots(t *testing.T) {
+	e := newEnv(t)
+	tbl := createTable(t, e, "t")
+	for i := 0; i < 5; i++ {
+		e.clock.Advance(time.Hour)
+		x, _ := tbl.Begin()
+		x.WriteRows([]colfile.Row{dpiRow(fmt.Sprintf("u%d", i), int64(i), "Beijing")})
+		if _, err := x.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expire snapshots older than 3 hours ago.
+	cut := e.clock.Now() - 3*time.Hour
+	removed, err := tbl.ExpireSnapshots(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing expired")
+	}
+	// Current data still fully readable.
+	cur, _, _ := tbl.Current()
+	if cur.RowCount != 5 {
+		t.Fatalf("current after expire: %+v", cur)
+	}
+	for _, f := range cur.Files {
+		if _, _, err := tbl.ReadFile(f); err != nil {
+			t.Fatalf("live file %s unreadable: %v", f.Path, err)
+		}
+	}
+	// Time travel beyond the cut now fails.
+	if _, _, err := tbl.AsOf(time.Hour); err == nil {
+		t.Fatal("expired snapshot still reachable")
+	}
+}
+
+func TestDataFileOverlaps(t *testing.T) {
+	f := DataFile{
+		Min: []colfile.Value{colfile.IntValue(10)},
+		Max: []colfile.Value{colfile.IntValue(20)},
+	}
+	lo, hi := colfile.IntValue(15), colfile.IntValue(25)
+	if !f.Overlaps(0, &lo, &hi) {
+		t.Fatal("overlapping range skipped")
+	}
+	lo2 := colfile.IntValue(21)
+	if f.Overlaps(0, &lo2, nil) {
+		t.Fatal("disjoint range kept")
+	}
+	if !f.Overlaps(5, &lo, &hi) { // no stats for column 5
+		t.Fatal("missing stats must not skip")
+	}
+}
+
+func TestCatalogList(t *testing.T) {
+	e := newEnv(t)
+	createTable(t, e, "b_table")
+	createTable(t, e, "a_table")
+	tbl := createTable(t, e, "c_table")
+	tbl.DropSoft()
+	got := e.cat.List()
+	if len(got) != 2 || got[0] != "a_table" || got[1] != "b_table" {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestQuickManifestAlgebra(t *testing.T) {
+	// Property: after any sequence of adds and removes committed one
+	// transaction each, the manifest equals the model set and RowCount
+	// equals the sum of file rows.
+	f := func(ops []uint8) bool {
+		e := newEnv(t)
+		tbl := createTable(t, e, "q")
+		model := map[string]int64{}
+		for _, op := range ops {
+			x, err := tbl.Begin()
+			if err != nil {
+				return false
+			}
+			if op%3 != 0 || len(model) == 0 {
+				df, err := x.WriteRows([]colfile.Row{dpiRow(fmt.Sprintf("u%d", op), int64(op), "P")})
+				if err != nil {
+					return false
+				}
+				model[df.Path] = df.Rows
+			} else {
+				// Remove an arbitrary current file.
+				cur, _, _ := tbl.Current()
+				victim := cur.Files[int(op)%len(cur.Files)]
+				x.RemoveFile(victim)
+				delete(model, victim.Path)
+			}
+			if _, err := x.Commit(); err != nil {
+				return false
+			}
+		}
+		cur, _, _ := tbl.Current()
+		if len(cur.Files) != len(model) {
+			return false
+		}
+		var want int64
+		for _, rows := range model {
+			want += rows
+		}
+		for _, f := range cur.Files {
+			if _, ok := model[f.Path]; !ok {
+				return false
+			}
+		}
+		return cur.RowCount == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

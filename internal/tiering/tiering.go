@@ -1,0 +1,315 @@
+// Package tiering implements the data service layer's tiering and
+// replication services (Section III): static and dynamic data migration
+// and eviction between the SSD and HDD storage pools based on tiering
+// policies, plus the periodic replication to a remote site for backup
+// and recovery. Tiering is one of the levers behind the paper's TCO
+// claim — cold stream/table data automatically drains to cheap media
+// without an external archive system.
+package tiering
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+// Tier identifies a storage temperature level.
+type Tier int
+
+const (
+	// SSD holds hot data.
+	SSD Tier = iota
+	// HDD holds warm data.
+	HDD
+	// Archive holds cold data (the cost-effective archive pool of the
+	// stream configuration's archive block, Figure 8).
+	Archive
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case SSD:
+		return "ssd"
+	case HDD:
+		return "hdd"
+	case Archive:
+		return "archive"
+	default:
+		return fmt.Sprintf("tier-%d", int(t))
+	}
+}
+
+// CostPerGBMonth is a relative media cost model used in TCO reporting:
+// HDD is ~4x cheaper than SSD per byte, archive ~10x.
+func (t Tier) CostPerGBMonth() float64 {
+	switch t {
+	case SSD:
+		return 0.08
+	case HDD:
+		return 0.02
+	case Archive:
+		return 0.008
+	default:
+		return 0.08
+	}
+}
+
+// Policy controls dynamic migration: items idle longer than DemoteAfter
+// move one tier down; items idle longer than ArchiveAfter move to
+// Archive.
+type Policy struct {
+	DemoteAfter  time.Duration
+	ArchiveAfter time.Duration
+}
+
+// Item is one tiered unit (a sealed PLog, a table file).
+type Item struct {
+	ID         string
+	Size       int64
+	Tier       Tier
+	LastAccess time.Duration // virtual time of the last access
+	Pinned     bool          // pinned items never migrate (hot topics)
+}
+
+// Migration records one completed move.
+type Migration struct {
+	ID       string
+	From, To Tier
+	Size     int64
+}
+
+// Service tracks tiered items and applies the policy.
+type Service struct {
+	clock  *sim.Clock
+	policy Policy
+	dev    map[Tier]*sim.Device
+
+	mu        sync.Mutex
+	items     map[string]*Item
+	migrated  int64 // bytes moved so far
+	evictions int64
+}
+
+// ErrUnknownItem is returned for operations on unregistered items.
+var ErrUnknownItem = errors.New("tiering: unknown item")
+
+// NewService builds a tiering service over per-tier devices created with
+// default specs (archive reuses the HDD cost model).
+func NewService(clock *sim.Clock, policy Policy) *Service {
+	return &Service{
+		clock:  clock,
+		policy: policy,
+		dev: map[Tier]*sim.Device{
+			SSD:     sim.NewDeviceOf("tier-ssd", sim.NVMeSSD),
+			HDD:     sim.NewDeviceOf("tier-hdd", sim.SASHDD),
+			Archive: sim.NewDeviceOf("tier-archive", sim.SASHDD),
+		},
+		items: make(map[string]*Item),
+	}
+}
+
+// Register starts tracking an item at the given tier.
+func (s *Service) Register(id string, size int64, tier Tier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[id] = &Item{ID: id, Size: size, Tier: tier, LastAccess: s.clock.Now()}
+}
+
+// Pin excludes an item from migration (crucial topics kept as hot stream
+// objects, per Section V-B).
+func (s *Service) Pin(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[id]
+	if !ok {
+		return ErrUnknownItem
+	}
+	it.Pinned = true
+	return nil
+}
+
+// Touch records an access, refreshing the item's recency and promoting
+// archived/HDD data back to SSD when it becomes hot again (the "dynamic"
+// half of the tiering service).
+func (s *Service) Touch(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[id]
+	if !ok {
+		return ErrUnknownItem
+	}
+	it.LastAccess = s.clock.Now()
+	return nil
+}
+
+// Promote moves an item to SSD immediately (static migration up).
+func (s *Service) Promote(id string) (time.Duration, error) {
+	return s.migrate(id, SSD)
+}
+
+// Demote moves an item to the given lower tier immediately (static
+// migration down / eviction).
+func (s *Service) Demote(id string, to Tier) (time.Duration, error) {
+	return s.migrate(id, to)
+}
+
+func (s *Service) migrate(id string, to Tier) (time.Duration, error) {
+	s.mu.Lock()
+	it, ok := s.items[id]
+	if !ok {
+		s.mu.Unlock()
+		return 0, ErrUnknownItem
+	}
+	from := it.Tier
+	size := it.Size
+	it.Tier = to
+	if from != to {
+		s.migrated += size
+	}
+	s.mu.Unlock()
+	if from == to {
+		return 0, nil
+	}
+	cost := s.dev[from].Read(size)
+	cost += s.dev[to].Write(size)
+	return cost, nil
+}
+
+// TierOf reports an item's current tier.
+func (s *Service) TierOf(id string) (Tier, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[id]
+	if !ok {
+		return 0, ErrUnknownItem
+	}
+	return it.Tier, nil
+}
+
+// ReadCost charges a read of n bytes of the item at its current tier —
+// how the rest of the system experiences tiering.
+func (s *Service) ReadCost(id string, n int64) (time.Duration, error) {
+	s.mu.Lock()
+	it, ok := s.items[id]
+	if !ok {
+		s.mu.Unlock()
+		return 0, ErrUnknownItem
+	}
+	tier := it.Tier
+	it.LastAccess = s.clock.Now()
+	s.mu.Unlock()
+	return s.dev[tier].Read(n), nil
+}
+
+// RunOnce applies the dynamic policy to every unpinned item and returns
+// the migrations performed plus their total modelled cost.
+func (s *Service) RunOnce() ([]Migration, time.Duration) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	var planned []*Item
+	for _, it := range s.items {
+		if it.Pinned {
+			continue
+		}
+		idle := now - it.LastAccess
+		switch {
+		case it.Tier == SSD && s.policy.DemoteAfter > 0 && idle >= s.policy.DemoteAfter:
+			planned = append(planned, it)
+		case it.Tier == HDD && s.policy.ArchiveAfter > 0 && idle >= s.policy.ArchiveAfter:
+			planned = append(planned, it)
+		}
+	}
+	sort.Slice(planned, func(i, j int) bool { return planned[i].ID < planned[j].ID })
+	s.mu.Unlock()
+
+	var out []Migration
+	var cost time.Duration
+	for _, it := range planned {
+		var to Tier
+		switch it.Tier {
+		case SSD:
+			to = HDD
+		case HDD:
+			to = Archive
+		default:
+			continue
+		}
+		from := it.Tier
+		c, err := s.migrate(it.ID, to)
+		if err != nil {
+			continue
+		}
+		cost += c
+		s.mu.Lock()
+		s.evictions++
+		s.mu.Unlock()
+		out = append(out, Migration{ID: it.ID, From: from, To: to, Size: it.Size})
+	}
+	return out, cost
+}
+
+// Stats summarizes tier occupancy and monthly media cost.
+type Stats struct {
+	BytesPerTier  map[Tier]int64
+	MigratedBytes int64
+	Evictions     int64
+	MonthlyCost   float64 // relative cost units from CostPerGBMonth
+}
+
+// Stats returns the service's occupancy snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{BytesPerTier: map[Tier]int64{}, MigratedBytes: s.migrated, Evictions: s.evictions}
+	for _, it := range s.items {
+		st.BytesPerTier[it.Tier] += it.Size
+	}
+	for tier, b := range st.BytesPerTier {
+		st.MonthlyCost += float64(b) / (1 << 30) * tier.CostPerGBMonth()
+	}
+	return st
+}
+
+// Replicator is the replication service: periodic full-copy replication
+// of registered items to a remote site over the inter-site link.
+type Replicator struct {
+	link *sim.Device
+
+	mu          sync.Mutex
+	replicated  int64
+	generations int
+}
+
+// NewReplicator builds a replicator over a 10 GbE inter-site link.
+func NewReplicator() *Replicator {
+	return &Replicator{link: sim.NewDeviceOf("remote-site", sim.Net10GbE)}
+}
+
+// Replicate ships every item in the service to the remote site and
+// returns the bytes shipped and the modelled transfer time.
+func (r *Replicator) Replicate(s *Service) (int64, time.Duration) {
+	s.mu.Lock()
+	var total int64
+	for _, it := range s.items {
+		total += it.Size
+	}
+	s.mu.Unlock()
+	cost := r.link.Write(total)
+	r.mu.Lock()
+	r.replicated += total
+	r.generations++
+	r.mu.Unlock()
+	return total, cost
+}
+
+// ReplicatedBytes reports the cumulative bytes shipped off-site.
+func (r *Replicator) ReplicatedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replicated
+}

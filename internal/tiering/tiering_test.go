@@ -1,0 +1,165 @@
+package tiering
+
+import (
+	"testing"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+func newService(clock *sim.Clock) *Service {
+	return NewService(clock, Policy{DemoteAfter: time.Hour, ArchiveAfter: 24 * time.Hour})
+}
+
+func TestRegisterAndTierOf(t *testing.T) {
+	s := newService(sim.NewClock())
+	s.Register("plog-1", 1<<20, SSD)
+	tier, err := s.TierOf("plog-1")
+	if err != nil || tier != SSD {
+		t.Fatalf("tier: %v %v", tier, err)
+	}
+	if _, err := s.TierOf("nope"); err != ErrUnknownItem {
+		t.Fatalf("unknown item: %v", err)
+	}
+}
+
+func TestDynamicDemotion(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("cold", 4<<20, SSD)
+	s.Register("hot", 4<<20, SSD)
+
+	clock.Advance(2 * time.Hour)
+	s.Touch("hot") // refresh recency
+
+	clock.Advance(30 * time.Minute) // cold idle 2.5h, hot idle 0.5h
+	migs, cost := s.RunOnce()
+	if len(migs) != 1 || migs[0].ID != "cold" || migs[0].To != HDD {
+		t.Fatalf("migrations: %+v", migs)
+	}
+	if cost <= 0 {
+		t.Fatal("migration charged nothing")
+	}
+	if tier, _ := s.TierOf("hot"); tier != SSD {
+		t.Fatal("hot item demoted")
+	}
+}
+
+func TestArchiveAfterLongIdle(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("ancient", 1<<20, SSD)
+	clock.Advance(2 * time.Hour)
+	s.RunOnce() // -> HDD
+	clock.Advance(25 * time.Hour)
+	migs, _ := s.RunOnce() // -> Archive
+	if len(migs) != 1 || migs[0].To != Archive {
+		t.Fatalf("migrations: %+v", migs)
+	}
+	st := s.Stats()
+	if st.BytesPerTier[Archive] != 1<<20 || st.Evictions != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPinnedNeverMigrates(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("crucial-topic", 1<<20, SSD)
+	if err := s.Pin("crucial-topic"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(100 * time.Hour)
+	migs, _ := s.RunOnce()
+	if len(migs) != 0 {
+		t.Fatalf("pinned item migrated: %+v", migs)
+	}
+}
+
+func TestStaticPromoteDemote(t *testing.T) {
+	s := newService(sim.NewClock())
+	s.Register("x", 1<<20, SSD)
+	if _, err := s.Demote("x", Archive); err != nil {
+		t.Fatal(err)
+	}
+	if tier, _ := s.TierOf("x"); tier != Archive {
+		t.Fatal("demote failed")
+	}
+	if _, err := s.Promote("x"); err != nil {
+		t.Fatal(err)
+	}
+	if tier, _ := s.TierOf("x"); tier != SSD {
+		t.Fatal("promote failed")
+	}
+	// No-op migration costs nothing.
+	if cost, _ := s.Promote("x"); cost != 0 {
+		t.Fatalf("no-op promote cost %v", cost)
+	}
+	if _, err := s.Promote("nope"); err != ErrUnknownItem {
+		t.Fatalf("promote unknown: %v", err)
+	}
+}
+
+func TestReadCostReflectsTier(t *testing.T) {
+	s := newService(sim.NewClock())
+	s.Register("a", 1<<20, SSD)
+	s.Register("b", 1<<20, HDD)
+	fast, err := s.ReadCost("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.ReadCost("b", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow {
+		t.Fatalf("SSD read %v >= HDD read %v", fast, slow)
+	}
+}
+
+func TestReadCostRefreshesRecency(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("warm", 1<<20, SSD)
+	clock.Advance(59 * time.Minute)
+	s.ReadCost("warm", 100) // access just before the deadline
+	clock.Advance(2 * time.Minute)
+	if migs, _ := s.RunOnce(); len(migs) != 0 {
+		t.Fatalf("recently read item demoted: %+v", migs)
+	}
+}
+
+func TestTierCostOrdering(t *testing.T) {
+	if !(SSD.CostPerGBMonth() > HDD.CostPerGBMonth() && HDD.CostPerGBMonth() > Archive.CostPerGBMonth()) {
+		t.Fatal("tier cost model ordering broken")
+	}
+}
+
+func TestStatsMonthlyCostDropsAfterTiering(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("big", 10<<30, SSD)
+	before := s.Stats().MonthlyCost
+	clock.Advance(2 * time.Hour)
+	s.RunOnce()
+	after := s.Stats().MonthlyCost
+	if after >= before {
+		t.Fatalf("tiering did not reduce cost: %v -> %v", before, after)
+	}
+}
+
+func TestReplicator(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("a", 1<<20, SSD)
+	s.Register("b", 2<<20, HDD)
+	r := NewReplicator()
+	n, cost := r.Replicate(s)
+	if n != 3<<20 || cost <= 0 {
+		t.Fatalf("replicate: %d bytes, %v", n, cost)
+	}
+	r.Replicate(s)
+	if got := r.ReplicatedBytes(); got != 6<<20 {
+		t.Fatalf("cumulative replicated: %d", got)
+	}
+}

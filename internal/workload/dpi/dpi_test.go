@@ -1,0 +1,123 @@
+package dpi
+
+import (
+	"strings"
+	"testing"
+
+	"streamlake/internal/rowcodec"
+)
+
+func TestPacketShape(t *testing.T) {
+	g := NewGenerator(1)
+	var total int
+	n := 1000
+	for i := 0; i < n; i++ {
+		key, value, err := g.Packet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(key) == 0 {
+			t.Fatal("empty key")
+		}
+		total += len(value)
+		// Packets decode back into raw rows.
+		schema, rows, err := rowcodec.Decode(value)
+		if err != nil || len(rows) != 1 || !schema.Equal(RawSchema) {
+			t.Fatalf("packet decode: %v", err)
+		}
+	}
+	avg := total / n
+	// The paper's average packet size is 1.2 KB.
+	if avg < 1100 || avg > 1300 {
+		t.Fatalf("avg packet size %d, want ~1200", avg)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 100; i++ {
+		ra, rb := a.RawRow(), b.RawRow()
+		for c := range ra {
+			if ra[c].String() != rb[c].String() {
+				t.Fatal("same-seed generators diverge")
+			}
+		}
+	}
+}
+
+func TestNormalizeValidatesAndShields(t *testing.T) {
+	g := NewGenerator(2)
+	valid, invalid := 0, 0
+	for i := 0; i < 2000; i++ {
+		raw := g.RawRow()
+		norm, ok := Normalize(raw)
+		if !ok {
+			invalid++
+			continue
+		}
+		valid++
+		if len(norm) != NormSchema.NumFields() {
+			t.Fatalf("norm shape: %d", len(norm))
+		}
+		// Privacy shielding: user id must not pass through unchanged.
+		if norm[3].Int == raw[3].Int && raw[3].Int != 0 {
+			t.Fatal("subscriber id leaked")
+		}
+		if norm[3].Int < 0 {
+			t.Fatal("negative hash")
+		}
+	}
+	// Roughly 2% of packets are malformed.
+	if invalid == 0 || invalid > valid/10 {
+		t.Fatalf("validation rates: %d valid %d invalid", valid, invalid)
+	}
+	// Explicit malformed cases.
+	if _, ok := Normalize(nil); ok {
+		t.Fatal("nil row normalized")
+	}
+}
+
+func TestLabelUsesKnowledgeBase(t *testing.T) {
+	g := NewGenerator(3)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		raw := g.RawRow()
+		norm, ok := Normalize(raw)
+		if !ok {
+			continue
+		}
+		lab := Label(norm)
+		if len(lab) != LabeledSchema.NumFields() {
+			t.Fatalf("labeled shape: %d", len(lab))
+		}
+		label := lab[len(lab)-1].Str
+		if label == "" {
+			t.Fatal("empty label")
+		}
+		seen[label] = true
+		if norm[0].Str == FinAppURL && label != "finance" {
+			t.Fatalf("fin app labeled %q", label)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("label diversity: %v", seen)
+	}
+}
+
+func TestDAUQuerySQL(t *testing.T) {
+	sql := DAUQuery("tb_dpi_log_hours", 0)
+	for _, frag := range []string{"COUNT(*)", FinAppURL, "Group By province", "1656806400"} {
+		if !strings.Contains(sql, frag) {
+			t.Fatalf("query %q missing %q", sql, frag)
+		}
+	}
+}
+
+func TestHourBucketing(t *testing.T) {
+	if HourOf(BaseTime) != 0 || HourOf(BaseTime+3599) != 0 || HourOf(BaseTime+3600) != 1 {
+		t.Fatal("hour bucketing broken")
+	}
+	if Timestamp(BaseTime+60).Seconds() != 60 {
+		t.Fatal("timestamp conversion broken")
+	}
+}

@@ -1,0 +1,159 @@
+// Package tpch generates TPC-H-shaped data and query workloads for the
+// LakeBrain experiments (Section VII-E): the lineitem table with the
+// official column domains and correlations (shipdate <= commitdate <=
+// receiptdate, returnflag determined by receiptdate), and the randomly
+// generated range-predicate workloads the paper uses — 5000 queries for
+// the compaction test bed, and the shipdate/quantity/discount predicates
+// the partitioning experiment pushes down.
+package tpch
+
+import (
+	"fmt"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/lakebrain/partition"
+	"streamlake/internal/sim"
+)
+
+// LineitemSchema mirrors TPC-H lineitem (dates as day numbers since
+// 1992-01-01, money in cents-free floats).
+var LineitemSchema = colfile.MustSchema(
+	"l_orderkey:int64", "l_partkey:int64", "l_suppkey:int64",
+	"l_quantity:int64", "l_extendedprice:float64", "l_discount:float64",
+	"l_tax:float64", "l_returnflag:string", "l_linestatus:string",
+	"l_shipdate:int64", "l_commitdate:int64", "l_receiptdate:int64",
+	"l_shipmode:string")
+
+// Date domain: TPC-H ships between 1992-01-02 and 1998-12-01; day
+// numbers relative to 1992-01-01.
+const (
+	ShipdateMin = 1
+	ShipdateMax = 2526
+)
+
+var shipmodes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+
+// RowsPerSF is the generator's scaled lineitem row count per unit scale
+// factor. The official 6,001,215 rows/SF is divided by 1000 so the
+// SF-100 point of Figure 16 stays laptop-sized; DESIGN.md records the
+// substitution.
+const RowsPerSF = 6000
+
+// Lineitem generates n rows with TPC-H's column distributions.
+func Lineitem(n int, seed uint64) []colfile.Row {
+	rng := sim.NewRNG(seed)
+	rows := make([]colfile.Row, 0, n)
+	orderkey := int64(1)
+	line := 0
+	linesInOrder := 1 + rng.Intn(7)
+	for i := 0; i < n; i++ {
+		if line >= linesInOrder {
+			orderkey++
+			line = 0
+			linesInOrder = 1 + rng.Intn(7)
+		}
+		line++
+		quantity := int64(1 + rng.Intn(50))
+		price := float64(900+rng.Intn(100000)) / 100 * float64(quantity)
+		ship := int64(ShipdateMin + rng.Intn(ShipdateMax-ShipdateMin))
+		commit := ship + int64(rng.Intn(60)) - 30
+		if commit < ship {
+			commit = ship
+		}
+		receipt := ship + 1 + int64(rng.Intn(30))
+		flag := "N"
+		if receipt <= 1366 { // receipts before 1995-09-17 are settled
+			if rng.Intn(2) == 0 {
+				flag = "R"
+			} else {
+				flag = "A"
+			}
+		}
+		status := "O"
+		if ship <= 1366 {
+			status = "F"
+		}
+		rows = append(rows, colfile.Row{
+			colfile.IntValue(orderkey),
+			colfile.IntValue(int64(1 + rng.Intn(200_000))),
+			colfile.IntValue(int64(1 + rng.Intn(10_000))),
+			colfile.IntValue(quantity),
+			colfile.FloatValue(price),
+			colfile.FloatValue(float64(rng.Intn(11)) / 100),
+			colfile.FloatValue(float64(rng.Intn(9)) / 100),
+			colfile.StringValue(flag),
+			colfile.StringValue(status),
+			colfile.IntValue(ship),
+			colfile.IntValue(commit),
+			colfile.IntValue(receipt),
+			colfile.StringValue(shipmodes[rng.Intn(len(shipmodes))]),
+		})
+	}
+	return rows
+}
+
+// RandomQueries generates n random conjunctive range queries over
+// lineitem in the style of the paper's citation [47]: every query
+// constrains a shipdate window (the dominant pushdown predicate) and,
+// with decreasing probability, quantity and discount ranges.
+func RandomQueries(n int, seed uint64) []partition.Query {
+	rng := sim.NewRNG(seed)
+	out := make([]partition.Query, 0, n)
+	for i := 0; i < n; i++ {
+		var q partition.Query
+		// Shipdate window of 7..120 days.
+		start := int64(ShipdateMin + rng.Intn(ShipdateMax-120))
+		width := int64(7 + rng.Intn(113))
+		q.Preds = append(q.Preds,
+			partition.Predicate{Column: "l_shipdate", Op: partition.GE, Value: colfile.IntValue(start)},
+			partition.Predicate{Column: "l_shipdate", Op: partition.LT, Value: colfile.IntValue(start + width)},
+		)
+		if rng.Intn(10) < 7 {
+			hi := int64(10 + rng.Intn(41))
+			q.Preds = append(q.Preds,
+				partition.Predicate{Column: "l_quantity", Op: partition.LE, Value: colfile.IntValue(hi)})
+		}
+		if rng.Intn(2) == 0 {
+			q.Preds = append(q.Preds,
+				partition.Predicate{Column: "l_discount", Op: partition.LE, Value: colfile.FloatValue(float64(rng.Intn(7)) / 100)})
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// QuerySQL renders a generated query as SQL against the given table (for
+// running through the query engine).
+func QuerySQL(table string, q partition.Query) string {
+	sql := "select count(*) from " + table
+	sep := " where "
+	for _, p := range q.Preds {
+		var op string
+		switch p.Op {
+		case partition.LE:
+			op = "<="
+		case partition.GE:
+			op = ">="
+		case partition.LT:
+			op = "<"
+		case partition.GT:
+			op = ">"
+		case partition.EQ:
+			op = "="
+		default:
+			continue
+		}
+		var lit string
+		switch p.Value.Type {
+		case colfile.Int64:
+			lit = fmt.Sprintf("%d", p.Value.Int)
+		case colfile.Float64:
+			lit = fmt.Sprintf("%v", p.Value.Float)
+		case colfile.String:
+			lit = "'" + p.Value.Str + "'"
+		}
+		sql += sep + p.Column + " " + op + " " + lit
+		sep = " and "
+	}
+	return sql
+}

@@ -1,0 +1,120 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/lakebrain/partition"
+)
+
+func TestLineitemDomains(t *testing.T) {
+	rows := Lineitem(5000, 1)
+	if len(rows) != 5000 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	si := LineitemSchema.FieldIndex("l_shipdate")
+	ci := LineitemSchema.FieldIndex("l_commitdate")
+	ri := LineitemSchema.FieldIndex("l_receiptdate")
+	qi := LineitemSchema.FieldIndex("l_quantity")
+	di := LineitemSchema.FieldIndex("l_discount")
+	fi := LineitemSchema.FieldIndex("l_returnflag")
+	for i, r := range rows {
+		if err := LineitemSchema.Validate(r); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		ship, commit, receipt := r[si].Int, r[ci].Int, r[ri].Int
+		if ship < ShipdateMin || ship > ShipdateMax {
+			t.Fatalf("shipdate %d out of domain", ship)
+		}
+		if commit < ship || receipt <= ship {
+			t.Fatalf("date ordering: ship=%d commit=%d receipt=%d", ship, commit, receipt)
+		}
+		if q := r[qi].Int; q < 1 || q > 50 {
+			t.Fatalf("quantity %d", q)
+		}
+		if d := r[di].Float; d < 0 || d > 0.10 {
+			t.Fatalf("discount %v", d)
+		}
+		// Returnflag correlation: late receipts are never returned.
+		if receipt > 1366 && r[fi].Str != "N" {
+			t.Fatalf("late receipt flagged %q", r[fi].Str)
+		}
+	}
+}
+
+func TestLineitemOrderGrouping(t *testing.T) {
+	rows := Lineitem(1000, 2)
+	oi := LineitemSchema.FieldIndex("l_orderkey")
+	prev := int64(0)
+	counts := map[int64]int{}
+	for _, r := range rows {
+		k := r[oi].Int
+		if k < prev {
+			t.Fatal("orderkeys not monotone")
+		}
+		prev = k
+		counts[k]++
+	}
+	for k, c := range counts {
+		if c > 7 {
+			t.Fatalf("order %d has %d lines", k, c)
+		}
+	}
+}
+
+func TestRandomQueriesShape(t *testing.T) {
+	qs := RandomQueries(500, 3)
+	if len(qs) != 500 {
+		t.Fatalf("queries: %d", len(qs))
+	}
+	withQty, withDisc := 0, 0
+	for _, q := range qs {
+		// Every query has a shipdate window.
+		var lo, hi *partition.Predicate
+		for i := range q.Preds {
+			p := &q.Preds[i]
+			switch {
+			case p.Column == "l_shipdate" && p.Op == partition.GE:
+				lo = p
+			case p.Column == "l_shipdate" && p.Op == partition.LT:
+				hi = p
+			case p.Column == "l_quantity":
+				withQty++
+			case p.Column == "l_discount":
+				withDisc++
+			}
+		}
+		if lo == nil || hi == nil || hi.Value.Int <= lo.Value.Int {
+			t.Fatalf("query lacks shipdate window: %+v", q)
+		}
+	}
+	if withQty == 0 || withDisc == 0 {
+		t.Fatal("no quantity/discount predicates generated")
+	}
+}
+
+func TestQuerySQLRendering(t *testing.T) {
+	q := partition.Query{Preds: []partition.Predicate{
+		{Column: "l_shipdate", Op: partition.GE, Value: colfile.IntValue(100)},
+		{Column: "l_shipdate", Op: partition.LT, Value: colfile.IntValue(130)},
+		{Column: "l_discount", Op: partition.LE, Value: colfile.FloatValue(0.05)},
+	}}
+	sql := QuerySQL("lineitem", q)
+	for _, frag := range []string{"count(*)", "l_shipdate >= 100", "l_shipdate < 130", "l_discount <= 0.05"} {
+		if !strings.Contains(sql, frag) {
+			t.Fatalf("sql %q missing %q", sql, frag)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := Lineitem(100, 9), Lineitem(100, 9)
+	for i := range a {
+		for c := range a[i] {
+			if colfile.Compare(a[i][c], b[i][c]) != 0 {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package streamlake is the public API of the StreamLake reproduction:
+// a data lake storage system combining message streaming and lakehouse
+// batch processing over one copy of the data, with a
+// compute-and-storage disaggregated architecture, erasure-coded tiered
+// storage, automatic stream-to-table conversion, metadata-accelerated
+// lakehouse operations, and the LakeBrain storage-side optimizer —
+// the system described in "Separation Is for Better Reunion: Data Lake
+// Storage at Huawei" (ICDE 2024).
+//
+// A Lake wires the full stack together:
+//
+//	lake, _ := streamlake.Open(streamlake.Config{})
+//	lake.CreateTopic(streamlake.TopicConfig{Name: "events", StreamNum: 4})
+//	p := lake.Producer("my-app")
+//	p.Send("events", []byte("k"), []byte("v"))
+//
+// See the examples directory for end-to-end scenarios.
+package streamlake
+
+import (
+	"fmt"
+	"time"
+
+	"streamlake/internal/colfile"
+	"streamlake/internal/convert"
+	"streamlake/internal/lakebrain/compact"
+	"streamlake/internal/lakehouse"
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/query"
+	"streamlake/internal/sim"
+	"streamlake/internal/streamobj"
+	"streamlake/internal/streamsvc"
+	"streamlake/internal/tableobj"
+	"streamlake/internal/tiering"
+)
+
+// Re-exported configuration and data types. The reproduction keeps
+// implementations under internal/; these aliases form the supported
+// surface.
+type (
+	// TopicConfig configures a message topic (Figure 8 of the paper).
+	TopicConfig = streamsvc.TopicConfig
+	// ConvertConfig is the convert_2_table block of a topic config.
+	ConvertConfig = streamsvc.ConvertConfig
+	// ArchiveConfig is the archive block of a topic config.
+	ArchiveConfig = streamsvc.ArchiveConfig
+	// Message is one consumed record.
+	Message = streamsvc.Message
+	// Producer publishes messages.
+	Producer = streamsvc.Producer
+	// Consumer subscribes to topics.
+	Consumer = streamsvc.Consumer
+	// Schema describes a table's columns.
+	Schema = colfile.Schema
+	// Row is one table record.
+	Row = colfile.Row
+	// Value is one typed cell.
+	Value = colfile.Value
+	// Result is a SQL query result.
+	Result = query.Result
+	// Redundancy selects replication or erasure coding.
+	Redundancy = plog.Redundancy
+	// TableMeta is a table's catalog profile.
+	TableMeta = tableobj.TableMeta
+	// Snapshot is a table snapshot (for time travel).
+	Snapshot = tableobj.Snapshot
+)
+
+// Value constructors, re-exported.
+var (
+	IntValue    = colfile.IntValue
+	FloatValue  = colfile.FloatValue
+	StringValue = colfile.StringValue
+	BoolValue   = colfile.BoolValue
+	// MustSchema parses "name:type" field specs, panicking on error.
+	MustSchema = colfile.MustSchema
+	// NewSchema parses "name:type" field specs.
+	NewSchema = colfile.NewSchema
+	// ReplicateN builds an n-copy replication policy.
+	ReplicateN = plog.ReplicateN
+	// EC builds a k+m erasure coding policy.
+	EC = plog.EC
+	// EncodeRow serializes a row as a stream message payload for
+	// stream-to-table conversion.
+	EncodeRow = convert.EncodeRow
+	// DecodeRow parses a message payload produced by EncodeRow.
+	DecodeRow = convert.DecodeRow
+)
+
+// Config sizes a Lake.
+type Config struct {
+	// SSDDisks and HDDDisks size the storage pools (defaults 6 and 6).
+	SSDDisks, HDDDisks int
+	// Workers is the stream worker fleet size (default 3).
+	Workers int
+	// PLogCapacity overrides the 128 MB PLog address space (tests use
+	// smaller logs).
+	PLogCapacity int64
+	// DisableMetadataAcceleration turns the lakehouse metadata cache
+	// off (the Figure 15 baseline).
+	DisableMetadataAcceleration bool
+	// Seed drives all randomized components deterministically.
+	Seed uint64
+}
+
+// Lake is a fully wired StreamLake instance: storage pools, PLog
+// manager, stream service, lakehouse engine, conversion service,
+// tiering, and SQL.
+type Lake struct {
+	clock   *sim.Clock
+	ssdPool *pool.Pool
+	hddPool *pool.Pool
+	logs    *plog.Manager
+	store   *streamobj.Store
+	svc     *streamsvc.Service
+	fs      *tableobj.FileStore
+	cat     *tableobj.Catalog
+	lh      *lakehouse.Engine
+	conv    *convert.Converter
+	arch    *convert.Archiver
+	tiers   *tiering.Service
+	repl    *tiering.Replicator
+	sql     *query.Engine
+
+	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
+}
+
+// Open builds a Lake.
+func Open(cfg Config) (*Lake, error) {
+	if cfg.SSDDisks <= 0 {
+		cfg.SSDDisks = 6
+	}
+	if cfg.HDDDisks <= 0 {
+		cfg.HDDDisks = 6
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.PLogCapacity <= 0 {
+		cfg.PLogCapacity = plog.DefaultCapacity
+	}
+	clock := sim.NewClock()
+	ssd := pool.New("ssd", clock, sim.NVMeSSD, cfg.SSDDisks, 0)
+	hdd := pool.New("hdd", clock, sim.SASHDD, cfg.HDDDisks, 0)
+	logs := plog.NewManager(ssd, cfg.PLogCapacity)
+	store := streamobj.NewStore(clock, logs)
+	svc := streamsvc.New(clock, store, cfg.Workers)
+	fs := tableobj.NewFileStore(logs)
+	cat := tableobj.NewCatalog(clock)
+	lh := lakehouse.New(clock, fs, cat, lakehouse.Options{
+		Acceleration: !cfg.DisableMetadataAcceleration,
+	})
+	tiers := tiering.NewService(clock, tiering.Policy{DemoteAfter: time.Hour, ArchiveAfter: 24 * time.Hour})
+	l := &Lake{
+		clock:   clock,
+		ssdPool: ssd,
+		hddPool: hdd,
+		logs:    logs,
+		store:   store,
+		svc:     svc,
+		fs:      fs,
+		cat:     cat,
+		lh:      lh,
+		conv:    convert.New(clock, svc, fs, cat),
+		arch:    convert.NewArchiver(clock, svc, tiers),
+		tiers:   tiers,
+		repl:    tiering.NewReplicator(),
+		sql:     query.New(lh),
+	}
+	return l, nil
+}
+
+// Clock exposes the lake's virtual clock (experiments advance it).
+func (l *Lake) Clock() *sim.Clock { return l.clock }
+
+// CreateTopic declares a message topic.
+func (l *Lake) CreateTopic(cfg TopicConfig) error { return l.svc.CreateTopic(cfg) }
+
+// DeleteTopic removes a topic and its stream objects.
+func (l *Lake) DeleteTopic(name string) error { return l.svc.DeleteTopic(name) }
+
+// Producer returns a producer handle (empty id = fresh identity).
+func (l *Lake) Producer(id string) *Producer { return l.svc.Producer(id) }
+
+// Consumer returns a consumer handle in the given group.
+func (l *Lake) Consumer(group string) *Consumer { return l.svc.Consumer(group) }
+
+// ScaleWorkers rescales the stream worker fleet; the returned count is
+// how many stream assignments moved (metadata only, no data migration).
+func (l *Lake) ScaleWorkers(n int) (moved int, cost time.Duration) {
+	return l.svc.SetWorkerCount(n)
+}
+
+// RunConversion runs one pass of the stream-to-table conversion service.
+func (l *Lake) RunConversion() ([]convert.Result, time.Duration, error) {
+	return l.conv.RunOnce()
+}
+
+// ConvertNow force-converts one topic regardless of its triggers.
+func (l *Lake) ConvertNow(topic string) (convert.Result, time.Duration, error) {
+	return l.conv.ForceTopic(topic)
+}
+
+// Playback re-publishes a table snapshot's rows as stream messages.
+func (l *Lake) Playback(table string, snap Snapshot, topic string) (int64, time.Duration, error) {
+	tbl, err := l.lh.Table(table)
+	if err != nil {
+		return 0, 0, err
+	}
+	return convert.Playback(tbl, snap, l.Producer(""), topic)
+}
+
+// CreateTable registers a lakehouse table.
+func (l *Lake) CreateTable(meta TableMeta) error {
+	_, err := l.lh.CreateTable(meta)
+	return err
+}
+
+// Insert writes rows into a table through the metadata write cache.
+func (l *Lake) Insert(table string, rows []Row) error {
+	_, err := l.lh.Insert(table, rows)
+	return err
+}
+
+// FlushTable folds the table's cached metadata into persistent
+// snapshots (the MetaFresher).
+func (l *Lake) FlushTable(table string) error {
+	_, err := l.lh.Flush(table)
+	return err
+}
+
+// Delete removes rows matching col in [lo, hi] (nil = unbounded).
+func (l *Lake) Delete(table, column string, lo, hi *Value) (int64, error) {
+	n, _, err := l.lh.Delete(table, []lakehouse.RangeFilter{{Column: column, Lo: lo, Hi: hi}})
+	return n, err
+}
+
+// Update rewrites rows matching col in [lo, hi] through set.
+func (l *Lake) Update(table, column string, lo, hi *Value, set func(Row) Row) (int64, error) {
+	n, _, err := l.lh.Update(table, []lakehouse.RangeFilter{{Column: column, Lo: lo, Hi: hi}}, set)
+	return n, err
+}
+
+// DropTableSoft unregisters a table, keeping its data restorable.
+func (l *Lake) DropTableSoft(table string) error {
+	_, err := l.lh.DropSoft(table)
+	return err
+}
+
+// RestoreTable re-registers a soft-dropped table.
+func (l *Lake) RestoreTable(table string) error {
+	_, err := l.lh.Restore(table)
+	return err
+}
+
+// DropTableHard removes a table's data, metadata and catalog entry.
+func (l *Lake) DropTableHard(table string) error {
+	_, err := l.lh.DropHard(table)
+	return err
+}
+
+// Query executes a SQL SELECT (COUNT/SUM aggregates, WHERE ranges,
+// GROUP BY) with predicate and aggregate pushdown.
+func (l *Lake) Query(sql string) (*Result, error) { return l.sql.Query(sql) }
+
+// QueryCost executes a query and also returns its modelled virtual
+// latency (planning plus execution).
+func (l *Lake) QueryCost(sql string) (*Result, time.Duration, error) {
+	res, err := l.sql.Query(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, res.Stats.PlanCost + res.Stats.ExecCost, nil
+}
+
+// TableSnapshot returns the table's current snapshot.
+func (l *Lake) TableSnapshot(table string) (Snapshot, error) {
+	tbl, err := l.lh.Table(table)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s, _, err := tbl.Current()
+	return s, err
+}
+
+// TableAsOf returns the table's snapshot as of a virtual time (time
+// travel).
+func (l *Lake) TableAsOf(table string, ts time.Duration) (Snapshot, error) {
+	tbl, err := l.lh.Table(table)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s, _, err := tbl.AsOf(ts)
+	return s, err
+}
+
+// CompactTable binpack-merges a partition's small files.
+func (l *Lake) CompactTable(table, partition string, targetFileSize int64) (int, error) {
+	tbl, err := l.lh.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := compact.CompactPartition(tbl, partition, targetFileSize)
+	return n, err
+}
+
+// Stats summarizes the lake's storage state.
+type Stats struct {
+	StreamObjects   int
+	Topics          int
+	TableFiles      int
+	LogicalBytes    int64
+	PhysicalBytes   int64
+	PoolUtilization float64
+}
+
+// Stats returns a storage snapshot.
+func (l *Lake) Stats() Stats {
+	ps := l.ssdPool.Stats()
+	return Stats{
+		StreamObjects:   l.store.Count(),
+		Topics:          len(l.svc.Topics()),
+		TableFiles:      l.fs.Count(),
+		LogicalBytes:    l.logs.LogicalBytes(),
+		PhysicalBytes:   l.logs.PhysicalBytes(),
+		PoolUtilization: ps.Utilization(),
+	}
+}
+
+// Engine exposes the lakehouse engine for advanced use (benchmarks).
+func (l *Lake) Engine() *lakehouse.Engine { return l.lh }
+
+// SQLEngine exposes the SQL engine for advanced use (pushdown and
+// memory-budget knobs).
+func (l *Lake) SQLEngine() *query.Engine { return l.sql }
+
+// Service exposes the streaming service for advanced use.
+func (l *Lake) Service() *streamsvc.Service { return l.svc }
+
+// Tiering exposes the tiering service.
+func (l *Lake) Tiering() *tiering.Service { return l.tiers }
+
+// Archiver exposes the stream archiving service.
+func (l *Lake) Archiver() *convert.Archiver { return l.arch }
+
+// Catalog exposes the table catalog.
+func (l *Lake) Catalog() *tableobj.Catalog { return l.cat }
+
+// RunTiering registers quiescent PLogs with the tiering service and
+// applies the dynamic migration policy once: data idle past the policy's
+// thresholds drains from SSD toward HDD and the archive tier (the data
+// service layer's tiering service, Section III). A log is quiescent when
+// it is sealed, or when its size has not changed since the previous
+// tiering pass (streaming chains stay open but go cold).
+func (l *Lake) RunTiering() ([]tiering.Migration, time.Duration) {
+	if l.tierSizes == nil {
+		l.tierSizes = make(map[plog.ID]int64)
+	}
+	for _, info := range l.logs.Logs() {
+		quiescent := info.Sealed || (info.Size > 0 && l.tierSizes[info.ID] == info.Size)
+		l.tierSizes[info.ID] = info.Size
+		if !quiescent {
+			continue
+		}
+		id := fmt.Sprintf("plog/%d", info.ID)
+		if _, err := l.tiers.TierOf(id); err != nil {
+			l.tiers.Register(id, info.Size, tiering.SSD)
+		}
+	}
+	return l.tiers.RunOnce()
+}
+
+// ReplicateOffsite ships every tiered item to the remote backup site
+// (the replication service), returning the bytes shipped and the
+// modelled transfer time.
+func (l *Lake) ReplicateOffsite() (int64, time.Duration) {
+	return l.repl.Replicate(l.tiers)
+}

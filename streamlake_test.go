@@ -1,0 +1,223 @@
+package streamlake
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var logSchema = MustSchema("url:string", "start_time:int64", "province:string")
+
+func openTestLake(t testing.TB) *Lake {
+	t.Helper()
+	l, err := Open(Config{PLogCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestEndToEndStreamToSQL(t *testing.T) {
+	l := openTestLake(t)
+	err := l.CreateTopic(TopicConfig{
+		Name:      "dpi",
+		StreamNum: 2,
+		Convert: ConvertConfig{
+			Enabled:         true,
+			TableName:       "dpi_table",
+			TablePath:       "/lake/dpi",
+			TableSchema:     logSchema,
+			PartitionColumn: "province",
+			SplitOffset:     10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.Producer("app")
+	for i := 0; i < 100; i++ {
+		row := Row{
+			StringValue("http://fin.app"),
+			IntValue(int64(1000 + i)),
+			StringValue([]string{"Beijing", "Shanghai"}[i%2]),
+		}
+		val, err := EncodeRow(logSchema, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Send("dpi", []byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, _, err := l.RunConversion()
+	if err != nil || len(results) != 1 || results[0].Messages != 100 {
+		t.Fatalf("conversion: %+v %v", results, err)
+	}
+	res, err := l.Query("select count(*) from dpi_table group by province")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups: %+v", res.Rows)
+	}
+	// Consumers still see the stream copy.
+	c := l.Consumer("g")
+	if err := c.Subscribe("dpi"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _, err := c.Poll(256)
+	if err != nil || len(msgs) == 0 {
+		t.Fatalf("poll: %d %v", len(msgs), err)
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	l := openTestLake(t)
+	if err := l.CreateTable(TableMeta{Name: "t", Path: "/t", Schema: logSchema, PartitionColumn: "province"}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for i := 0; i < 50; i++ {
+		rows = append(rows, Row{StringValue("u"), IntValue(int64(i)), StringValue("Beijing")})
+	}
+	if err := l.Insert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FlushTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := IntValue(10), IntValue(19)
+	n, err := l.Delete("t", "start_time", &lo, &hi)
+	if err != nil || n != 10 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	upLo := IntValue(0)
+	n, err = l.Update("t", "start_time", &upLo, &upLo, func(r Row) Row {
+		r[0] = StringValue("masked")
+		return r
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d %v", n, err)
+	}
+	res, err := l.Query("select count(*) from t")
+	if err != nil || res.Rows[0][0] != "40" {
+		t.Fatalf("count: %+v %v", res.Rows, err)
+	}
+	if err := l.DropTableSoft("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RestoreTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DropTableHard("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Query("select count(*) from t"); err == nil {
+		t.Fatal("query after hard drop succeeded")
+	}
+}
+
+func TestTimeTravelFacade(t *testing.T) {
+	l := openTestLake(t)
+	l.Clock().Advance(time.Hour)
+	l.CreateTable(TableMeta{Name: "t", Path: "/t", Schema: logSchema})
+	l.Insert("t", []Row{{StringValue("a"), IntValue(1), StringValue("B")}})
+	l.FlushTable("t")
+	mark := l.Clock().Now()
+	l.Clock().Advance(time.Hour)
+	l.Insert("t", []Row{{StringValue("b"), IntValue(2), StringValue("B")}})
+	l.FlushTable("t")
+
+	cur, err := l.TableSnapshot("t")
+	if err != nil || cur.RowCount != 2 {
+		t.Fatalf("current: %+v %v", cur, err)
+	}
+	old, err := l.TableAsOf("t", mark)
+	if err != nil || old.RowCount != 1 {
+		t.Fatalf("as-of: %+v %v", old, err)
+	}
+}
+
+func TestCompactTableFacade(t *testing.T) {
+	l := openTestLake(t)
+	l.CreateTable(TableMeta{Name: "t", Path: "/t", Schema: logSchema, PartitionColumn: "province"})
+	for i := 0; i < 8; i++ {
+		l.Insert("t", []Row{{StringValue("u"), IntValue(int64(i)), StringValue("Beijing")}})
+	}
+	l.FlushTable("t")
+	merged, err := l.CompactTable("t", "province=Beijing", 1<<20)
+	if err != nil || merged != 8 {
+		t.Fatalf("compact: %d %v", merged, err)
+	}
+	res, _ := l.Query("select count(*) from t")
+	if res.Rows[0][0] != "8" {
+		t.Fatalf("rows after compact: %v", res.Rows)
+	}
+}
+
+func TestScaleWorkersFacade(t *testing.T) {
+	l := openTestLake(t)
+	l.CreateTopic(TopicConfig{Name: "t", StreamNum: 32})
+	moved, cost := l.ScaleWorkers(9)
+	if moved == 0 || cost <= 0 {
+		t.Fatalf("scale: moved=%d cost=%v", moved, cost)
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := openTestLake(t)
+	l.CreateTopic(TopicConfig{Name: "t", StreamNum: 2})
+	p := l.Producer("x")
+	p.Send("t", []byte("k"), []byte("v"))
+	st := l.Stats()
+	if st.Topics != 1 || st.StreamObjects != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPlaybackFacade(t *testing.T) {
+	l := openTestLake(t)
+	l.CreateTable(TableMeta{Name: "src", Path: "/src", Schema: logSchema})
+	l.Insert("src", []Row{
+		{StringValue("a"), IntValue(1), StringValue("B")},
+		{StringValue("b"), IntValue(2), StringValue("S")},
+	})
+	l.FlushTable("src")
+	snap, _ := l.TableSnapshot("src")
+	l.CreateTopic(TopicConfig{Name: "replay", StreamNum: 1})
+	n, _, err := l.Playback("src", snap, "replay")
+	if err != nil || n != 2 {
+		t.Fatalf("playback: %d %v", n, err)
+	}
+}
+
+func TestTieringAndReplicationIntegration(t *testing.T) {
+	l := openTestLake(t)
+	l.CreateTopic(TopicConfig{Name: "cold", StreamNum: 1})
+	p := l.Producer("gen")
+	// Enough data to seal at least one PLog (1 MiB capacity each).
+	payload := make([]byte, 1<<10)
+	for i := 0; i < 2000; i++ {
+		if _, _, err := p.Send("cold", []byte(fmt.Sprint(i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two passes establish quiescence and register the cold logs;
+	// nothing migrates while they are fresh.
+	l.RunTiering()
+	migs, _ := l.RunTiering()
+	if len(migs) != 0 {
+		t.Fatalf("fresh data migrated: %+v", migs)
+	}
+	// After the demotion window, quiescent logs drain to HDD.
+	l.Clock().Advance(2 * time.Hour)
+	migs, cost := l.RunTiering()
+	if len(migs) == 0 || cost <= 0 {
+		t.Fatalf("no migrations after idle window: %+v", migs)
+	}
+	// Off-site replication ships the tiered bytes.
+	n, rcost := l.ReplicateOffsite()
+	if n == 0 || rcost <= 0 {
+		t.Fatalf("replication shipped nothing: %d %v", n, rcost)
+	}
+}
