@@ -20,6 +20,16 @@
 //	compact <table> <partition>
 //	snapshot <table>
 //	stats
+//	faults status
+//	faults kill <pool> <disk>         (pool: ssd|hdd)
+//	faults kill-random <pool>
+//	faults revive <pool> <disk>
+//	faults write-error <rate>         (probability in [0,1])
+//	faults read-error <rate>
+//	faults slow <pool> <disk> <extra> (e.g. 5ms; 0 clears)
+//	faults slow-tier <tier> <factor>  (tier: ssd|hdd|archive)
+//	faults clear
+//	repair [rounds]
 //	help
 package main
 
@@ -30,8 +40,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"streamlake"
+	"streamlake/internal/tiering"
 )
 
 func main() {
@@ -73,6 +85,17 @@ func main() {
 
 type shell struct {
 	lake *streamlake.Lake
+	prod *streamlake.Producer
+}
+
+// producer returns the shell's long-lived producer. A fresh handle per
+// produce command would restart the idempotence sequence at 1, so every
+// message after the first would be deduplicated as a retransmit.
+func (s *shell) producer() *streamlake.Producer {
+	if s.prod == nil {
+		s.prod = s.lake.Producer("lakectl")
+	}
+	return s.prod
 }
 
 func (s *shell) exec(line string) error {
@@ -81,7 +104,10 @@ func (s *shell) exec(line string) error {
 	rest := args[1:]
 	switch cmd {
 	case "help":
-		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats")
+		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats faults repair")
+		fmt.Println("faults:   status | kill <pool> <disk> | kill-random <pool> | revive <pool> <disk> |")
+		fmt.Println("          write-error <rate> | read-error <rate> | slow <pool> <disk> <extra> |")
+		fmt.Println("          slow-tier <tier> <factor> | clear")
 		return nil
 	case "create-topic":
 		if len(rest) < 2 {
@@ -100,8 +126,7 @@ func (s *shell) exec(line string) error {
 		if len(rest) < 3 {
 			return fmt.Errorf("usage: produce <topic> <key> <value>")
 		}
-		p := s.lake.Producer("lakectl")
-		msg, cost, err := p.Send(rest[0], []byte(rest[1]), []byte(strings.Join(rest[2:], " ")))
+		msg, cost, err := s.producer().Send(rest[0], []byte(rest[1]), []byte(strings.Join(rest[2:], " ")))
 		if err != nil {
 			return err
 		}
@@ -224,11 +249,150 @@ func (s *shell) exec(line string) error {
 		return nil
 	case "stats":
 		st := s.lake.Stats()
-		fmt.Printf("topics=%d streamObjects=%d tableFiles=%d logical=%dB physical=%dB util=%.1f%%\n",
-			st.Topics, st.StreamObjects, st.TableFiles, st.LogicalBytes, st.PhysicalBytes, st.PoolUtilization*100)
+		fmt.Printf("topics=%d streamObjects=%d tableFiles=%d logical=%dB physical=%dB util=%.1f%% degradedLogs=%d staleBytes=%dB\n",
+			st.Topics, st.StreamObjects, st.TableFiles, st.LogicalBytes, st.PhysicalBytes,
+			st.PoolUtilization*100, st.DegradedLogs, st.StaleBytes)
+		return nil
+	case "faults":
+		return s.faults(rest)
+	case "repair":
+		rounds := 1
+		if len(rest) > 0 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return err
+			}
+			rounds = n
+		}
+		rep, ok := s.lake.RepairUntilRedundant(rounds)
+		fmt.Printf("repaired %d/%d log(s), %dB restored, %d attempt(s), cost=%v backoff=%v fullyRedundant=%v\n",
+			rep.LogsRepaired, rep.LogsScanned, rep.RepairedBytes, rep.Attempts, rep.Cost, rep.Backoff, ok)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *shell) faults(rest []string) error {
+	if len(rest) == 0 {
+		rest = []string{"status"}
+	}
+	inj := s.lake.Faults()
+	sub := rest[0]
+	args := rest[1:]
+	poolDisk := func() (string, int, error) {
+		if len(args) < 2 {
+			return "", 0, fmt.Errorf("usage: faults %s <pool> <disk>", sub)
+		}
+		d, err := strconv.Atoi(args[1])
+		return args[0], d, err
+	}
+	switch sub {
+	case "status":
+		st := inj.Stats()
+		fmt.Printf("killed=%v writeErrors=%d readErrors=%d kills=%d revives=%d extraLatency=%v\n",
+			inj.KilledDisks(), st.InjectedWriteErrors, st.InjectedReadErrors, st.Kills, st.Revives, st.InjectedLatency)
+		lst := s.lake.Stats()
+		fmt.Printf("degradedLogs=%d staleBytes=%dB\n", lst.DegradedLogs, lst.StaleBytes)
+		return nil
+	case "kill":
+		p, d, err := poolDisk()
+		if err != nil {
+			return err
+		}
+		if err := inj.KillDisk(p, d); err != nil {
+			return err
+		}
+		fmt.Printf("disk %s/%d killed\n", p, d)
+		return nil
+	case "kill-random":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: faults kill-random <pool>")
+		}
+		d, err := inj.KillRandomDisk(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("disk %s/%d killed\n", args[0], d)
+		return nil
+	case "revive":
+		p, d, err := poolDisk()
+		if err != nil {
+			return err
+		}
+		if err := inj.ReviveDisk(p, d); err != nil {
+			return err
+		}
+		fmt.Printf("disk %s/%d revived\n", p, d)
+		return nil
+	case "write-error", "read-error":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: faults %s <rate>", sub)
+		}
+		rate, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return err
+		}
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("rate %v outside [0,1]", rate)
+		}
+		if sub == "write-error" {
+			inj.SetWriteErrorRate(rate)
+		} else {
+			inj.SetReadErrorRate(rate)
+		}
+		fmt.Printf("%s rate set to %.3f\n", sub, rate)
+		return nil
+	case "slow":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: faults slow <pool> <disk> <extra>")
+		}
+		d, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		extra, err := time.ParseDuration(args[2])
+		if err != nil {
+			return err
+		}
+		if extra < 0 {
+			return fmt.Errorf("negative latency %v (0 clears)", extra)
+		}
+		if err := inj.DegradeDisk(args[0], d, extra); err != nil {
+			return err
+		}
+		fmt.Printf("disk %s/%d degraded by %v per op\n", args[0], d, extra)
+		return nil
+	case "slow-tier":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: faults slow-tier <tier> <factor>")
+		}
+		var tier tiering.Tier
+		switch args[0] {
+		case "ssd":
+			tier = tiering.SSD
+		case "hdd":
+			tier = tiering.HDD
+		case "archive":
+			tier = tiering.Archive
+		default:
+			return fmt.Errorf("unknown tier %q (ssd|hdd|archive)", args[0])
+		}
+		factor, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		if err := s.lake.Tiering().DegradeTier(tier, factor); err != nil {
+			return err
+		}
+		fmt.Printf("tier %s slowdown set to %.2fx\n", args[0], s.lake.Tiering().TierSlowdown(tier))
+		return nil
+	case "clear":
+		inj.Clear()
+		fmt.Println("all standing faults cleared")
+		return nil
+	default:
+		return fmt.Errorf("unknown faults subcommand %q (try help)", sub)
 	}
 }
 

@@ -77,6 +77,99 @@ func TestShellConvert(t *testing.T) {
 	}
 }
 
+func TestShellProduceIsNotDeduplicated(t *testing.T) {
+	s := newShell(t)
+	if err := s.exec("create-topic seq 1"); err != nil {
+		t.Fatal(err)
+	}
+	// The shell's producer must be long-lived: a fresh handle per command
+	// would restart the idempotence sequence, turning every produce after
+	// the first into a deduplicated retransmit.
+	for i := 0; i < 5; i++ {
+		if err := s.exec("produce seq k v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.lake.Consumer("check")
+	if err := c.Subscribe("seq"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _, err := c.Poll(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 5 {
+		t.Fatalf("5 produces stored %d messages", len(msgs))
+	}
+}
+
+func TestShellFaultsAndRepair(t *testing.T) {
+	s := newShell(t)
+	if err := s.exec("create-topic resilient 2"); err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough traffic that stream slices flush into PLog chains, so
+	// the kill below leaves stale copies for the repair pass to restore.
+	p := s.lake.Producer("")
+	for i := 0; i < 600; i++ {
+		if _, _, err := p.Send("resilient", []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cmd := range []string{
+		"faults",
+		"faults status",
+		"faults kill ssd 0",
+		"faults kill-random ssd",
+		"faults revive ssd 0",
+		"faults write-error 0.25",
+		"faults write-error 0",
+		"faults read-error 0.1",
+		"faults slow ssd 1 5ms",
+		"faults slow ssd 1 0s",
+		"faults slow-tier hdd 3.5",
+		"faults slow-tier hdd 1",
+		"faults clear",
+		"repair",
+		"repair 4",
+		"stats",
+	} {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if st := s.lake.Stats(); st.DegradedLogs != 0 {
+		t.Fatalf("logs still degraded after clear+repair: %+v", st)
+	}
+}
+
+func TestShellFaultsErrors(t *testing.T) {
+	s := newShell(t)
+	for _, cmd := range []string{
+		"faults bogus",
+		"faults kill",
+		"faults kill ssd notanint",
+		"faults kill nopool 0",
+		"faults kill ssd 99",
+		"faults kill-random",
+		"faults revive ssd",
+		"faults write-error",
+		"faults write-error notarate",
+		"faults write-error 2",
+		"faults read-error -0.5",
+		"faults slow ssd 1 -5ms",
+		"faults slow ssd 1",
+		"faults slow ssd 1 notadur",
+		"faults slow-tier scm 2",
+		"faults slow-tier hdd notafactor",
+		"repair notanint",
+	} {
+		if err := s.exec(cmd); err == nil {
+			t.Fatalf("%q accepted", cmd)
+		}
+	}
+}
+
 func TestShellErrors(t *testing.T) {
 	s := newShell(t)
 	bad := []string{

@@ -248,6 +248,190 @@ func TestECFaultToleranceEndToEnd(t *testing.T) {
 	}
 }
 
+// faultWorkload produces total messages on topic, invoking kill(i) before
+// message i for each scheduled kill, and asserts every append succeeds
+// (degraded writes must absorb the failures). It returns the produced
+// count.
+func faultWorkload(t *testing.T, lake *Lake, topic string, total int, kills map[int]func()) {
+	t.Helper()
+	p := lake.Producer("") // fresh identity: repeated calls must not dedupe
+
+	for i := 0; i < total; i++ {
+		if kill := kills[i]; kill != nil {
+			kill()
+		}
+		if _, _, err := p.Send(topic, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("append %d with disks down: %v", i, err)
+		}
+	}
+}
+
+// drainAll consumes every message of a topic from offset zero and
+// verifies the count — the zero-data-loss check after fault injection.
+func drainAll(t *testing.T, lake *Lake, topic string, want int) {
+	t.Helper()
+	c := lake.Consumer("fault-check")
+	if err := c.Subscribe(topic); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatalf("poll after faults: %v", err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != want {
+		t.Fatalf("consumed %d/%d messages after faults", total, want)
+	}
+}
+
+// TestFaultInjectionReplicatedWorkload kills FaultTolerance disks
+// mid-workload under 3-way replication: appends keep succeeding
+// (degraded), no message is lost, and the repair service restores full
+// redundancy in bounded virtual time while the dead disks stay dead.
+func TestFaultInjectionReplicatedWorkload(t *testing.T) {
+	lake, err := Open(Config{PLogCapacity: 64 << 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.CreateTopic(TopicConfig{Name: "rep", StreamNum: 2, Redundancy: ReplicateN(3)}); err != nil {
+		t.Fatal(err)
+	}
+	inj := lake.Faults()
+	// Streams flush a slice to their PLog chain every 256 records; the
+	// kills land between flushes so later flushes append to chains whose
+	// placement groups contain dead disks.
+	const total = 2000
+	faultWorkload(t, lake, "rep", total, map[int]func(){
+		600: func() {
+			if err := inj.KillDisk("ssd", 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+		1200: func() {
+			if _, err := inj.KillRandomDisk("ssd"); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+	if len(inj.KilledDisks()) != 2 {
+		t.Fatalf("killed disks: %v", inj.KilledDisks())
+	}
+	st := lake.Stats()
+	if st.DegradedLogs == 0 || st.StaleBytes == 0 {
+		t.Fatalf("no degradation recorded after 2 disk kills: %+v", st)
+	}
+	drainAll(t, lake, "rep", total)
+	// Repair with the disks still dead: stale copies relocate onto the
+	// surviving disks.
+	before := lake.Clock().Now()
+	rep, ok := lake.RepairUntilRedundant(8)
+	if !ok {
+		t.Fatalf("redundancy not restored: %+v", rep)
+	}
+	if rep.RepairedBytes == 0 || rep.Cost <= 0 {
+		t.Fatalf("repair report: %+v", rep)
+	}
+	elapsed := lake.Clock().Now() - before
+	if elapsed < rep.Cost {
+		t.Fatalf("repair cost %v not charged to the clock (elapsed %v)", rep.Cost, elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("repair took unbounded virtual time: %v", elapsed)
+	}
+	if st := lake.Stats(); st.DegradedLogs != 0 || st.StaleBytes != 0 {
+		t.Fatalf("stale state after repair: %+v", st)
+	}
+	// The lake keeps serving: appends and reads work post-repair.
+	faultWorkload(t, lake, "rep", 50, nil)
+	drainAll(t, lake, "rep", total+50)
+}
+
+// TestFaultInjectionErasureCodedWorkload is the EC(4,2) variant: exactly
+// M=2 disks die mid-workload, appends degrade but never fail, reads
+// reconstruct from K shards, and repair re-encodes the missing columns
+// onto spare disks.
+func TestFaultInjectionErasureCodedWorkload(t *testing.T) {
+	lake, err := Open(Config{SSDDisks: 8, PLogCapacity: 64 << 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.CreateTopic(TopicConfig{Name: "ec", StreamNum: 1, Redundancy: EC(4, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	inj := lake.Faults()
+	const total = 800
+	faultWorkload(t, lake, "ec", total, map[int]func(){
+		300: func() {
+			if err := inj.KillDisk("ssd", 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+		600: func() {
+			if err := inj.KillDisk("ssd", 1); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+	drainAll(t, lake, "ec", total)
+	rep, ok := lake.RepairUntilRedundant(8)
+	if !ok {
+		t.Fatalf("EC redundancy not restored: %+v", rep)
+	}
+	if st := lake.Stats(); st.DegradedLogs != 0 || st.StaleBytes != 0 {
+		t.Fatalf("stale state after EC repair: %+v", st)
+	}
+	// Reconstruction I/O was charged to the pool.
+	if ps := lake.SSDPool().Stats(); ps.Reconstructed == 0 {
+		t.Fatalf("no reconstruction recorded: %+v", ps)
+	}
+	drainAll(t, lake, "ec", total)
+	faultWorkload(t, lake, "ec", 50, nil)
+}
+
+// TestTransientWriteErrorsAbsorbedAndRepaired drives a seeded transient
+// write-error rate through a replicated workload: appends degrade, the
+// repair service heals the fallout once the error burst ends, and the
+// whole scenario replays deterministically from the lake seed.
+func TestTransientWriteErrorsAbsorbedAndRepaired(t *testing.T) {
+	run := func() (int64, int64) {
+		lake, err := Open(Config{PLogCapacity: 64 << 10, Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lake.CreateTopic(TopicConfig{Name: "flaky", StreamNum: 1, Redundancy: ReplicateN(3)}); err != nil {
+			t.Fatal(err)
+		}
+		lake.Faults().SetWriteErrorRate(0.2)
+		faultWorkload(t, lake, "flaky", 300, nil)
+		injected := lake.Faults().Stats().InjectedWriteErrors
+		if injected == 0 {
+			t.Fatal("no transient errors injected at rate 0.2")
+		}
+		stale := lake.Stats().StaleBytes
+		if stale == 0 {
+			t.Fatal("transient write errors left no stale copies")
+		}
+		drainAll(t, lake, "flaky", 300)
+		lake.Faults().SetWriteErrorRate(0)
+		if rep, ok := lake.RepairUntilRedundant(8); !ok {
+			t.Fatalf("repair after transient errors: %+v", rep)
+		}
+		drainAll(t, lake, "flaky", 300)
+		return injected, stale
+	}
+	i1, s1 := run()
+	i2, s2 := run()
+	if i1 != i2 || s1 != s2 {
+		t.Fatalf("seeded scenario not deterministic: (%d,%d) vs (%d,%d)", i1, s1, i2, s2)
+	}
+}
+
 // TestTieringLifecycleWithArchiver wires the tiering service and
 // archiver to a topic and verifies cold data drains off the hot tier.
 func TestTieringLifecycleWithArchiver(t *testing.T) {

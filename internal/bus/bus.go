@@ -59,6 +59,8 @@ type Stats struct {
 	Bytes      int64
 	Aggregated int64 // sends that rode in a batch without paying fixed cost
 	Batches    int64
+	Flushes    int64         // partial batches closed out by Flush
+	FlushCost  time.Duration // deferred fixed costs charged at flush time
 	QueueDelay time.Duration // cumulative priority queuing delay imposed
 }
 
@@ -139,15 +141,45 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 	return cost
 }
 
-// Stats returns a snapshot of bus counters.
+// Flush closes out a partially filled aggregation batch, charging the
+// fixed per-operation cost the batched sends deferred, and returns that
+// cost. Without it, trailing small sends ride "free" forever and the
+// aggregation stats understate latency. It is a no-op when no batch is
+// pending.
+func (b *Bus) Flush() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *Bus) flushLocked() time.Duration {
+	if b.batchFill == 0 {
+		return 0
+	}
+	b.batchFill = 0
+	fixed := b.link.Spec().WriteLatency
+	b.stats.Batches++
+	b.stats.Flushes++
+	b.stats.FlushCost += fixed
+	return fixed
+}
+
+// Stats returns a snapshot of bus counters. Snapshotting flushes any
+// pending aggregation batch first so Aggregated/Batches never understate
+// the deferred fixed costs.
 func (b *Bus) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.flushLocked()
 	return b.stats
 }
 
 // PerMessageFixedCost reports the path's fixed per-operation latency, the
-// quantity RDMA exists to shrink.
+// quantity RDMA exists to shrink. As a path-config query it also flushes
+// any pending aggregation batch.
 func (b *Bus) PerMessageFixedCost() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushLocked()
 	return b.link.Spec().WriteLatency
 }

@@ -76,6 +76,50 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
+func TestFlushChargesPartialBatch(t *testing.T) {
+	b := New(Config{Path: TCP, Aggregation: true, AggregationCount: 16})
+	fixed := b.Link().Spec().WriteLatency
+	// 5 small sends never fill the 16-slot batch, so all of them defer
+	// the fixed cost and the batch stays open until flushed.
+	for i := 0; i < 5; i++ {
+		b.Send(512, Normal)
+	}
+	if got := b.Flush(); got != fixed {
+		t.Fatalf("flush cost = %v, want %v", got, fixed)
+	}
+	if got := b.Flush(); got != 0 {
+		t.Fatalf("double flush charged %v", got)
+	}
+	st := b.Stats()
+	if st.Flushes != 1 || st.FlushCost != fixed || st.Batches != 1 || st.Aggregated != 5 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+}
+
+func TestStatsFlushesPendingBatch(t *testing.T) {
+	b := New(Config{Path: TCP, Aggregation: true, AggregationCount: 16})
+	// 20 sends: one full batch (16) plus 4 pending. A stats snapshot must
+	// not leave the trailing partial batch riding free.
+	for i := 0; i < 20; i++ {
+		b.Send(512, Normal)
+	}
+	st := b.Stats()
+	if st.Batches != 2 || st.Flushes != 1 {
+		t.Fatalf("stats did not flush the partial batch: %+v", st)
+	}
+	if st.FlushCost != b.PerMessageFixedCost() {
+		t.Fatalf("flush cost %v, want one fixed cost %v", st.FlushCost, b.PerMessageFixedCost())
+	}
+	// A full batch boundary leaves nothing pending: no extra flush.
+	b2 := New(Config{Path: TCP, Aggregation: true, AggregationCount: 16})
+	for i := 0; i < 16; i++ {
+		b2.Send(512, Normal)
+	}
+	if st := b2.Stats(); st.Flushes != 0 || st.Batches != 1 {
+		t.Fatalf("aligned batch should not flush: %+v", st)
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	b := New(Config{Path: TCP, Aggregation: true})
 	if b.cfg.AggregationCount != 16 || b.cfg.SmallIOBytes != 64<<10 {

@@ -1,0 +1,275 @@
+// Package faults is the deterministic fault injector for the simulated
+// storage substrate. It drives the failure scenarios the paper's
+// reliability claims rest on — disk loss survived by PLog redundancy,
+// transient write errors absorbed by the degraded write path, latency
+// degradation visible in tail latency — without hand-editing pool state:
+// an Injector attaches to storage pools through their FaultHook and can
+// kill and revive disks, fail reads/writes with a seeded probability,
+// and add per-disk latency. Every decision comes from a seeded RNG, so a
+// fault scenario replays bit-for-bit from its seed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+// ErrInjected marks a transient I/O error produced by the injector.
+// Callers treat it like any device error: the degraded write path
+// records a stale copy, the repair service retries with backoff.
+var ErrInjected = errors.New("faults: injected transient I/O error")
+
+type diskKey struct {
+	pool string
+	disk pool.DiskID
+}
+
+// Stats counts the faults the injector has produced.
+type Stats struct {
+	Kills               int64
+	Revives             int64
+	InjectedWriteErrors int64
+	InjectedReadErrors  int64
+	InjectedLatency     time.Duration
+}
+
+// Injector owns the fault state for a set of storage pools.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *sim.RNG
+	pools    map[string]*pool.Pool
+	order    []string // attach order, for deterministic enumeration
+	writeErr float64  // global transient write-error probability
+	readErr  float64  // global transient read-error probability
+	extra    map[diskKey]time.Duration
+	killed   map[diskKey]bool
+	stats    Stats
+}
+
+// New builds an injector whose probabilistic decisions derive from seed.
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:    sim.NewRNG(seed),
+		pools:  make(map[string]*pool.Pool),
+		extra:  make(map[diskKey]time.Duration),
+		killed: make(map[diskKey]bool),
+	}
+}
+
+// Attach registers a pool with the injector and installs the injection
+// hook on it. Pools are addressed by their name in later calls.
+func (in *Injector) Attach(p *pool.Pool) {
+	in.mu.Lock()
+	if _, ok := in.pools[p.Name()]; !ok {
+		in.order = append(in.order, p.Name())
+	}
+	in.pools[p.Name()] = p
+	in.mu.Unlock()
+	p.SetFaultHook(&poolHook{in: in, pool: p.Name()})
+}
+
+func (in *Injector) lookup(poolName string) (*pool.Pool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p, ok := in.pools[poolName]
+	if !ok {
+		return nil, fmt.Errorf("faults: no pool %q attached", poolName)
+	}
+	return p, nil
+}
+
+// KillDisk marks a disk failed, as if it were pulled from the enclosure.
+// In-flight placement groups on the disk degrade; the repair service
+// relocates their slices.
+func (in *Injector) KillDisk(poolName string, disk int) error {
+	p, err := in.lookup(poolName)
+	if err != nil {
+		return err
+	}
+	// FailDisk takes the pool lock; call it outside in.mu so the hook
+	// path (pool lock released -> in.mu) can never deadlock against us.
+	if err := p.FailDisk(pool.DiskID(disk)); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.killed[diskKey{poolName, pool.DiskID(disk)}] = true
+	in.stats.Kills++
+	in.mu.Unlock()
+	return nil
+}
+
+// ReviveDisk brings a killed disk back (a transient outage ending).
+// Copies that missed writes while it was down stay stale until repaired.
+func (in *Injector) ReviveDisk(poolName string, disk int) error {
+	p, err := in.lookup(poolName)
+	if err != nil {
+		return err
+	}
+	if err := p.ReviveDisk(pool.DiskID(disk)); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	delete(in.killed, diskKey{poolName, pool.DiskID(disk)})
+	in.stats.Revives++
+	in.mu.Unlock()
+	return nil
+}
+
+// KillRandomDisk kills a uniformly chosen healthy disk of the pool and
+// returns its id — the workhorse of randomized failure scenarios, driven
+// by the injector's seeded RNG.
+func (in *Injector) KillRandomDisk(poolName string) (int, error) {
+	p, err := in.lookup(poolName)
+	if err != nil {
+		return 0, err
+	}
+	var healthy []int
+	for i := 0; i < p.DiskCount(); i++ {
+		if !p.DiskFailed(pool.DiskID(i)) {
+			healthy = append(healthy, i)
+		}
+	}
+	if len(healthy) == 0 {
+		return 0, fmt.Errorf("faults: no healthy disk left in %q", poolName)
+	}
+	in.mu.Lock()
+	pick := healthy[in.rng.Intn(len(healthy))]
+	in.mu.Unlock()
+	return pick, in.KillDisk(poolName, pick)
+}
+
+// SetWriteErrorRate sets the global probability in [0,1] that any slice
+// write fails with ErrInjected.
+func (in *Injector) SetWriteErrorRate(rate float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeErr = clamp01(rate)
+}
+
+// SetReadErrorRate sets the global probability in [0,1] that any slice
+// read fails with ErrInjected.
+func (in *Injector) SetReadErrorRate(rate float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readErr = clamp01(rate)
+}
+
+// DegradeDisk adds a fixed extra latency to every operation on one disk
+// (a sick-but-alive device). Zero clears the degradation.
+func (in *Injector) DegradeDisk(poolName string, disk int, extra time.Duration) error {
+	if _, err := in.lookup(poolName); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	k := diskKey{poolName, pool.DiskID(disk)}
+	if extra <= 0 {
+		delete(in.extra, k)
+	} else {
+		in.extra[k] = extra
+	}
+	return nil
+}
+
+// Clear removes every standing fault: revives killed disks, zeroes the
+// error rates, and drops latency degradations. Counters are kept.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	var revive []diskKey
+	for k := range in.killed {
+		revive = append(revive, k)
+	}
+	sort.Slice(revive, func(i, j int) bool {
+		if revive[i].pool != revive[j].pool {
+			return revive[i].pool < revive[j].pool
+		}
+		return revive[i].disk < revive[j].disk
+	})
+	in.writeErr, in.readErr = 0, 0
+	in.extra = make(map[diskKey]time.Duration)
+	pools := in.pools
+	in.mu.Unlock()
+	for _, k := range revive {
+		if p, ok := pools[k.pool]; ok {
+			p.ReviveDisk(k.disk)
+		}
+	}
+	in.mu.Lock()
+	for _, k := range revive {
+		delete(in.killed, k)
+		in.stats.Revives++
+	}
+	in.mu.Unlock()
+}
+
+// Stats snapshots the injector's counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// KilledDisks lists the currently killed disks as "pool/disk" strings,
+// sorted, for status displays.
+func (in *Injector) KilledDisks() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.killed))
+	for k := range in.killed {
+		out = append(out, fmt.Sprintf("%s/%d", k.pool, k.disk))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// inject is the hook body: roll for a transient error, then look up the
+// disk's standing latency degradation.
+func (in *Injector) inject(poolName string, disk pool.DiskID, write bool) (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rate := in.readErr
+	if write {
+		rate = in.writeErr
+	}
+	if rate > 0 && in.rng.Float64() < rate {
+		if write {
+			in.stats.InjectedWriteErrors++
+		} else {
+			in.stats.InjectedReadErrors++
+		}
+		return 0, ErrInjected
+	}
+	extra := in.extra[diskKey{poolName, disk}]
+	in.stats.InjectedLatency += extra
+	return extra, nil
+}
+
+// poolHook adapts one pool's FaultHook calls onto the shared injector.
+type poolHook struct {
+	in   *Injector
+	pool string
+}
+
+func (h *poolHook) BeforeWrite(disk pool.DiskID, n int64) (time.Duration, error) {
+	return h.in.inject(h.pool, disk, true)
+}
+
+func (h *poolHook) BeforeRead(disk pool.DiskID, n int64) (time.Duration, error) {
+	return h.in.inject(h.pool, disk, false)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

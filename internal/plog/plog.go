@@ -9,6 +9,7 @@ package plog
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -112,6 +113,10 @@ type PLog struct {
 	slices []*pool.Slice
 	buf    []byte
 	sealed bool
+	// stale maps a placement-slice index to the logical bytes that copy
+	// (or shard column) is missing after degraded writes. A stale slice
+	// never serves reads and is the repair service's work queue.
+	stale map[int]int64
 }
 
 // ID returns the log's identifier.
@@ -137,10 +142,37 @@ func (l *PLog) Sealed() bool {
 // Redundancy returns the log's redundancy policy.
 func (l *PLog) Redundancy() Redundancy { return l.red }
 
+// shardSize returns the per-disk physical size of n logical bytes under
+// the policy: the full payload for replication, one shard column for EC.
+func (r Redundancy) shardSize(n int64) int64 {
+	if r.Kind == ErasureCode {
+		return (n + int64(r.K) - 1) / int64(r.K)
+	}
+	return n
+}
+
+// required returns how many placement writes must succeed for an append
+// to be durable under the policy: one full copy for replication, K
+// shards for erasure coding (failures beyond that exceed FaultTolerance).
+func (r Redundancy) required() int {
+	if r.Kind == ErasureCode {
+		return r.K
+	}
+	return 1
+}
+
 // Append writes data at the end of the log, charging the redundant
 // physical writes to the placement disks. It returns the starting offset
 // and the modelled persistence latency (the slowest parallel device
 // write, as replicas are written concurrently).
+//
+// Append degrades rather than fails: as long as the surviving placement
+// disks still satisfy the policy's FaultTolerance, the append succeeds
+// and the missed copies/shards are recorded as stale for the repair
+// service. Only when too many placement writes fail does Append return
+// ErrUnavailable — and then it rolls back the charges of the writes that
+// did land, so a failed append leaves pool byte and latency accounting
+// untouched.
 func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -151,40 +183,49 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 		return 0, 0, ErrFull
 	}
 	offset = int64(len(l.buf))
+	per := l.red.shardSize(int64(len(data)))
+	type landed struct {
+		id pool.SliceID
+	}
+	var ok []landed
+	var failed []int
 	var max time.Duration
-	switch l.red.Kind {
-	case Replicate:
-		for _, s := range l.slices {
-			d, werr := l.pool.Write(s.ID, int64(len(data)))
-			if werr != nil {
-				return 0, 0, fmt.Errorf("plog: replica write: %w", werr)
-			}
-			if d > max {
-				max = d
-			}
+	for i, s := range l.slices {
+		d, werr := l.pool.Write(s.ID, per)
+		if werr != nil {
+			failed = append(failed, i)
+			continue
 		}
-	case ErasureCode:
-		shard := int64(len(data)+l.red.K-1) / int64(l.red.K)
-		for _, s := range l.slices {
-			d, werr := l.pool.Write(s.ID, shard)
-			if werr != nil {
-				return 0, 0, fmt.Errorf("plog: shard write: %w", werr)
-			}
-			if d > max {
-				max = d
-			}
+		ok = append(ok, landed{s.ID})
+		if d > max {
+			max = d
 		}
+	}
+	if len(ok) < l.red.required() {
+		// Beyond fault tolerance: all-or-nothing, refund the survivors.
+		for _, w := range ok {
+			l.pool.RollbackWrite(w.id, per)
+		}
+		return 0, 0, fmt.Errorf("%w: %d of %d placement writes failed",
+			ErrUnavailable, len(failed), len(l.slices))
+	}
+	for _, i := range failed {
+		if l.stale == nil {
+			l.stale = make(map[int]int64)
+		}
+		l.stale[i] += per
 	}
 	l.buf = append(l.buf, data...)
 	return offset, max, nil
 }
 
 // Read returns n bytes starting at offset, charging the device reads. For
-// replication it reads one healthy copy; for erasure coding it reads the
-// K data shards in parallel (cost is the slowest). When placement disks
-// have failed it degrades to surviving replicas or EC reconstruction, and
-// returns ErrUnavailable only when the policy's fault tolerance is
-// exceeded.
+// replication it reads one healthy copy; for erasure coding it reads K
+// healthy shards in parallel (cost is the slowest). When placement disks
+// have failed or fallen stale it degrades to surviving replicas or EC
+// reconstruction, and returns ErrUnavailable only when the policy's
+// fault tolerance is exceeded. The returned slice is a copy; callers may
+// mutate it freely without corrupting the log.
 func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -194,21 +235,30 @@ func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error
 	switch l.red.Kind {
 	case Replicate:
 		var lastErr error
-		for _, s := range l.slices {
+		for i, s := range l.slices {
+			if l.stale[i] > 0 {
+				continue // copy has holes from degraded writes
+			}
 			d, rerr := l.pool.Read(s.ID, n)
 			if rerr == nil {
-				return l.buf[offset : offset+n : offset+n], d, nil
+				return append([]byte(nil), l.buf[offset:offset+n]...), d, nil
 			}
 			lastErr = rerr
+		}
+		if lastErr == nil {
+			lastErr = errors.New("all replicas stale")
 		}
 		return nil, 0, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 	case ErasureCode:
 		shard := (n + int64(l.red.K) - 1) / int64(l.red.K)
 		var max time.Duration
 		healthy := 0
-		for _, s := range l.slices {
+		for i, s := range l.slices {
 			if healthy == l.red.K {
 				break
+			}
+			if l.stale[i] > 0 {
+				continue // shard column has holes from degraded writes
 			}
 			d, rerr := l.pool.Read(s.ID, shard)
 			if rerr != nil {
@@ -222,7 +272,7 @@ func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error
 		if healthy < l.red.K {
 			return nil, 0, ErrUnavailable
 		}
-		return l.buf[offset : offset+n : offset+n], max, nil
+		return append([]byte(nil), l.buf[offset:offset+n]...), max, nil
 	}
 	return nil, 0, fmt.Errorf("plog: unknown redundancy kind %d", l.red.Kind)
 }
@@ -232,12 +282,16 @@ func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error
 // erases `erasures` shards and reconstructs. It exists so failure
 // injection tests exercise real decoding, not just accounting.
 func (l *PLog) VerifyReconstruct(erasures []int) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.verifyReconstructLocked(erasures)
+}
+
+func (l *PLog) verifyReconstructLocked(erasures []int) error {
 	if l.red.Kind != ErasureCode {
 		return errors.New("plog: VerifyReconstruct on a replicated log")
 	}
-	l.mu.RLock()
 	data := append([]byte(nil), l.buf...)
-	l.mu.RUnlock()
 	shards := l.codec.Split(data)
 	stripe, err := l.codec.Encode(shards)
 	if err != nil {
@@ -262,6 +316,123 @@ func (l *PLog) VerifyReconstruct(erasures []int) error {
 		}
 	}
 	return nil
+}
+
+// StaleInfo describes one stale placement slice awaiting repair.
+type StaleInfo struct {
+	Log      ID
+	SliceIdx int
+	Disk     pool.DiskID
+	Bytes    int64 // logical bytes the copy/shard is missing
+}
+
+// Stale snapshots the log's stale placement slices, ordered by slice
+// index.
+func (l *PLog) Stale() []StaleInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]StaleInfo, 0, len(l.stale))
+	for i, s := range l.slices {
+		if b := l.stale[i]; b > 0 {
+			out = append(out, StaleInfo{Log: l.id, SliceIdx: i, Disk: s.Disk, Bytes: b})
+		}
+	}
+	return out
+}
+
+// StaleBytes sums the bytes missing across the log's stale slices.
+func (l *PLog) StaleBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var total int64
+	for _, b := range l.stale {
+		total += b
+	}
+	return total
+}
+
+// FullyRedundant reports whether every placement slice holds its full
+// copy/shard — the repair service's success condition.
+func (l *PLog) FullyRedundant() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.stale) == 0
+}
+
+// RepairStale restores redundancy on the log's stale slices. A stale
+// slice whose disk recovered is caught up in place (only the missing
+// bytes are rewritten); a slice stranded on a dead disk is relocated to
+// a healthy disk and rebuilt in full — the whole copy for replication,
+// one shard column for EC, read from the surviving peers. Erasure-coded
+// rebuilds run the real decoder over the log's contents so repair
+// exercises actual reconstruction, not just accounting. It returns the
+// stale bytes cleared and the modelled reconstruction I/O; on error
+// (no healthy target disk, injected fault mid-repair) the remaining
+// slices stay stale for the caller to retry.
+func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.stale) == 0 {
+		return 0, 0, nil
+	}
+	idxs := make([]int, 0, len(l.stale))
+	for i := range l.stale {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	if l.codec != nil && len(l.buf) > 0 && len(idxs) <= l.red.M {
+		// Exercise the real erasure decode: erase every stale column and
+		// reconstruct the payload before charging any rebuild I/O.
+		if derr := l.verifyReconstructLocked(idxs); derr != nil {
+			return 0, 0, fmt.Errorf("plog: repair decode: %w", derr)
+		}
+	}
+	for _, i := range idxs {
+		staleBytes := l.stale[i]
+		s := l.slices[i]
+		rebuild := staleBytes
+		if l.pool.DiskFailed(s.Disk) {
+			// Dead disk: move the slice, then rebuild the entire column.
+			exclude := make(map[pool.DiskID]bool, len(l.slices)-1)
+			for j, o := range l.slices {
+				if j != i {
+					exclude[o.Disk] = true
+				}
+			}
+			if _, rerr := l.pool.Relocate(s.ID, exclude); rerr != nil {
+				return repaired, cost, fmt.Errorf("plog: relocate slice %d of log %d: %w", i, l.id, rerr)
+			}
+			rebuild = l.red.shardSize(int64(len(l.buf)))
+		}
+		// Reconstruction sources: healthy, non-stale peers — one for
+		// replication, K for EC.
+		need := 1
+		if l.red.Kind == ErasureCode {
+			need = l.red.K
+		}
+		sources := make([]pool.SliceID, 0, need)
+		for j, o := range l.slices {
+			if j == i || l.stale[j] > 0 || l.pool.DiskFailed(o.Disk) {
+				continue
+			}
+			sources = append(sources, o.ID)
+			if len(sources) == need {
+				break
+			}
+		}
+		if len(sources) < need {
+			return repaired, cost, fmt.Errorf("%w: %d of %d reconstruction sources available",
+				ErrUnavailable, len(sources), need)
+		}
+		c, rerr := l.pool.RepairSlice(s.ID, sources, rebuild, staleBytes)
+		if rerr != nil {
+			return repaired, cost, fmt.Errorf("plog: rebuild slice %d of log %d: %w", i, l.id, rerr)
+		}
+		cost += c
+		repaired += staleBytes
+		delete(l.stale, i)
+	}
+	return repaired, cost, nil
 }
 
 // Seal makes the log immutable. Sealed logs are what the tiering service
@@ -385,6 +556,7 @@ type LogInfo struct {
 	ID     ID
 	Size   int64
 	Sealed bool
+	Stale  int64 // bytes missing across stale placement slices
 }
 
 // Logs snapshots all live logs.
@@ -393,10 +565,52 @@ func (m *Manager) Logs() []LogInfo {
 	defer m.mu.Unlock()
 	out := make([]LogInfo, 0, len(m.logs))
 	for _, l := range m.logs {
-		out = append(out, LogInfo{ID: l.ID(), Size: l.Size(), Sealed: l.Sealed()})
+		out = append(out, LogInfo{ID: l.ID(), Size: l.Size(), Sealed: l.Sealed(), Stale: l.StaleBytes()})
 	}
 	return out
 }
+
+// StaleLogs returns the logs that are not fully redundant, ordered by ID
+// — the repair service's deterministic work queue.
+func (m *Manager) StaleLogs() []*PLog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*PLog
+	for _, l := range m.logs {
+		if !l.FullyRedundant() {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// DegradedCount reports how many live logs have stale slices.
+func (m *Manager) DegradedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, l := range m.logs {
+		if !l.FullyRedundant() {
+			n++
+		}
+	}
+	return n
+}
+
+// StaleBytes sums the missing redundancy bytes across all live logs.
+func (m *Manager) StaleBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, l := range m.logs {
+		total += l.StaleBytes()
+	}
+	return total
+}
+
+// Pool exposes the storage pool the manager places logs on.
+func (m *Manager) Pool() *pool.Pool { return m.pool }
 
 // LogicalBytes sums the logical bytes of all live logs.
 func (m *Manager) LogicalBytes() int64 {

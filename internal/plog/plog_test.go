@@ -194,6 +194,187 @@ func TestVerifyReconstruct(t *testing.T) {
 	}
 }
 
+func TestAppendRollbackLeavesAccountingUnchanged(t *testing.T) {
+	p := pool.New("rollback", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, err := m.Create(EC(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]byte("baseline")); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats()
+	var disks [3]sim.DeviceStats
+	for i := range disks {
+		disks[i] = p.DiskStats(pool.DiskID(i))
+	}
+	// Fail two of the three placement disks: only one shard write can
+	// land, under the K=2 durability floor, so the append must fail and
+	// refund the surviving write.
+	p.FailDisk(l.slices[0].Disk)
+	p.FailDisk(l.slices[1].Disk)
+	if _, _, err := l.Append(make([]byte, 1000)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append beyond tolerance: %v", err)
+	}
+	after := p.Stats()
+	if after.Live != before.Live {
+		t.Fatalf("failed append leaked live bytes: %d -> %d", before.Live, after.Live)
+	}
+	for i := range disks {
+		if got := p.DiskStats(pool.DiskID(i)); got != disks[i] {
+			t.Fatalf("disk %d stats changed across failed append:\nbefore %+v\nafter  %+v", i, disks[i], got)
+		}
+	}
+	if l.StaleBytes() != 0 {
+		t.Fatalf("failed append left stale bytes: %d", l.StaleBytes())
+	}
+	if l.Size() != 8 {
+		t.Fatalf("failed append extended the log: size %d", l.Size())
+	}
+}
+
+func TestDegradedWriteReplication(t *testing.T) {
+	p := pool.New("degwrite", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(ReplicateN(3))
+	if _, _, err := l.Append([]byte("before-")); err != nil {
+		t.Fatal(err)
+	}
+	p.FailDisk(l.slices[2].Disk)
+	off, cost, err := l.Append([]byte("degraded"))
+	if err != nil || off != 7 || cost <= 0 {
+		t.Fatalf("degraded append: off=%d cost=%v err=%v", off, cost, err)
+	}
+	st := l.Stale()
+	if len(st) != 1 || st[0].SliceIdx != 2 || st[0].Bytes != 8 {
+		t.Fatalf("stale tracking: %+v", st)
+	}
+	if l.FullyRedundant() || l.StaleBytes() != 8 {
+		t.Fatalf("redundancy state: full=%v stale=%d", l.FullyRedundant(), l.StaleBytes())
+	}
+	if m.DegradedCount() != 1 || m.StaleBytes() != 8 || len(m.StaleLogs()) != 1 {
+		t.Fatalf("manager degraded view: count=%d stale=%d", m.DegradedCount(), m.StaleBytes())
+	}
+	got, _, err := l.Read(0, l.Size())
+	if err != nil || string(got) != "before-degraded" {
+		t.Fatalf("read after degraded write: %q %v", got, err)
+	}
+}
+
+func TestDegradedAppendReadAtMaxToleranceEC(t *testing.T) {
+	p := pool.New("degmax", sim.NewClock(), sim.NVMeSSD, 6, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(EC(4, 2))
+	if _, _, err := l.Append([]byte("first stripe payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly M = 2 of the group's disks fail: the policy's maximum.
+	p.FailDisk(l.slices[4].Disk)
+	p.FailDisk(l.slices[5].Disk)
+	if _, _, err := l.Append([]byte("second stripe, degraded")); err != nil {
+		t.Fatalf("append at max tolerance: %v", err)
+	}
+	got, _, err := l.Read(0, l.Size())
+	if err != nil || string(got) != "first stripe payloadsecond stripe, degraded" {
+		t.Fatalf("read with exactly M failures: %q %v", got, err)
+	}
+	per := l.red.shardSize(int64(len("second stripe, degraded")))
+	if l.StaleBytes() != 2*per {
+		t.Fatalf("stale bytes = %d, want %d", l.StaleBytes(), 2*per)
+	}
+	// One more failure exceeds FaultTolerance: appends and reads refuse.
+	p.FailDisk(l.slices[3].Disk)
+	if _, _, err := l.Append([]byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append beyond tolerance: %v", err)
+	}
+	if _, _, err := l.Read(0, 1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read beyond tolerance: %v", err)
+	}
+}
+
+func TestVerifyReconstructMaxErasures(t *testing.T) {
+	m := newManager(t, 8)
+	l, _ := m.Create(EC(4, 2))
+	payload := make([]byte, 8191)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	l.Append(payload)
+	// Every M-sized erasure pattern class: data only, parity only, mixed.
+	for _, erasures := range [][]int{{0, 1}, {4, 5}, {0, 5}, {1, 4}} {
+		if err := l.VerifyReconstruct(erasures); err != nil {
+			t.Fatalf("max erasures %v: %v", erasures, err)
+		}
+	}
+	if err := l.VerifyReconstruct([]int{0, 1, 2}); err == nil {
+		t.Fatal("M+1 erasures reconstructed")
+	}
+	if err := l.VerifyReconstruct([]int{-1}); err == nil {
+		t.Fatal("out-of-range erasure accepted")
+	}
+}
+
+func TestRepairStaleCatchUpInPlace(t *testing.T) {
+	p := pool.New("repinplace", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(ReplicateN(3))
+	l.Append([]byte("hello"))
+	p.FailDisk(l.slices[1].Disk)
+	l.Append([]byte(" world"))
+	p.ReviveDisk(l.slices[1].Disk)
+	repaired, cost, err := l.RepairStale()
+	if err != nil || repaired != 6 || cost <= 0 {
+		t.Fatalf("repair: n=%d cost=%v err=%v", repaired, cost, err)
+	}
+	if !l.FullyRedundant() {
+		t.Fatal("still stale after repair")
+	}
+	// Live accounting fully restored: 3 copies of 11 logical bytes.
+	if st := p.Stats(); st.Live != 33 || st.Reconstructed != 6 {
+		t.Fatalf("pool accounting after repair: %+v", st)
+	}
+}
+
+func TestRepairStaleRelocatesFromDeadDisk(t *testing.T) {
+	p := pool.New("reprelocate", sim.NewClock(), sim.NVMeSSD, 4, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, _ := m.Create(ReplicateN(3))
+	l.Append(make([]byte, 100))
+	dead := l.slices[2].Disk
+	p.FailDisk(dead)
+	l.Append(make([]byte, 50))
+	repaired, _, err := l.RepairStale()
+	if err != nil || repaired != 50 {
+		t.Fatalf("repair: n=%d err=%v", repaired, err)
+	}
+	if l.slices[2].Disk == dead {
+		t.Fatal("slice not relocated off the dead disk")
+	}
+	if !l.FullyRedundant() {
+		t.Fatal("still stale after relocation")
+	}
+	// The relocated copy is rebuilt in full: all 150 bytes.
+	if st := p.Stats(); st.Reconstructed != 150 || st.Live != 450 {
+		t.Fatalf("pool accounting after relocation: %+v", st)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	m := newManager(t, 3)
+	l, _ := m.Create(ReplicateN(2))
+	l.Append([]byte("immutable"))
+	got, _, err := l.Read(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, _, err := l.Read(0, 9)
+	if err != nil || string(again) != "immutable" {
+		t.Fatalf("mutating a read corrupted the log: %q %v", again, err)
+	}
+}
+
 func TestManagerLifecycle(t *testing.T) {
 	m := newManager(t, 4)
 	l, err := m.Create(ReplicateN(2))

@@ -72,6 +72,17 @@ func (s Stats) Utilization() float64 {
 	return float64(s.Used) / float64(s.Capacity)
 }
 
+// FaultHook intercepts disk I/O for fault injection. Implementations
+// return extra latency to charge to the operation and/or an error that
+// fails it before any bytes or device time are accounted. Hooks are
+// invoked outside the pool's lock, so an implementation may call back
+// into pool methods (FailDisk, ReviveDisk) from other goroutines without
+// deadlocking.
+type FaultHook interface {
+	BeforeWrite(disk DiskID, n int64) (time.Duration, error)
+	BeforeRead(disk DiskID, n int64) (time.Duration, error)
+}
+
 // Pool is a redundancy-aware slice allocator over a set of homogeneous
 // simulated disks.
 type Pool struct {
@@ -85,6 +96,7 @@ type Pool struct {
 	nextSlice     SliceID
 	logicalBytes  int64
 	reconstructed int64
+	hook          FaultHook
 }
 
 // Errors returned by pool operations.
@@ -120,6 +132,15 @@ func New(name string, clock *sim.Clock, class sim.DeviceClass, n int, sliceSize 
 
 // Name returns the pool's name.
 func (p *Pool) Name() string { return p.name }
+
+// SetFaultHook installs (or clears, with nil) the pool's fault-injection
+// hook. All slice reads and writes, including repair I/O, pass through
+// the hook.
+func (p *Pool) SetFaultHook(h FaultHook) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hook = h
+}
 
 // SliceSize returns the allocation granularity.
 func (p *Pool) SliceSize() int64 { return p.sliceSize }
@@ -237,7 +258,9 @@ func (p *Pool) freeLocked(id SliceID) error {
 }
 
 // Write charges a write of n bytes against the slice's disk and advances
-// live-byte accounting. It returns the modelled device time.
+// live-byte accounting. It returns the modelled device time. No bytes or
+// device time are charged when the write fails (failed disk, injected
+// fault), so callers never need to undo a failed Write.
 func (p *Pool) Write(id SliceID, n int64) (time.Duration, error) {
 	p.mu.Lock()
 	s, ok := p.slices[id]
@@ -250,9 +273,40 @@ func (p *Pool) Write(id SliceID, n int64) (time.Duration, error) {
 		p.mu.Unlock()
 		return 0, ErrDiskFailed
 	}
+	hook := p.hook
+	diskID := s.Disk
+	p.mu.Unlock()
+	var extra time.Duration
+	if hook != nil {
+		e, err := hook.BeforeWrite(diskID, n)
+		if err != nil {
+			return 0, err
+		}
+		extra = e
+	}
+	p.mu.Lock()
 	s.live += n
 	p.mu.Unlock()
-	return d.dev.Write(n), nil
+	return d.dev.Write(n) + extra, nil
+}
+
+// RollbackWrite reverses the byte and device-time accounting of one
+// successful Write of n bytes — the all-or-nothing half of a redundant
+// write whose sibling writes failed beyond the policy's fault tolerance.
+func (p *Pool) RollbackWrite(id SliceID, n int64) {
+	p.mu.Lock()
+	s, ok := p.slices[id]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	s.live -= n
+	if s.live < 0 {
+		s.live = 0
+	}
+	d := p.disks[s.Disk]
+	p.mu.Unlock()
+	d.dev.RefundWrite(n)
 }
 
 // Read charges a read of n bytes against the slice's disk and returns the
@@ -269,8 +323,18 @@ func (p *Pool) Read(id SliceID, n int64) (time.Duration, error) {
 		p.mu.Unlock()
 		return 0, ErrDiskFailed
 	}
+	hook := p.hook
+	diskID := s.Disk
 	p.mu.Unlock()
-	return d.dev.Read(n), nil
+	var extra time.Duration
+	if hook != nil {
+		e, err := hook.BeforeRead(diskID, n)
+		if err != nil {
+			return 0, err
+		}
+		extra = e
+	}
+	return d.dev.Read(n) + extra, nil
 }
 
 // MarkGarbage converts n live bytes of the slice into garbage awaiting
@@ -319,7 +383,8 @@ func (p *Pool) GC(threshold float64) (reclaimed int64, cost time.Duration) {
 }
 
 // FailDisk marks a disk as failed. Its slices stay registered until
-// Reconstruct migrates them.
+// Reconstruct or Relocate migrates them, or ReviveDisk brings the disk
+// back.
 func (p *Pool) FailDisk(id DiskID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -328,6 +393,167 @@ func (p *Pool) FailDisk(id DiskID) error {
 	}
 	p.disks[id].failed = true
 	return nil
+}
+
+// ReviveDisk clears a disk's failed flag — a transient outage (a pulled
+// cable, a crashed enclosure controller) ending. Slices that missed
+// writes while the disk was down are still stale; the repair service
+// catches them up.
+func (p *Pool) ReviveDisk(id DiskID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return fmt.Errorf("pool: no disk %d", id)
+	}
+	p.disks[id].failed = false
+	return nil
+}
+
+// DiskFailed reports whether a disk is currently marked failed.
+func (p *Pool) DiskFailed(id DiskID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return false
+	}
+	return p.disks[id].failed
+}
+
+// SliceDisk reports which disk currently hosts a slice.
+func (p *Pool) SliceDisk(id SliceID) (DiskID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return 0, ErrUnknownSlice
+	}
+	return s.Disk, nil
+}
+
+// Relocate moves a slice — keeping its identity and byte accounting —
+// from its current disk onto a healthy disk not in exclude. It is the
+// placement half of repairing a slice stranded on a dead disk; the
+// caller charges the rebuild I/O separately via RepairSlice.
+func (p *Pool) Relocate(id SliceID, exclude map[DiskID]bool) (DiskID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return 0, ErrUnknownSlice
+	}
+	ex := make(map[DiskID]bool, len(exclude)+1)
+	ex[s.Disk] = true
+	for d := range exclude {
+		ex[d] = true
+	}
+	target, err := p.allocLocked(ex)
+	if err != nil {
+		return 0, err
+	}
+	old := p.disks[s.Disk]
+	// Fold the freshly allocated slice's space into the original slice's
+	// identity so callers' references stay valid (same trick Reconstruct
+	// uses).
+	delete(old.slices, s.ID)
+	delete(p.slices, target.ID)
+	nd := p.disks[target.Disk]
+	delete(nd.slices, target.ID)
+	s.Disk = target.Disk
+	nd.slices[s.ID] = s
+	old.dev.Free(s.Size)
+	return target.Disk, nil
+}
+
+// RepairSlice charges the reconstruction I/O for rebuilding redundancy
+// on the target slice: rebuild bytes are read from each source slice in
+// parallel (cost is the slowest source) and written to the target.
+// liveDelta restores live-byte accounting the failed original writes
+// never charged. Repair I/O passes through the fault hook, so repairs
+// themselves can suffer injected faults and must be retried.
+func (p *Pool) RepairSlice(target SliceID, sources []SliceID, rebuild, liveDelta int64) (time.Duration, error) {
+	p.mu.Lock()
+	ts, ok := p.slices[target]
+	if !ok {
+		p.mu.Unlock()
+		return 0, ErrUnknownSlice
+	}
+	td := p.disks[ts.Disk]
+	if td.failed {
+		p.mu.Unlock()
+		return 0, ErrDiskFailed
+	}
+	type src struct {
+		dev *sim.Device
+		id  DiskID
+	}
+	srcs := make([]src, 0, len(sources))
+	for _, sid := range sources {
+		ss, ok := p.slices[sid]
+		if !ok {
+			p.mu.Unlock()
+			return 0, ErrUnknownSlice
+		}
+		sd := p.disks[ss.Disk]
+		if sd.failed {
+			p.mu.Unlock()
+			return 0, ErrDiskFailed
+		}
+		srcs = append(srcs, src{sd.dev, ss.Disk})
+	}
+	hook := p.hook
+	targetDisk := ts.Disk
+	p.mu.Unlock()
+
+	var cost time.Duration
+	for _, sc := range srcs {
+		var extra time.Duration
+		if hook != nil {
+			e, err := hook.BeforeRead(sc.id, rebuild)
+			if err != nil {
+				return 0, err
+			}
+			extra = e
+		}
+		if d := sc.dev.Read(rebuild) + extra; d > cost {
+			cost = d
+		}
+	}
+	var extra time.Duration
+	if hook != nil {
+		e, err := hook.BeforeWrite(targetDisk, rebuild)
+		if err != nil {
+			return cost, err
+		}
+		extra = e
+	}
+	cost += td.dev.Write(rebuild) + extra
+	p.mu.Lock()
+	ts.live += liveDelta
+	p.reconstructed += rebuild
+	p.mu.Unlock()
+	return cost, nil
+}
+
+// DiskStats snapshots one disk's device counters (for accounting
+// regression tests and the lakectl faults status view).
+func (p *Pool) DiskStats(id DiskID) sim.DeviceStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return sim.DeviceStats{}
+	}
+	return p.disks[id].dev.Stats()
+}
+
+// DiskDevice exposes one disk's simulated device (latency-degradation
+// fault injection dials the device's slowdown).
+func (p *Pool) DiskDevice(id DiskID) *sim.Device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(p.disks) {
+		return nil
+	}
+	return p.disks[id].dev
 }
 
 // Reconstruct migrates every slice on failed disks onto healthy disks,

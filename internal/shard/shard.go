@@ -186,6 +186,29 @@ func (sp *Space) Read(loc Loc) ([]byte, time.Duration, error) {
 	return l.Read(loc.Offset, int64(loc.Len))
 }
 
+// FullyRedundant reports whether every PLog across the space's chains
+// holds its full redundancy (no stale replicas or shards awaiting
+// repair) — the health signal stream objects surface after degraded
+// writes.
+func (sp *Space) FullyRedundant() bool {
+	return sp.StaleBytes() == 0
+}
+
+// StaleBytes sums the missing redundancy bytes across the space's logs.
+func (sp *Space) StaleBytes() int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	var total int64
+	for _, chain := range sp.chains {
+		for _, id := range chain {
+			if l := sp.mgr.Get(id); l != nil {
+				total += l.StaleBytes()
+			}
+		}
+	}
+	return total
+}
+
 // Chain returns the PLog chain of shard s, oldest first.
 func (sp *Space) Chain(s ID) []plog.ID {
 	sp.mu.Lock()

@@ -122,8 +122,9 @@ type Device struct {
 	spec DeviceSpec
 	name string
 
-	mu    sync.Mutex
-	stats DeviceStats
+	mu       sync.Mutex
+	stats    DeviceStats
+	slowdown float64 // latency multiplier, 1 = healthy (fault injection)
 }
 
 // NewDevice creates a device with the given name and spec.
@@ -152,11 +153,50 @@ func transferTime(n int64, bw int64) time.Duration {
 	return time.Duration(float64(n) / float64(bw) * float64(time.Second))
 }
 
+// SetSlowdown degrades (factor > 1) or restores (factor <= 1) the
+// device's latency and bandwidth by a multiplier — the fault injector's
+// model of a sick-but-alive device (media retries, thermal throttling,
+// a congested link).
+func (d *Device) SetSlowdown(factor float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if factor < 1 {
+		factor = 1
+	}
+	d.slowdown = factor
+}
+
+// Slowdown reports the current latency multiplier (1 = healthy).
+func (d *Device) Slowdown() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.slowdown < 1 {
+		return 1
+	}
+	return d.slowdown
+}
+
+func (d *Device) readDur(n int64) time.Duration {
+	dur := d.spec.ReadLatency + transferTime(n, d.spec.ReadBandwidth)
+	if d.slowdown > 1 {
+		dur = time.Duration(float64(dur) * d.slowdown)
+	}
+	return dur
+}
+
+func (d *Device) writeDur(n int64) time.Duration {
+	dur := d.spec.WriteLatency + transferTime(n, d.spec.WriteBandwidth)
+	if d.slowdown > 1 {
+		dur = time.Duration(float64(dur) * d.slowdown)
+	}
+	return dur
+}
+
 // Read charges the cost of reading n bytes and returns the modelled
 // duration.
 func (d *Device) Read(n int64) time.Duration {
-	dur := d.spec.ReadLatency + transferTime(n, d.spec.ReadBandwidth)
 	d.mu.Lock()
+	dur := d.readDur(n)
 	d.stats.ReadOps++
 	d.stats.ReadBytes += n
 	d.stats.BusyTime += dur
@@ -167,13 +207,35 @@ func (d *Device) Read(n int64) time.Duration {
 // Write charges the cost of writing n bytes and returns the modelled
 // duration.
 func (d *Device) Write(n int64) time.Duration {
-	dur := d.spec.WriteLatency + transferTime(n, d.spec.WriteBandwidth)
 	d.mu.Lock()
+	dur := d.writeDur(n)
 	d.stats.WriteOps++
 	d.stats.WriteBytes += n
 	d.stats.BusyTime += dur
 	d.mu.Unlock()
 	return dur
+}
+
+// RefundWrite reverses the accounting of one Write of n bytes. Redundant
+// writes are issued in parallel; when enough of a placement group fails
+// that the whole operation is abandoned, the survivors' charges are
+// refunded so failed operations leave utilization stats unchanged.
+func (d *Device) RefundWrite(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dur := d.writeDur(n)
+	d.stats.WriteOps--
+	d.stats.WriteBytes -= n
+	d.stats.BusyTime -= dur
+	if d.stats.WriteOps < 0 {
+		d.stats.WriteOps = 0
+	}
+	if d.stats.WriteBytes < 0 {
+		d.stats.WriteBytes = 0
+	}
+	if d.stats.BusyTime < 0 {
+		d.stats.BusyTime = 0
+	}
 }
 
 // Alloc reserves n bytes of capacity. It returns an error when the device

@@ -25,8 +25,27 @@ func TestReclaimThroughFreesDrainedLogs(t *testing.T) {
 	if logsBefore < 2 {
 		t.Fatalf("test premise: need multiple logs, have %d", logsBefore)
 	}
-	// Reclaim the first half.
-	freed, err := o.ReclaimThrough(1500)
+	// Reclamation happens at PLog granularity: the watermark must cover
+	// every slice the chain's first log holds before that log can go.
+	o.mu.Lock()
+	firstLog := o.slices[0].loc.Log
+	var boundary int64
+	for _, e := range o.slices {
+		if e.loc.Log == firstLog {
+			boundary = e.base + int64(e.count)
+		}
+	}
+	o.mu.Unlock()
+	// One record short of the boundary: the log still holds live data.
+	freed, err := o.ReclaimThrough(boundary - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 0 {
+		t.Fatalf("freed %d from a log with a live record", freed)
+	}
+	// At the boundary the first log is fully drained and destroyed.
+	freed, err = o.ReclaimThrough(boundary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,8 +56,8 @@ func TestReclaimThroughFreesDrainedLogs(t *testing.T) {
 		t.Fatalf("no logs destroyed: %d -> %d", logsBefore, mgr.Count())
 	}
 	// Records beyond the reclaim point stay readable.
-	recs, _, err := o.Read(2500, ReadCtrl{MaxRecords: 5})
-	if err != nil || len(recs) != 5 || recs[0].Offset != 2500 {
+	recs, _, err := o.Read(boundary, ReadCtrl{MaxRecords: 5})
+	if err != nil || len(recs) != 5 || recs[0].Offset != boundary {
 		t.Fatalf("post-reclaim read: %d recs %v", len(recs), err)
 	}
 	// Appends continue with correct offsets.

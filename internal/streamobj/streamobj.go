@@ -163,6 +163,18 @@ func (s *Store) Count() int {
 	return len(s.objects)
 }
 
+// StaleBytes sums the missing redundancy bytes across all live objects —
+// zero when the store is fully redundant.
+func (s *Store) StaleBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, o := range s.objects {
+		total += o.StaleBytes()
+	}
+	return total
+}
+
 // sliceEntry locates one persisted slice.
 type sliceEntry struct {
 	base  int64 // offset of the slice's first record
@@ -304,10 +316,13 @@ func (o *Object) flushSliceLocked() (time.Duration, error) {
 		return 0, nil
 	}
 	data := encodeSlice(o.buf)
-	// Figure 4 a-d: the slice is assigned to a logical shard by hashing
-	// topic and slice position, spreading the object's slices over the
-	// 4096-shard DHT.
-	sh := shard.ForKey([]byte(fmt.Sprintf("%s/%d/%d", o.opts.Topic, o.id, o.bufBase)))
+	// Figure 4 a-d: the object is assigned to a logical shard by hashing
+	// topic and object id; the shard persists its slices through a chain
+	// of PLogs. Hashing the slice position here instead would give every
+	// slice its own shard — and thus its own single-use PLog, which never
+	// fills, never chains, and never sees an append after its placement
+	// group was allocated (so a disk death could never degrade a write).
+	sh := shard.ForKey([]byte(fmt.Sprintf("%s/%d", o.opts.Topic, o.id)))
 	loc, cost, err := o.space.Append(sh, data)
 	if err != nil {
 		return 0, err
@@ -491,6 +506,15 @@ func (o *Object) ReclaimThrough(offset int64) (int64, error) {
 	}
 	return freed, nil
 }
+
+// FullyRedundant reports whether every PLog backing the object holds its
+// full redundancy — false while degraded writes await the repair
+// service.
+func (o *Object) FullyRedundant() bool { return o.space.FullyRedundant() }
+
+// StaleBytes sums the missing redundancy bytes across the object's
+// PLogs.
+func (o *Object) StaleBytes() int64 { return o.space.StaleBytes() }
 
 // touchedShards returns the distinct shards the object has written.
 func (o *Object) touchedShards() []shard.ID {

@@ -62,6 +62,13 @@ func (c *Consumer) Subscribe(topic string) error {
 // Poll fetches up to max messages across the consumer's subscriptions,
 // returning the modelled read latency. An empty result means the
 // consumer is caught up.
+//
+// Lock ordering: c.mu is taken first, then svc.commitMu (shared), then
+// svc.mu — strictly in that order, and svc.mu only for the one-shot
+// topic snapshot below, never inside the stream loop. No code path may
+// acquire c.mu or commitMu while holding svc.mu, or c.mu while holding
+// commitMu; Txn.Commit takes commitMu exclusively without c.mu, which is
+// consistent with this order.
 func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 	if max <= 0 {
 		max = 256
@@ -76,10 +83,18 @@ func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 	// The commit latch: transactions become visible atomically.
 	c.svc.commitMu.RLock()
 	defer c.svc.commitMu.RUnlock()
+	// Snapshot the topic states in one svc.mu acquisition, hoisted out of
+	// the per-subscription loop.
+	c.svc.mu.Lock()
+	states := make(map[string]*topicState, len(c.subs))
+	for topic := range c.subs {
+		if ts, ok := c.svc.topics[topic]; ok {
+			states[topic] = ts
+		}
+	}
+	c.svc.mu.Unlock()
 	for _, sub := range c.subs {
-		c.svc.mu.Lock()
-		ts, ok := c.svc.topics[sub.topic]
-		c.svc.mu.Unlock()
+		ts, ok := states[sub.topic]
 		if !ok {
 			continue
 		}

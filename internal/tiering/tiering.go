@@ -113,6 +113,28 @@ func NewService(clock *sim.Clock, policy Policy) *Service {
 	}
 }
 
+// DegradeTier dials a latency slowdown onto one tier's device (factor
+// > 1 degrades, <= 1 restores) — the fault injector's model of a sick
+// media pool; migrations to and reads from the tier slow accordingly.
+func (s *Service) DegradeTier(t Tier, factor float64) error {
+	dev, ok := s.dev[t]
+	if !ok {
+		return fmt.Errorf("tiering: unknown tier %v", t)
+	}
+	dev.SetSlowdown(factor)
+	return nil
+}
+
+// TierSlowdown reports a tier's current latency multiplier (1 =
+// healthy).
+func (s *Service) TierSlowdown(t Tier) float64 {
+	dev, ok := s.dev[t]
+	if !ok {
+		return 1
+	}
+	return dev.Slowdown()
+}
+
 // Register starts tracking an item at the given tier.
 func (s *Service) Register(id string, size int64, tier Tier) {
 	s.mu.Lock()

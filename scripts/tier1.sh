@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything must build, vet clean, and pass the test suite
+# under the race detector. Run from the repository root.
+#
+# internal/bench's full benchmark-shape replays are single-threaded
+# simulation loops that take the better part of an hour under -race, so
+# the race pass trims them with -short (only internal/bench checks it)
+# and a second, race-free pass runs them in full.
+set -eux
+go build ./...
+go vet ./...
+go test -race -short ./...
+go test ./internal/bench/

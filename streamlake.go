@@ -23,11 +23,13 @@ import (
 
 	"streamlake/internal/colfile"
 	"streamlake/internal/convert"
+	"streamlake/internal/faults"
 	"streamlake/internal/lakebrain/compact"
 	"streamlake/internal/lakehouse"
 	"streamlake/internal/plog"
 	"streamlake/internal/pool"
 	"streamlake/internal/query"
+	"streamlake/internal/repair"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
 	"streamlake/internal/streamsvc"
@@ -65,6 +67,12 @@ type (
 	TableMeta = tableobj.TableMeta
 	// Snapshot is a table snapshot (for time travel).
 	Snapshot = tableobj.Snapshot
+	// FaultInjector kills/revives disks and injects transient I/O faults.
+	FaultInjector = faults.Injector
+	// RepairReport summarizes one pass of the repair service.
+	RepairReport = repair.Report
+	// PoolStats is a storage pool accounting snapshot.
+	PoolStats = pool.Stats
 )
 
 // Value constructors, re-exported.
@@ -122,6 +130,8 @@ type Lake struct {
 	tiers   *tiering.Service
 	repl    *tiering.Replicator
 	sql     *query.Engine
+	inj     *faults.Injector
+	rep     *repair.Service
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -152,6 +162,9 @@ func Open(cfg Config) (*Lake, error) {
 		Acceleration: !cfg.DisableMetadataAcceleration,
 	})
 	tiers := tiering.NewService(clock, tiering.Policy{DemoteAfter: time.Hour, ArchiveAfter: 24 * time.Hour})
+	inj := faults.New(cfg.Seed)
+	inj.Attach(ssd)
+	inj.Attach(hdd)
 	l := &Lake{
 		clock:   clock,
 		ssdPool: ssd,
@@ -167,7 +180,9 @@ func Open(cfg Config) (*Lake, error) {
 		tiers:   tiers,
 		repl:    tiering.NewReplicator(),
 		sql:     query.New(lh),
+		inj:     inj,
 	}
+	l.rep = repair.New(clock, logs, repair.Config{})
 	return l, nil
 }
 
@@ -313,6 +328,8 @@ type Stats struct {
 	LogicalBytes    int64
 	PhysicalBytes   int64
 	PoolUtilization float64
+	DegradedLogs    int   // PLogs holding stale replicas/shards
+	StaleBytes      int64 // redundancy bytes awaiting repair
 }
 
 // Stats returns a storage snapshot.
@@ -325,6 +342,8 @@ func (l *Lake) Stats() Stats {
 		LogicalBytes:    l.logs.LogicalBytes(),
 		PhysicalBytes:   l.logs.PhysicalBytes(),
 		PoolUtilization: ps.Utilization(),
+		DegradedLogs:    l.logs.DegradedCount(),
+		StaleBytes:      l.logs.StaleBytes(),
 	}
 }
 
@@ -377,3 +396,34 @@ func (l *Lake) RunTiering() ([]tiering.Migration, time.Duration) {
 func (l *Lake) ReplicateOffsite() (int64, time.Duration) {
 	return l.repl.Replicate(l.tiers)
 }
+
+// Faults exposes the fault injector attached to the lake's storage
+// pools: disk kill/revive, transient error rates, latency degradation.
+// All randomness derives from Config.Seed, so fault scenarios replay
+// deterministically.
+func (l *Lake) Faults() *faults.Injector { return l.inj }
+
+// Repairer exposes the background repair service that re-replicates or
+// re-encodes stale slices left behind by degraded writes.
+func (l *Lake) Repairer() *repair.Service { return l.rep }
+
+// RunRepair runs one repair pass over every degraded PLog and returns
+// what it accomplished.
+func (l *Lake) RunRepair() RepairReport { return l.rep.RunOnce() }
+
+// RepairUntilRedundant runs repair passes until full redundancy is
+// restored or maxRounds is exhausted; ok reports whether the lake ended
+// fully redundant.
+func (l *Lake) RepairUntilRedundant(maxRounds int) (RepairReport, bool) {
+	return l.rep.RunUntilRedundant(maxRounds)
+}
+
+// SSDPool exposes the hot storage pool (fault scenarios inspect
+// per-disk accounting).
+func (l *Lake) SSDPool() *pool.Pool { return l.ssdPool }
+
+// HDDPool exposes the warm storage pool.
+func (l *Lake) HDDPool() *pool.Pool { return l.hddPool }
+
+// Logs exposes the PLog manager (degraded-log introspection).
+func (l *Lake) Logs() *plog.Manager { return l.logs }
