@@ -1,0 +1,51 @@
+package plog
+
+import (
+	"testing"
+	"time"
+
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+type scriptHook struct{ fail map[pool.DiskID]bool }
+
+func (h *scriptHook) BeforeWrite(d pool.DiskID, n int64) (time.Duration, error) {
+	if h.fail[d] {
+		return 0, pool.ErrDiskFailed
+	}
+	return 0, nil
+}
+func (h *scriptHook) BeforeRead(d pool.DiskID, n int64) (time.Duration, error) { return 0, nil }
+
+func TestAllReplicasStale(t *testing.T) {
+	p := pool.New("plogtest", sim.NewClock(), sim.NVMeSSD, 3, 1<<20)
+	m := NewManager(p, 1<<20)
+	l, err := m.Create(ReplicateN(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &scriptHook{fail: map[pool.DiskID]bool{}}
+	p.SetFaultHook(h)
+	// Append 1: replica on disk of slice 0 fails -> stale.
+	d0 := l.Placement()[0].Disk
+	d1 := l.Placement()[1].Disk
+	d2 := l.Placement()[2].Disk
+	h.fail = map[pool.DiskID]bool{d0: true}
+	if _, _, err := l.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("append1: %v", err)
+	}
+	// Append 2: the other two replicas fail; only the already-stale one lands.
+	h.fail = map[pool.DiskID]bool{d1: true, d2: true}
+	if _, _, err := l.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("append2 returned error: %v", err)
+	}
+	h.fail = map[pool.DiskID]bool{}
+	if _, _, err := l.Read(0, 100); err != nil {
+		t.Logf("Read after two successful appends: %v", err)
+	}
+	if _, _, err := l.RepairStale(); err != nil {
+		t.Logf("RepairStale: %v", err)
+	}
+	t.Logf("stale after repair: %v, fullyRedundant=%v", l.Stale(), l.FullyRedundant())
+}
