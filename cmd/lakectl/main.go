@@ -28,8 +28,11 @@
 //	faults read-error <rate>
 //	faults slow <pool> <disk> <extra> (e.g. 5ms; 0 clears)
 //	faults slow-tier <tier> <factor>  (tier: ssd|hdd|archive)
+//	faults corrupt <pool>             (silently corrupt one random copy)
+//	faults bit-flip <pool> <rate>     (per-byte silent corruption rate; 0 clears)
 //	faults clear
 //	repair [rounds]
+//	scrub [run|cycle|status]
 //	help
 package main
 
@@ -104,10 +107,11 @@ func (s *shell) exec(line string) error {
 	rest := args[1:]
 	switch cmd {
 	case "help":
-		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats faults repair")
+		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats faults repair scrub")
 		fmt.Println("faults:   status | kill <pool> <disk> | kill-random <pool> | revive <pool> <disk> |")
 		fmt.Println("          write-error <rate> | read-error <rate> | slow <pool> <disk> <extra> |")
-		fmt.Println("          slow-tier <tier> <factor> | clear")
+		fmt.Println("          slow-tier <tier> <factor> | corrupt <pool> | bit-flip <pool> <rate> | clear")
+		fmt.Println("scrub:    run (one pass) | cycle (sweep every log) | status")
 		return nil
 	case "create-topic":
 		if len(rest) < 2 {
@@ -268,6 +272,8 @@ func (s *shell) exec(line string) error {
 		fmt.Printf("repaired %d/%d log(s), %dB restored, %d attempt(s), cost=%v backoff=%v fullyRedundant=%v\n",
 			rep.LogsRepaired, rep.LogsScanned, rep.RepairedBytes, rep.Attempts, rep.Cost, rep.Backoff, ok)
 		return nil
+	case "scrub":
+		return s.scrub(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -387,12 +393,72 @@ func (s *shell) faults(rest []string) error {
 		}
 		fmt.Printf("tier %s slowdown set to %.2fx\n", args[0], s.lake.Tiering().TierSlowdown(tier))
 		return nil
+	case "corrupt":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: faults corrupt <pool>")
+		}
+		ev, err := inj.CorruptRandom(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("silently corrupted %v\n", ev)
+		return nil
+	case "bit-flip":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: faults bit-flip <pool> <rate>")
+		}
+		rate, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		if rate < 0 {
+			return fmt.Errorf("negative rate %v (0 clears)", rate)
+		}
+		if err := inj.SetBitFlipRate(args[0], rate); err != nil {
+			return err
+		}
+		fmt.Printf("pool %s bit-flip rate set to %g per byte written\n", args[0], rate)
+		return nil
 	case "clear":
 		inj.Clear()
 		fmt.Println("all standing faults cleared")
 		return nil
 	default:
 		return fmt.Errorf("unknown faults subcommand %q (try help)", sub)
+	}
+}
+
+func (s *shell) scrub(rest []string) error {
+	sub := "run"
+	if len(rest) > 0 {
+		sub = rest[0]
+	}
+	switch sub {
+	case "run", "cycle":
+		var rep streamlake.ScrubReport
+		var err error
+		if sub == "run" {
+			rep, err = s.lake.RunScrub()
+		} else {
+			rep, err = s.lake.ScrubCycle()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scanned %d log(s), %d extent-cop(ies), %dB verified; %d mismatch(es), %dB repaired, %d copy(ies) skipped, took %v\n",
+			rep.LogsScanned, rep.ExtentsChecked, rep.BytesScanned,
+			rep.Mismatches, rep.RepairedBytes, rep.SkippedCopies, rep.Elapsed)
+		return nil
+	case "status":
+		st := s.lake.Scrubber().Stats()
+		integ := s.lake.Integrity()
+		fmt.Printf("passes=%d logsScanned=%d bytesScanned=%dB mismatches=%d repaired=%dB elapsed=%v cursor=log/%d\n",
+			st.Passes, st.LogsScanned, st.BytesScanned, st.Mismatches, st.RepairedBytes, st.Elapsed, s.lake.Scrubber().Cursor())
+		fmt.Printf("verifications=%d mismatches=%d fallbackReads=%d injected=%d quarantined=%dB\n",
+			integ.Verifications, integ.Mismatches, integ.FallbackReads, integ.Injected, integ.Quarantined)
+		return nil
+	default:
+		return fmt.Errorf("unknown scrub subcommand %q (run|cycle|status)", sub)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"streamlake/internal/plog"
 	"streamlake/internal/pool"
 	"streamlake/internal/sim"
 )
@@ -36,29 +37,35 @@ type Stats struct {
 	Revives             int64
 	InjectedWriteErrors int64
 	InjectedReadErrors  int64
+	InjectedCorruptions int64
 	InjectedLatency     time.Duration
 }
 
 // Injector owns the fault state for a set of storage pools.
 type Injector struct {
-	mu       sync.Mutex
-	rng      *sim.RNG
-	pools    map[string]*pool.Pool
-	order    []string // attach order, for deterministic enumeration
-	writeErr float64  // global transient write-error probability
-	readErr  float64  // global transient read-error probability
-	extra    map[diskKey]time.Duration
-	killed   map[diskKey]bool
-	stats    Stats
+	mu         sync.Mutex
+	rng        *sim.RNG
+	pools      map[string]*pool.Pool
+	order      []string // attach order, for deterministic enumeration
+	writeErr   float64  // global transient write-error probability
+	readErr    float64  // global transient read-error probability
+	extra      map[diskKey]time.Duration
+	killed     map[diskKey]bool
+	corruptors map[string]Corruptor
+	bitFlip    map[string]float64 // per-pool per-byte silent corruption rate
+	events     []plog.CorruptionEvent
+	stats      Stats
 }
 
 // New builds an injector whose probabilistic decisions derive from seed.
 func New(seed uint64) *Injector {
 	return &Injector{
-		rng:    sim.NewRNG(seed),
-		pools:  make(map[string]*pool.Pool),
-		extra:  make(map[diskKey]time.Duration),
-		killed: make(map[diskKey]bool),
+		rng:        sim.NewRNG(seed),
+		pools:      make(map[string]*pool.Pool),
+		extra:      make(map[diskKey]time.Duration),
+		killed:     make(map[diskKey]bool),
+		corruptors: make(map[string]Corruptor),
+		bitFlip:    make(map[string]float64),
 	}
 }
 
@@ -177,8 +184,13 @@ func (in *Injector) DegradeDisk(poolName string, disk int, extra time.Duration) 
 	return nil
 }
 
-// Clear removes every standing fault: revives killed disks, zeroes the
-// error rates, and drops latency degradations. Counters are kept.
+// Clear removes every standing fault source: it revives exactly the
+// disks this injector killed (disks failed directly through the pool
+// API are not tracked and stay down), zeroes the error and bit-flip
+// rates, and drops latency degradations. It does NOT undo damage
+// already done — stale copies from missed writes and silent corruption
+// planted at rest persist until the repair/scrub services fix them.
+// Counters and the corruption log are kept.
 func (in *Injector) Clear() {
 	in.mu.Lock()
 	var revive []diskKey
@@ -193,7 +205,14 @@ func (in *Injector) Clear() {
 	})
 	in.writeErr, in.readErr = 0, 0
 	in.extra = make(map[diskKey]time.Duration)
-	pools := in.pools
+	in.bitFlip = make(map[string]float64)
+	// Snapshot the pools we must touch: ReviveDisk takes the pool lock,
+	// so it runs outside in.mu, and reading in.pools out there would
+	// race with Attach.
+	pools := make(map[string]*pool.Pool, len(revive))
+	for _, k := range revive {
+		pools[k.pool] = in.pools[k.pool]
+	}
 	in.mu.Unlock()
 	for _, k := range revive {
 		if p, ok := pools[k.pool]; ok {
@@ -228,9 +247,10 @@ func (in *Injector) KilledDisks() []string {
 	return out
 }
 
-// inject is the hook body: roll for a transient error, then look up the
-// disk's standing latency degradation.
-func (in *Injector) inject(poolName string, disk pool.DiskID, write bool) (time.Duration, error) {
+// inject is the hook body: roll for a transient error, then (for
+// writes that go through) roll the silent bit-flip rate, then look up
+// the disk's standing latency degradation.
+func (in *Injector) inject(poolName string, disk pool.DiskID, n int64, write bool) (time.Duration, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	rate := in.readErr
@@ -245,6 +265,10 @@ func (in *Injector) inject(poolName string, disk pool.DiskID, write bool) (time.
 		}
 		return 0, ErrInjected
 	}
+	if write {
+		// Only a write that lands can silently corrupt media.
+		in.maybeBitFlip(poolName, disk, n)
+	}
 	extra := in.extra[diskKey{poolName, disk}]
 	in.stats.InjectedLatency += extra
 	return extra, nil
@@ -257,11 +281,11 @@ type poolHook struct {
 }
 
 func (h *poolHook) BeforeWrite(disk pool.DiskID, n int64) (time.Duration, error) {
-	return h.in.inject(h.pool, disk, true)
+	return h.in.inject(h.pool, disk, n, true)
 }
 
 func (h *poolHook) BeforeRead(disk pool.DiskID, n int64) (time.Duration, error) {
-	return h.in.inject(h.pool, disk, false)
+	return h.in.inject(h.pool, disk, n, false)
 }
 
 func clamp01(v float64) float64 {

@@ -20,6 +20,7 @@ package gateway
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -27,6 +28,18 @@ import (
 	"sync"
 
 	"streamlake"
+)
+
+// Request-size limits: a single unauthenticated-sized request must not
+// be able to allocate unbounded gateway memory.
+const (
+	// MaxProduceBody caps a produce request body (key + base64 value +
+	// JSON framing).
+	MaxProduceBody = 1 << 20 // 1 MiB
+	// MaxSQLBody caps a SQL request body.
+	MaxSQLBody = 256 << 10 // 256 KiB
+	// MaxConsumeBatch caps the consume `max` query parameter.
+	MaxConsumeBatch = 1000
 )
 
 // Permission is one grantable capability.
@@ -144,6 +157,24 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody decodes a JSON request body of at most limit bytes into v.
+// Oversized bodies report 413, malformed ones 400; either way the
+// response is already written and the caller just returns.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return false
+	}
+	return true
+}
+
 func (s *Server) listTopics(w http.ResponseWriter, r *http.Request, _ *Principal) {
 	writeJSON(w, map[string]any{"topics": s.lake.Service().Topics()})
 }
@@ -157,8 +188,7 @@ type produceRequest struct {
 func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 	topic := r.PathValue("topic")
 	var req produceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+	if !decodeBody(w, r, MaxProduceBody, &req) {
 		return
 	}
 	value, err := base64.StdEncoding.DecodeString(req.Value)
@@ -192,9 +222,15 @@ func (s *Server) consume(w http.ResponseWriter, r *http.Request, p *Principal) {
 	}
 	max := 100
 	if m := r.URL.Query().Get("max"); m != "" {
-		if v, err := strconv.Atoi(m); err == nil && v > 0 {
-			max = v
+		v, err := strconv.Atoi(m)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("max must be a positive integer, got %q", m))
+			return
 		}
+		if v > MaxConsumeBatch {
+			v = MaxConsumeBatch
+		}
+		max = v
 	}
 	s.mu.Lock()
 	key := group + "/" + topic
@@ -251,8 +287,7 @@ type sqlRequest struct {
 
 func (s *Server) sql(w http.ResponseWriter, r *http.Request, _ *Principal) {
 	var req sqlRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+	if !decodeBody(w, r, MaxSQLBody, &req) {
 		return
 	}
 	res, cost, err := s.lake.QueryCost(req.Query)

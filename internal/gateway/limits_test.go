@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"streamlake"
+)
+
+func rawPost(t *testing.T, e *env, path, token string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, e.ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestProduceBodyLimit(t *testing.T) {
+	e := newEnv(t)
+	if err := e.lake.CreateTopic(streamlake.TopicConfig{Name: "t", StreamNum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized: a value whose base64 alone exceeds the cap.
+	huge := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte("x"), MaxProduceBody))
+	body := []byte(fmt.Sprintf(`{"key":"k","value":%q}`, huge))
+	if resp := rawPost(t, e, "/v1/topics/t/messages", "writer-token", body); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized produce: got %d, want 413", resp.StatusCode)
+	}
+	// A body just under the cap still works.
+	ok := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte("y"), 1024))
+	body = []byte(fmt.Sprintf(`{"key":"k","value":%q}`, ok))
+	if resp := rawPost(t, e, "/v1/topics/t/messages", "writer-token", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("normal produce after limit check: got %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSQLBodyLimit(t *testing.T) {
+	e := newEnv(t)
+	query := "select count(*) from t where x = '" + strings.Repeat("a", MaxSQLBody) + "'"
+	body := []byte(fmt.Sprintf(`{"query":%q}`, query))
+	if resp := rawPost(t, e, "/v1/sql", "reader-token", body); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sql: got %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestConsumeMaxParam(t *testing.T) {
+	e := newEnv(t)
+	if err := e.lake.CreateTopic(streamlake.TopicConfig{Name: "t", StreamNum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, _ := e.do(t, http.MethodPost, "/v1/topics/t/messages", "writer-token", map[string]string{
+			"key": fmt.Sprintf("k%d", i), "value": base64.StdEncoding.EncodeToString([]byte("v")),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("produce %d: %d", i, resp.StatusCode)
+		}
+	}
+	for _, bad := range []string{"abc", "-1", "0", "1e9", "9999999999999999999999"} {
+		resp, _ := e.do(t, http.MethodGet, "/v1/topics/t/messages?max="+bad, "reader-token", nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("max=%q: got %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Absurdly large max is clamped, not rejected: the poll succeeds.
+	resp, out := e.do(t, http.MethodGet, "/v1/topics/t/messages?max=1000000", "reader-token", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped consume: got %d, want 200", resp.StatusCode)
+	}
+	if msgs, ok := out["messages"].([]any); !ok || len(msgs) != 5 {
+		t.Fatalf("clamped consume returned %v", out["messages"])
+	}
+	// Valid small max still honored.
+	resp, out = e.do(t, http.MethodGet, "/v1/topics/t/messages?max=2&group=g2", "reader-token", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("max=2 consume: %d", resp.StatusCode)
+	}
+	if msgs, ok := out["messages"].([]any); !ok || len(msgs) != 2 {
+		t.Fatalf("max=2 returned %v messages", out["messages"])
+	}
+}

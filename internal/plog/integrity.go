@@ -1,0 +1,497 @@
+// Block-checksum integrity layer for PLogs. Every Append records one
+// extent, and every placement copy (replica or EC shard column) of that
+// extent carries a CRC-32C (Castagnoli) checksum "on disk": for
+// replication the checksum of the payload itself, for erasure coding the
+// checksum of the copy's shard column produced by a real Reed-Solomon
+// encode. Reads verify the copy they serve and transparently fall back
+// to a healthy replica — or EC-reconstruct from surviving shards — when
+// a stored checksum disagrees with the data, so silent corruption is
+// surfaced as a counter and a repair-queue entry, never as wrong bytes.
+//
+// The simulated substrate keeps the logical bytes once (PLog.buf) and
+// models per-copy state separately, so a latent bit flip on one copy is
+// modeled as damage to that copy's stored checksum: the copy's data and
+// checksum no longer agree with the payload the log is known to hold.
+// Verification recomputes the CRC from the authoritative bytes (for
+// replication and EC data columns; parity columns compare against the
+// encode-time value) and compares it with what the copy "stored".
+//
+// Locking: integrity state lives under its own mutex (imu) so the fault
+// injector can flip stored checksums from pool-hook context — which runs
+// while mu is held by an in-flight append — without deadlocking. Lock
+// order: mu may be held when taking imu, never the reverse, and imu is
+// never held across pool I/O.
+package plog
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+)
+
+// castagnoli is the CRC-32C table used for every block checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptionMask is XORed into a copy's true checksum to model a latent
+// bit flip. Corrupting an already-corrupt copy keeps it corrupt (the
+// stored value is derived from the true sum, not flipped back and
+// forth).
+const corruptionMask uint32 = 0xDEADBEEF
+
+// extent is one appended record: the byte range [off, off+len) of the
+// logical stream.
+type extent struct {
+	off, len int64
+}
+
+// IntegrityStats counts checksum activity on a log or across a manager.
+type IntegrityStats struct {
+	Verifications int64 // extent-copy checksum checks performed
+	Mismatches    int64 // checks where the stored checksum disagreed
+	FallbackReads int64 // reads served after skipping a corrupt copy
+	Injected      int64 // corruption events landed on this log's copies
+	Quarantined   int64 // bytes marked stale because of mismatches
+}
+
+func (a IntegrityStats) add(b IntegrityStats) IntegrityStats {
+	a.Verifications += b.Verifications
+	a.Mismatches += b.Mismatches
+	a.FallbackReads += b.FallbackReads
+	a.Injected += b.Injected
+	a.Quarantined += b.Quarantined
+	return a
+}
+
+// CorruptionEvent describes one injected silent corruption.
+type CorruptionEvent struct {
+	Log      ID
+	SliceIdx int
+	Disk     pool.DiskID
+	Extent   int
+}
+
+func (e CorruptionEvent) String() string {
+	return fmt.Sprintf("log %d copy %d (disk %d) extent %d", e.Log, e.SliceIdx, e.Disk, e.Extent)
+}
+
+// recordExtent computes and stores the per-copy checksums for a freshly
+// appended extent. failed lists the placement indices whose write was
+// absorbed as a degraded write; those copies get no checksum (the bytes
+// never landed) and are caught up by repair.
+func (l *PLog) recordExtent(off int64, data []byte, failed []int) {
+	width := l.red.Width()
+	true_ := make([]uint32, width)
+	if l.codec != nil {
+		stripe, err := l.codec.Encode(l.codec.Split(data))
+		if err != nil {
+			// Cannot happen: Split always yields k equal shards.
+			panic(fmt.Sprintf("plog: encode for checksum: %v", err))
+		}
+		for i := 0; i < width; i++ {
+			true_[i] = crc32.Checksum(stripe[i], castagnoli)
+		}
+	} else {
+		sum := crc32.Checksum(data, castagnoli)
+		for i := 0; i < width; i++ {
+			true_[i] = sum
+		}
+	}
+	missed := make(map[int]bool, len(failed))
+	for _, i := range failed {
+		missed[i] = true
+	}
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	if l.copySums == nil {
+		l.copySums = make([]map[int]uint32, width)
+		for i := range l.copySums {
+			l.copySums[i] = make(map[int]uint32)
+		}
+	}
+	e := len(l.extents)
+	l.extents = append(l.extents, extent{off: off, len: int64(len(data))})
+	l.trueSums = append(l.trueSums, true_)
+	for i := 0; i < width; i++ {
+		if !missed[i] {
+			l.copySums[i][e] = true_[i]
+		}
+	}
+}
+
+// overlapping returns the extent indices intersecting [off, off+n).
+// Caller holds imu.
+func (l *PLog) overlappingLocked(off, n int64) []int {
+	if n <= 0 {
+		return nil
+	}
+	end := off + n
+	// Extents are appended in offset order; binary-search the first one
+	// that ends past off.
+	i := sort.Search(len(l.extents), func(i int) bool {
+		return l.extents[i].off+l.extents[i].len > off
+	})
+	var out []int
+	for ; i < len(l.extents) && l.extents[i].off < end; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// expectedSum returns the checksum copy i must hold for extent e. For
+// replication and EC data columns it re-runs the real CRC over the
+// authoritative bytes; EC parity columns compare against the value
+// computed by the encode at append time (re-encoding parity on every
+// read would charge no different outcome at GF-math cost). Caller holds
+// imu.
+func (l *PLog) expectedSumLocked(i, e int) uint32 {
+	ext := l.extents[e]
+	data := l.buf[ext.off : ext.off+ext.len]
+	if l.codec == nil {
+		return crc32.Checksum(data, castagnoli)
+	}
+	k := l.red.K
+	if i < k {
+		shardLen := (int(ext.len) + k - 1) / k
+		if shardLen == 0 {
+			shardLen = 1
+		}
+		start := i * shardLen
+		end := start + shardLen
+		col := make([]byte, shardLen)
+		if start < len(data) {
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(col, data[start:end])
+		}
+		return crc32.Checksum(col, castagnoli)
+	}
+	return l.trueSums[e][i]
+}
+
+// verifyCopyRange checks copy i's stored checksums for every extent
+// overlapping [off, off+n), returning the extents that failed
+// verification. Extents the copy never stored (degraded writes already
+// tracked as stale) are skipped. Caller holds mu; imu is taken here.
+func (l *PLog) verifyCopyRange(i int, off, n int64) (bad []int) {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	for _, e := range l.overlappingLocked(off, n) {
+		stored, ok := l.copySums[i][e]
+		if !ok {
+			continue
+		}
+		l.integ.Verifications++
+		if stored != l.expectedSumLocked(i, e) {
+			l.integ.Mismatches++
+			bad = append(bad, e)
+		}
+	}
+	return bad
+}
+
+// missingIn reports whether copy i lacks any extent overlapping
+// [off, off+n) — holes from degraded writes or quarantined corruption.
+// A copy that is stale elsewhere can still serve ranges it holds
+// intact, so reads check the requested range rather than the coarse
+// per-copy stale counter.
+func (l *PLog) missingIn(i int, off, n int64) bool {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	if len(l.extents) == 0 {
+		return false
+	}
+	for _, e := range l.overlappingLocked(off, n) {
+		if _, ok := l.copySums[i][e]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptIn returns the first corrupt extent of copy i inside
+// [off, off+n), or -1, without counting a verification — the peek the
+// verify-disabled read path uses to model serving wrong bytes.
+func (l *PLog) corruptIn(i int, off, n int64) int {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	for _, e := range l.overlappingLocked(off, n) {
+		if stored, ok := l.copySums[i][e]; ok && stored != l.expectedSumLocked(i, e) {
+			return e
+		}
+	}
+	return -1
+}
+
+// quarantine marks copy i's corrupt extents stale so the repair service
+// rebuilds them, and drops their stored checksums so one corruption is
+// detected (and counted) exactly once. Caller holds mu.
+func (l *PLog) quarantine(i int, bad []int) {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	for _, e := range bad {
+		if _, ok := l.copySums[i][e]; !ok {
+			continue
+		}
+		delete(l.copySums[i], e)
+		per := l.red.shardSize(l.extents[e].len)
+		if l.stale == nil {
+			l.stale = make(map[int]int64)
+		}
+		l.stale[i] += per
+		l.integ.Quarantined += per
+	}
+}
+
+// restoreSums re-establishes copy i's checksums after repair rebuilt the
+// copy from healthy peers: every extent the copy was missing now holds
+// the true bytes again. Caller holds mu.
+func (l *PLog) restoreSums(i int) {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	if l.copySums == nil {
+		return
+	}
+	for e := range l.extents {
+		if _, ok := l.copySums[i][e]; !ok {
+			l.copySums[i][e] = l.trueSums[e][i]
+		}
+	}
+}
+
+// corruptBytes returns a copy of data with one bit flipped inside the
+// region covered by extent e — what a reader would see serving the
+// corrupt copy with verification disabled.
+func (l *PLog) corruptBytes(data []byte, off int64, e int) []byte {
+	out := append([]byte(nil), data...)
+	l.imu.Lock()
+	pos := l.extents[e].off - off
+	l.imu.Unlock()
+	if pos < 0 {
+		pos = 0
+	}
+	if pos < int64(len(out)) {
+		out[pos] ^= 0x01
+	}
+	return out
+}
+
+// CorruptCopy flips the stored checksum of one copy's extent, modeling a
+// latent bit flip at rest on that copy. It returns false when the target
+// is already corrupt or the copy never stored the extent (stale from a
+// degraded write). Safe to call from pool-hook context.
+func (l *PLog) CorruptCopy(sliceIdx, ext int) (bool, error) {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	if sliceIdx < 0 || sliceIdx >= l.red.Width() {
+		return false, fmt.Errorf("plog: copy index %d out of range (width %d)", sliceIdx, l.red.Width())
+	}
+	if ext < 0 || ext >= len(l.extents) {
+		return false, fmt.Errorf("plog: extent %d out of range (%d extents)", ext, len(l.extents))
+	}
+	stored, ok := l.copySums[sliceIdx][ext]
+	if !ok {
+		return false, nil
+	}
+	want := l.trueSums[ext][sliceIdx]
+	if stored != want {
+		return false, nil // already corrupt
+	}
+	l.copySums[sliceIdx][ext] = want ^ corruptionMask
+	l.integ.Injected++
+	return true, nil
+}
+
+// corruptCandidatesLocked counts the healthy (verifiable, not yet
+// corrupt) extent-copies of the log, optionally restricted to copies
+// whose slice currently lives on disk d (d < 0 means any disk). pick,
+// when in range, corrupts the pick-th candidate and returns its event.
+// Caller holds imu.
+func (l *PLog) corruptCandidatesLocked(d pool.DiskID, pick int) (int, CorruptionEvent, bool) {
+	n := 0
+	for i := range l.copySums {
+		if d >= 0 {
+			if disk, err := l.pool.SliceDisk(l.slices[i].ID); err != nil || disk != d {
+				continue
+			}
+		}
+		// Deterministic order: extents ascending.
+		for e := 0; e < len(l.extents); e++ {
+			stored, ok := l.copySums[i][e]
+			if !ok || stored != l.trueSums[e][i] {
+				continue
+			}
+			if n == pick {
+				l.copySums[i][e] = l.trueSums[e][i] ^ corruptionMask
+				l.integ.Injected++
+				disk, _ := l.pool.SliceDisk(l.slices[i].ID)
+				return n + 1, CorruptionEvent{Log: l.id, SliceIdx: i, Disk: disk, Extent: e}, true
+			}
+			n++
+		}
+	}
+	return n, CorruptionEvent{}, false
+}
+
+// IntegrityStats snapshots the log's checksum counters.
+func (l *PLog) IntegrityStats() IntegrityStats {
+	l.imu.Lock()
+	defer l.imu.Unlock()
+	return l.integ
+}
+
+// ScrubResult reports one full checksum verification of a log.
+type ScrubResult struct {
+	Extents       int           // extent-copies read and verified
+	Bytes         int64         // physical bytes read for verification
+	Mismatches    int           // corrupt extent-copies found (now quarantined)
+	SkippedCopies int           // copies not verifiable (failed disk or already stale)
+	Cost          time.Duration // device time charged for verification reads
+}
+
+// Scrub reads and verifies every copy of every extent — the whole
+// redundancy set, not just a read quorum — charging the verification
+// reads to the placement disks. Corrupt copies are quarantined as stale
+// for the repair service. Copies on failed disks or already stale are
+// skipped; they are the repair service's problem, not the scrubber's.
+func (l *PLog) Scrub() (ScrubResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var res ScrubResult
+	l.imu.Lock()
+	nExt := len(l.extents)
+	l.imu.Unlock()
+	for i, s := range l.slices {
+		if l.stale[i] > 0 || l.pool.DiskFailed(s.Disk) {
+			res.SkippedCopies++
+			continue
+		}
+		var bad []int
+		readFailed := false
+		for e := 0; e < nExt; e++ {
+			l.imu.Lock()
+			stored, ok := l.copySums[i][e]
+			per := l.red.shardSize(l.extents[e].len)
+			var want uint32
+			if ok {
+				want = l.expectedSumLocked(i, e)
+			}
+			l.imu.Unlock()
+			if !ok {
+				continue
+			}
+			c, err := l.pool.Read(s.ID, per)
+			if err != nil {
+				// Transient read fault mid-scrub: leave this copy for the
+				// next pass rather than miscounting it as corrupt.
+				readFailed = true
+				break
+			}
+			res.Cost += c
+			res.Extents++
+			res.Bytes += per
+			l.imu.Lock()
+			l.integ.Verifications++
+			l.imu.Unlock()
+			if stored != want {
+				bad = append(bad, e)
+			}
+		}
+		if readFailed {
+			res.SkippedCopies++
+			continue
+		}
+		if len(bad) > 0 {
+			l.imu.Lock()
+			l.integ.Mismatches += int64(len(bad))
+			l.imu.Unlock()
+			l.quarantine(i, bad)
+			res.Mismatches += len(bad)
+		}
+	}
+	return res, nil
+}
+
+// SetVerifyOnRead toggles checksum verification on every read across the
+// manager's logs (on by default). Disabling it models a system without
+// end-to-end integrity: reads that land on a corrupt copy silently
+// return wrong bytes.
+func (m *Manager) SetVerifyOnRead(v bool) { m.verify.Store(!v) }
+
+// VerifyOnRead reports whether reads verify checksums.
+func (m *Manager) VerifyOnRead() bool { return !m.verify.Load() }
+
+// CorruptCopy flips the stored checksum of one copy's extent of one log.
+func (m *Manager) CorruptCopy(id ID, sliceIdx, ext int) (bool, error) {
+	l := m.Get(id)
+	if l == nil {
+		return false, fmt.Errorf("plog: no log %d", id)
+	}
+	return l.CorruptCopy(sliceIdx, ext)
+}
+
+// sortedLogs snapshots the live logs ordered by ID.
+func (m *Manager) sortedLogs() []*PLog {
+	m.mu.Lock()
+	out := make([]*PLog, 0, len(m.logs))
+	for _, l := range m.logs {
+		out = append(out, l)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CorruptRandom corrupts one uniformly chosen healthy extent-copy across
+// all live logs, driven by the caller's seeded RNG. ok is false when
+// nothing is corruptible. Safe to call from pool-hook context.
+func (m *Manager) CorruptRandom(rng *sim.RNG) (CorruptionEvent, bool) {
+	return m.corruptRandom(pool.DiskID(-1), rng)
+}
+
+// CorruptRandomOnDisk corrupts one uniformly chosen healthy extent-copy
+// currently placed on disk d — the background bit-flip injection target.
+func (m *Manager) CorruptRandomOnDisk(d pool.DiskID, rng *sim.RNG) (CorruptionEvent, bool) {
+	return m.corruptRandom(d, rng)
+}
+
+func (m *Manager) corruptRandom(d pool.DiskID, rng *sim.RNG) (CorruptionEvent, bool) {
+	logs := m.sortedLogs()
+	total := 0
+	counts := make([]int, len(logs))
+	for i, l := range logs {
+		l.imu.Lock()
+		n, _, _ := l.corruptCandidatesLocked(d, -1)
+		l.imu.Unlock()
+		counts[i] = n
+		total += n
+	}
+	if total == 0 {
+		return CorruptionEvent{}, false
+	}
+	pick := rng.Intn(total)
+	for i, l := range logs {
+		if pick >= counts[i] {
+			pick -= counts[i]
+			continue
+		}
+		l.imu.Lock()
+		_, ev, ok := l.corruptCandidatesLocked(d, pick)
+		l.imu.Unlock()
+		return ev, ok
+	}
+	return CorruptionEvent{}, false
+}
+
+// IntegrityStats sums checksum counters across all live logs.
+func (m *Manager) IntegrityStats() IntegrityStats {
+	var total IntegrityStats
+	for _, l := range m.sortedLogs() {
+		total = total.add(l.IntegrityStats())
+	}
+	return total
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/ec"
@@ -96,6 +97,9 @@ var (
 	ErrFull        = errors.New("plog: append exceeds log capacity")
 	ErrOutOfRange  = errors.New("plog: read out of range")
 	ErrUnavailable = errors.New("plog: too many placement disks failed")
+	// ErrCorrupt marks a checksum mismatch on a copy; reads fall back to
+	// healthy copies and only surface it when no copy survives.
+	ErrCorrupt = errors.New("plog: checksum mismatch")
 )
 
 // PLog is one append-only persistence unit. The logical byte stream is
@@ -117,6 +121,16 @@ type PLog struct {
 	// (or shard column) is missing after degraded writes. A stale slice
 	// never serves reads and is the repair service's work queue.
 	stale map[int]int64
+
+	// Integrity state (see integrity.go). Guarded by imu, not mu, so the
+	// fault injector can corrupt copies from pool-hook context; never
+	// hold imu while doing pool I/O.
+	imu      sync.Mutex
+	extents  []extent
+	trueSums [][]uint32       // [extent][copy] expected checksums
+	copySums []map[int]uint32 // per copy: extent index -> stored checksum
+	integ    IntegrityStats
+	noVerify *atomic.Bool // shared manager-wide verify-on-read toggle
 }
 
 // ID returns the log's identifier.
@@ -216,34 +230,60 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 		l.stale[i] += per
 	}
 	l.buf = append(l.buf, data...)
+	l.recordExtent(offset, data, failed)
 	return offset, max, nil
 }
 
 // Read returns n bytes starting at offset, charging the device reads. For
 // replication it reads one healthy copy; for erasure coding it reads K
-// healthy shards in parallel (cost is the slowest). When placement disks
-// have failed or fallen stale it degrades to surviving replicas or EC
-// reconstruction, and returns ErrUnavailable only when the policy's
-// fault tolerance is exceeded. The returned slice is a copy; callers may
-// mutate it freely without corrupting the log.
+// healthy shards in parallel (cost is the slowest). Every copy served is
+// checksum-verified (unless the manager disabled verification): a
+// mismatch quarantines that copy as stale for the repair service and the
+// read transparently falls back to the next replica or reconstructs from
+// surviving shards. When placement disks have failed, fallen stale, or
+// been found corrupt it degrades the same way, and returns
+// ErrUnavailable only when the policy's fault tolerance is exceeded —
+// corrupt bytes are never returned while verification is on. The
+// returned slice is a copy; callers may mutate it freely without
+// corrupting the log.
 func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if offset < 0 || n < 0 || offset+n > int64(len(l.buf)) {
 		return nil, 0, ErrOutOfRange
 	}
+	verify := l.noVerify == nil || !l.noVerify.Load()
 	switch l.red.Kind {
 	case Replicate:
 		var lastErr error
+		fellBack := false
 		for i, s := range l.slices {
-			if l.stale[i] > 0 {
-				continue // copy has holes from degraded writes
+			if l.missingIn(i, offset, n) {
+				continue // copy has holes here: degraded write or quarantined
 			}
 			d, rerr := l.pool.Read(s.ID, n)
-			if rerr == nil {
-				return append([]byte(nil), l.buf[offset:offset+n]...), d, nil
+			if rerr != nil {
+				lastErr = rerr
+				continue
 			}
-			lastErr = rerr
+			cost += d // wasted reads of corrupt copies stay charged
+			if verify {
+				if bad := l.verifyCopyRange(i, offset, n); len(bad) > 0 {
+					l.quarantine(i, bad)
+					lastErr = fmt.Errorf("%w on copy %d", ErrCorrupt, i)
+					fellBack = true
+					continue
+				}
+			} else if bad := l.corruptIn(i, offset, n); bad >= 0 {
+				// No integrity layer: the corrupt copy is served as-is.
+				return l.corruptBytes(l.buf[offset:offset+n], offset, bad), cost, nil
+			}
+			if fellBack {
+				l.imu.Lock()
+				l.integ.FallbackReads++
+				l.imu.Unlock()
+			}
+			return append([]byte(nil), l.buf[offset:offset+n]...), cost, nil
 		}
 		if lastErr == nil {
 			lastErr = errors.New("all replicas stale")
@@ -253,26 +293,49 @@ func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error
 		shard := (n + int64(l.red.K) - 1) / int64(l.red.K)
 		var max time.Duration
 		healthy := 0
+		fellBack := false
+		corruptServed := -1
 		for i, s := range l.slices {
 			if healthy == l.red.K {
 				break
 			}
-			if l.stale[i] > 0 {
-				continue // shard column has holes from degraded writes
+			if l.missingIn(i, offset, n) {
+				continue // shard has holes here: degraded write or quarantined
 			}
 			d, rerr := l.pool.Read(s.ID, shard)
 			if rerr != nil {
 				continue // failed disk; try the next shard (degraded read)
+			}
+			if verify {
+				if bad := l.verifyCopyRange(i, offset, n); len(bad) > 0 {
+					l.quarantine(i, bad)
+					fellBack = true
+					cost += d // wasted read of the corrupt shard
+					continue
+				}
+			} else if bad := l.corruptIn(i, offset, n); bad >= 0 && corruptServed < 0 {
+				corruptServed = bad
 			}
 			healthy++
 			if d > max {
 				max = d
 			}
 		}
+		cost += max
 		if healthy < l.red.K {
 			return nil, 0, ErrUnavailable
 		}
-		return append([]byte(nil), l.buf[offset:offset+n]...), max, nil
+		if corruptServed >= 0 {
+			// No integrity layer: a corrupt shard column contributed to the
+			// decode, so the joined payload comes out wrong.
+			return l.corruptBytes(l.buf[offset:offset+n], offset, corruptServed), cost, nil
+		}
+		if fellBack {
+			l.imu.Lock()
+			l.integ.FallbackReads++
+			l.imu.Unlock()
+		}
+		return append([]byte(nil), l.buf[offset:offset+n]...), cost, nil
 	}
 	return nil, 0, fmt.Errorf("plog: unknown redundancy kind %d", l.red.Kind)
 }
@@ -316,6 +379,14 @@ func (l *PLog) verifyReconstructLocked(erasures []int) error {
 		}
 	}
 	return nil
+}
+
+// Placement snapshots the log's placement slices in index order, for
+// tests and diagnostics that target a specific copy.
+func (l *PLog) Placement() []*pool.Slice {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*pool.Slice(nil), l.slices...)
 }
 
 // StaleInfo describes one stale placement slice awaiting repair.
@@ -431,6 +502,8 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 		cost += c
 		repaired += staleBytes
 		delete(l.stale, i)
+		// The copy holds true bytes again; its checksums verify anew.
+		l.restoreSums(i)
 	}
 	return repaired, cost, nil
 }
@@ -460,6 +533,9 @@ func (l *PLog) PhysicalBytes() int64 {
 type Manager struct {
 	pool     *pool.Pool
 	capacity int64
+	// verify is inverted (noVerify) so the zero value means
+	// verification on — every log shares this toggle.
+	verify atomic.Bool
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
@@ -502,6 +578,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		pool:     m.pool,
 		codec:    codec,
 		slices:   slices,
+		noVerify: &m.verify,
 	}
 	m.logs[l.id] = l
 	return l, nil

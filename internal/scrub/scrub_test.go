@@ -1,0 +1,174 @@
+package scrub
+
+import (
+	"testing"
+
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/repair"
+	"streamlake/internal/sim"
+)
+
+func newFixture(t *testing.T, disks, logs, extents int) (*sim.Clock, *plog.Manager, []*plog.PLog) {
+	t.Helper()
+	clock := sim.NewClock()
+	p := pool.New("scrub", clock, sim.NVMeSSD, disks, 1<<20)
+	m := plog.NewManager(p, 1<<20)
+	var out []*plog.PLog
+	for i := 0; i < logs; i++ {
+		l, err := m.Create(plog.ReplicateN(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < extents; e++ {
+			if _, _, err := l.Append(make([]byte, 1024)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out = append(out, l)
+	}
+	return clock, m, out
+}
+
+func TestDetectAndRepairLoop(t *testing.T) {
+	clock, m, logs := newFixture(t, 5, 4, 3)
+	rep := repair.New(clock, m, repair.Config{})
+	s := New(clock, m, rep, Config{Repair: true})
+	// Plant corruption off the read path in two logs.
+	for _, li := range []int{1, 3} {
+		if ok, err := logs[li].CorruptCopy(2, 1); err != nil || !ok {
+			t.Fatalf("CorruptCopy: ok=%v err=%v", ok, err)
+		}
+	}
+	before := clock.Now()
+	r, err := s.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullCycle || r.LogsScanned != 4 {
+		t.Fatalf("expected full cycle over 4 logs: %+v", r)
+	}
+	if r.Mismatches != 2 {
+		t.Fatalf("found %d mismatches, want 2 (%+v)", r.Mismatches, r)
+	}
+	if r.RepairedBytes == 0 {
+		t.Fatalf("inline repair restored nothing: %+v", r)
+	}
+	if m.DegradedCount() != 0 {
+		t.Fatal("logs still degraded after scrub+repair")
+	}
+	if clock.Now() == before {
+		t.Fatal("scrub pass consumed no virtual time")
+	}
+	// Verification I/O covers all copies: 4 logs x 3 extents x 3 copies.
+	if r.ExtentsChecked != 36 {
+		t.Fatalf("checked %d extent-copies, want 36", r.ExtentsChecked)
+	}
+	// Second pass is clean and cheaper than a repair cycle.
+	r2, err := s.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Mismatches != 0 || r2.RepairedBytes != 0 {
+		t.Fatalf("second pass dirty: %+v", r2)
+	}
+	st := s.Stats()
+	if st.Passes != 2 || st.Mismatches != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestBudgetedPassesCycleCursor bounds each pass to roughly one log and
+// checks the cursor walks the population round-robin, covering every
+// log across passes.
+func TestBudgetedPassesCycleCursor(t *testing.T) {
+	clock, m, logs := newFixture(t, 5, 4, 2)
+	// One log scrubs 2 extents x 3 copies x 1KB = 6KB; budget one log.
+	s := New(clock, m, nil, Config{BytesPerPass: 6 * 1024})
+	seen := map[plog.ID]bool{}
+	for pass := 0; pass < 4; pass++ {
+		r, err := s.RunOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LogsScanned != 1 {
+			t.Fatalf("pass %d scanned %d logs, want 1", pass, r.LogsScanned)
+		}
+		if r.FullCycle {
+			t.Fatalf("pass %d claims full cycle", pass)
+		}
+		seen[s.Cursor()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 budgeted passes covered %d distinct logs, want all 4", len(seen))
+	}
+	// Next pass wraps to the first log again.
+	if _, err := s.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cursor() != logs[0].ID() {
+		t.Fatalf("cursor did not wrap: at %d", s.Cursor())
+	}
+}
+
+// TestRunCycleUnderBudget merges budgeted passes into one full sweep
+// and finds corruption wherever it hides.
+func TestRunCycleUnderBudget(t *testing.T) {
+	clock, m, logs := newFixture(t, 5, 4, 2)
+	rep := repair.New(clock, m, repair.Config{})
+	s := New(clock, m, rep, Config{BytesPerPass: 6 * 1024, Repair: true})
+	if ok, err := logs[3].CorruptCopy(1, 0); err != nil || !ok {
+		t.Fatalf("CorruptCopy: ok=%v err=%v", ok, err)
+	}
+	r, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullCycle || r.LogsScanned < 4 {
+		t.Fatalf("cycle incomplete: %+v", r)
+	}
+	if r.Mismatches != 1 || r.RepairedBytes == 0 {
+		t.Fatalf("cycle missed the corruption: %+v", r)
+	}
+	if m.DegradedCount() != 0 {
+		t.Fatal("still degraded after cycle")
+	}
+}
+
+// TestScrubSkipsStaleAndDeadCopies: stale copies and failed disks are
+// the repair service's domain; scrub reports them as skipped.
+func TestScrubSkipsStaleAndDeadCopies(t *testing.T) {
+	clock, m, logs := newFixture(t, 5, 1, 2)
+	l := logs[0]
+	if err := m.Pool().FailDisk(l.Placement()[0].Disk); err != nil {
+		t.Fatal(err)
+	}
+	s := New(clock, m, nil, Config{})
+	r, err := s.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedCopies != 1 {
+		t.Fatalf("skipped %d copies, want 1: %+v", r.SkippedCopies, r)
+	}
+	if r.ExtentsChecked != 4 { // 2 extents x 2 live copies
+		t.Fatalf("checked %d, want 4", r.ExtentsChecked)
+	}
+}
+
+func TestEmptyManager(t *testing.T) {
+	clock := sim.NewClock()
+	p := pool.New("scrub", clock, sim.NVMeSSD, 3, 1<<20)
+	m := plog.NewManager(p, 1<<20)
+	s := New(clock, m, nil, Config{})
+	r, err := s.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FullCycle || r.LogsScanned != 0 {
+		t.Fatalf("empty pass: %+v", r)
+	}
+	if _, err := s.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,3 +11,7 @@ go build ./...
 go vet ./...
 go test -race -short ./...
 go test ./internal/bench/
+# Short fuzz smoke over the codec boundaries: a few seconds of input
+# generation against the decoders that parse untrusted bytes.
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/
+go test -run='^$' -fuzz=FuzzOpen -fuzztime=5s ./internal/colfile/

@@ -30,6 +30,7 @@ import (
 	"streamlake/internal/pool"
 	"streamlake/internal/query"
 	"streamlake/internal/repair"
+	"streamlake/internal/scrub"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
 	"streamlake/internal/streamsvc"
@@ -71,6 +72,15 @@ type (
 	FaultInjector = faults.Injector
 	// RepairReport summarizes one pass of the repair service.
 	RepairReport = repair.Report
+	// ScrubReport summarizes one pass of the background scrubber.
+	ScrubReport = scrub.Report
+	// ScrubStats accumulates scrub activity across passes.
+	ScrubStats = scrub.Stats
+	// IntegrityStats counts checksum verifications, mismatches, and
+	// fallback reads across the lake's PLogs.
+	IntegrityStats = plog.IntegrityStats
+	// CorruptionEvent identifies one injected silent corruption.
+	CorruptionEvent = plog.CorruptionEvent
 	// PoolStats is a storage pool accounting snapshot.
 	PoolStats = pool.Stats
 )
@@ -108,6 +118,16 @@ type Config struct {
 	// DisableMetadataAcceleration turns the lakehouse metadata cache
 	// off (the Figure 15 baseline).
 	DisableMetadataAcceleration bool
+	// DisableVerifyOnRead turns off checksum verification on the read
+	// path — the no-end-to-end-integrity baseline, where reads landing
+	// on a corrupt copy silently return wrong bytes.
+	DisableVerifyOnRead bool
+	// ScrubBytesPerPass bounds one scrub pass's verification bytes
+	// (0 = each pass sweeps every log once).
+	ScrubBytesPerPass int64
+	// ScrubRate is the scrubber's bandwidth in bytes per second of
+	// virtual time (default 64 MiB/s).
+	ScrubRate int64
 	// Seed drives all randomized components deterministically.
 	Seed uint64
 }
@@ -132,6 +152,7 @@ type Lake struct {
 	sql     *query.Engine
 	inj     *faults.Injector
 	rep     *repair.Service
+	scrub   *scrub.Service
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -182,7 +203,14 @@ func Open(cfg Config) (*Lake, error) {
 		sql:     query.New(lh),
 		inj:     inj,
 	}
+	logs.SetVerifyOnRead(!cfg.DisableVerifyOnRead)
+	inj.AttachCorruptor("ssd", logs)
 	l.rep = repair.New(clock, logs, repair.Config{})
+	l.scrub = scrub.New(clock, logs, l.rep, scrub.Config{
+		BytesPerPass: cfg.ScrubBytesPerPass,
+		Rate:         cfg.ScrubRate,
+		Repair:       true,
+	})
 	return l, nil
 }
 
@@ -330,11 +358,14 @@ type Stats struct {
 	PoolUtilization float64
 	DegradedLogs    int   // PLogs holding stale replicas/shards
 	StaleBytes      int64 // redundancy bytes awaiting repair
+	Mismatches      int64 // checksum mismatches detected (reads + scrub)
+	FallbackReads   int64 // reads served from a fallback copy after a mismatch
 }
 
 // Stats returns a storage snapshot.
 func (l *Lake) Stats() Stats {
 	ps := l.ssdPool.Stats()
+	integ := l.logs.IntegrityStats()
 	return Stats{
 		StreamObjects:   l.store.Count(),
 		Topics:          len(l.svc.Topics()),
@@ -344,6 +375,8 @@ func (l *Lake) Stats() Stats {
 		PoolUtilization: ps.Utilization(),
 		DegradedLogs:    l.logs.DegradedCount(),
 		StaleBytes:      l.logs.StaleBytes(),
+		Mismatches:      integ.Mismatches,
+		FallbackReads:   integ.FallbackReads,
 	}
 }
 
@@ -417,6 +450,22 @@ func (l *Lake) RunRepair() RepairReport { return l.rep.RunOnce() }
 func (l *Lake) RepairUntilRedundant(maxRounds int) (RepairReport, bool) {
 	return l.rep.RunUntilRedundant(maxRounds)
 }
+
+// Scrubber exposes the background scrubber that verifies every copy's
+// checksums and feeds what it finds into the repair service.
+func (l *Lake) Scrubber() *scrub.Service { return l.scrub }
+
+// RunScrub runs one scrub pass (bounded by Config.ScrubBytesPerPass)
+// and repairs what it found.
+func (l *Lake) RunScrub() (ScrubReport, error) { return l.scrub.RunOnce() }
+
+// ScrubCycle scrubs until every live PLog has been verified once — a
+// full population sweep, merging budgeted passes as needed.
+func (l *Lake) ScrubCycle() (ScrubReport, error) { return l.scrub.RunCycle() }
+
+// Integrity reports checksum activity across the lake's PLogs:
+// verifications, mismatches, fallback reads, injected corruptions.
+func (l *Lake) Integrity() IntegrityStats { return l.logs.IntegrityStats() }
 
 // SSDPool exposes the hot storage pool (fault scenarios inspect
 // per-disk accounting).
