@@ -1,0 +1,141 @@
+// Command benchsnap runs a fixed, seeded workload across the whole
+// stack and writes a JSON performance snapshot: virtual-time latency
+// quantiles from the obs histograms plus every counter and gauge the
+// registry holds. scripts/bench.sh drives it to build the repo's bench
+// trajectory (one BENCH_<date>.json per run); tier1.sh runs it in
+// smoke mode as a fast end-to-end sanity pass.
+//
+// All latencies in the snapshot are virtual time (sim.Clock), so
+// successive snapshots on different machines are comparable: they drift
+// only when the modelled costs change, not when the hardware does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamlake"
+)
+
+type snapshot struct {
+	Date     string             `json:"date"`
+	Smoke    bool               `json:"smoke"`
+	Messages int                `json:"messages"`
+	Queries  int                `json:"queries"`
+	Latency  map[string]latency `json:"virtual_latency"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+type latency struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "small workload for CI smoke runs")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+	if err := run(*smoke, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(smoke bool, out string) error {
+	messages, queries := 20000, 50
+	if smoke {
+		messages, queries = 2000, 5
+	}
+	lake, err := streamlake.Open(streamlake.Config{Seed: 7})
+	if err != nil {
+		return err
+	}
+	schema := streamlake.MustSchema("k:string", "v:int64")
+	if err := lake.CreateTopic(streamlake.TopicConfig{
+		Name: "bench", StreamNum: 4,
+		Convert: streamlake.ConvertConfig{
+			Enabled: true, TableName: "bench_t", TablePath: "/bench_t",
+			TableSchema: schema,
+		},
+	}); err != nil {
+		return err
+	}
+	p := lake.Producer("benchsnap")
+	for i := 0; i < messages; i++ {
+		row := streamlake.Row{
+			streamlake.StringValue(fmt.Sprintf("k%d", i%101)),
+			streamlake.IntValue(int64(i)),
+		}
+		val, err := streamlake.EncodeRow(schema, row)
+		if err != nil {
+			return err
+		}
+		if _, _, err := p.Send("bench", []byte(fmt.Sprintf("k%d", i%101)), val); err != nil {
+			return err
+		}
+	}
+	c := lake.Consumer("bench-g")
+	if err := c.Subscribe("bench"); err != nil {
+		return err
+	}
+	for {
+		msgs, _, err := c.Poll(512)
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+	}
+	if _, _, err := lake.ConvertNow("bench"); err != nil {
+		return err
+	}
+	for i := 0; i < queries; i++ {
+		if _, err := lake.Query("select count(*) from bench_t"); err != nil {
+			return err
+		}
+	}
+	if _, err := lake.RunScrub(); err != nil {
+		return err
+	}
+
+	snap := lake.Obs().Snapshot()
+	result := snapshot{
+		Date:     time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Smoke:    smoke,
+		Messages: messages,
+		Queries:  queries,
+		Latency:  map[string]latency{},
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		result.Latency[name] = latency{
+			Count:  h.Count,
+			P50Ns:  h.Quantile(0.50).Nanoseconds(),
+			P99Ns:  h.Quantile(0.99).Nanoseconds(),
+			MeanNs: h.Mean().Nanoseconds(),
+		}
+	}
+	if out == "" {
+		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	blob, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchsnap: %d messages, %d queries -> %s\n", messages, queries, out)
+	return nil
+}

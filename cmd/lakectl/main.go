@@ -19,7 +19,9 @@
 //	convert <topic>
 //	compact <table> <partition>
 //	snapshot <table>
-//	stats
+//	stats [obs]                       (obs: dump the metrics registry)
+//	trace produce <topic> <key> <value>  (traced send, prints the span tree)
+//	trace last | trace <id>
 //	faults status
 //	faults kill <pool> <disk>         (pool: ssd|hdd)
 //	faults kill-random <pool>
@@ -252,11 +254,20 @@ func (s *shell) exec(line string) error {
 			snap.ID, len(snap.Files), snap.RowCount, len(snap.CommitIDs))
 		return nil
 	case "stats":
+		if len(rest) > 0 && rest[0] == "obs" {
+			reg := s.lake.Obs()
+			if reg == nil {
+				return fmt.Errorf("observability disabled")
+			}
+			return reg.WriteProm(os.Stdout)
+		}
 		st := s.lake.Stats()
 		fmt.Printf("topics=%d streamObjects=%d tableFiles=%d logical=%dB physical=%dB util=%.1f%% degradedLogs=%d staleBytes=%dB\n",
 			st.Topics, st.StreamObjects, st.TableFiles, st.LogicalBytes, st.PhysicalBytes,
 			st.PoolUtilization*100, st.DegradedLogs, st.StaleBytes)
 		return nil
+	case "trace":
+		return s.trace(rest)
 	case "faults":
 		return s.faults(rest)
 	case "repair":
@@ -425,6 +436,52 @@ func (s *shell) faults(rest []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown faults subcommand %q (try help)", sub)
+	}
+}
+
+// trace runs a traced produce and renders its span tree, or re-prints
+// a recorded trace by id.
+func (s *shell) trace(rest []string) error {
+	tr := s.lake.Tracer()
+	if tr == nil {
+		return fmt.Errorf("observability disabled")
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: trace produce <topic> <key> <value> | trace last | trace <id>")
+	}
+	switch rest[0] {
+	case "produce":
+		if len(rest) < 4 {
+			return fmt.Errorf("usage: trace produce <topic> <key> <value>")
+		}
+		sp := tr.Start("gateway.produce")
+		sp.SetAttr("topic", rest[1])
+		msg, cost, err := s.producer().SendSpan(rest[1], []byte(rest[2]), []byte(strings.Join(rest[3:], " ")), sp)
+		if err != nil {
+			return err
+		}
+		sp.End(cost)
+		fmt.Printf("offset=%d stream=%d latency=%v trace=%d\n", msg.Offset, msg.Stream, cost, sp.ID)
+		fmt.Print(sp.Tree())
+		return nil
+	case "last":
+		sp := tr.Last()
+		if sp == nil {
+			return fmt.Errorf("no traces recorded yet")
+		}
+		fmt.Print(sp.Tree())
+		return nil
+	default:
+		id, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace id must be an integer or 'last'")
+		}
+		sp := tr.Get(id)
+		if sp == nil {
+			return fmt.Errorf("no trace %d", id)
+		}
+		fmt.Print(sp.Tree())
+		return nil
 	}
 }
 

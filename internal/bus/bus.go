@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"streamlake/internal/obs"
 	"streamlake/internal/sim"
 )
 
@@ -73,6 +74,40 @@ type Bus struct {
 	stats       Stats
 	batchFill   int   // small sends since the last fixed-cost payment
 	outstanding int64 // high-priority bytes notionally in flight
+	metrics     busMetrics
+}
+
+// busMetrics is the bus's obs instrument set, labelled by path so RDMA
+// and TCP traffic stay distinguishable on /metrics. Workers of one
+// service share instruments (the registry dedups by name), so totals
+// survive worker rescaling.
+type busMetrics struct {
+	sends, bytes, aggregated, batches *obs.Counter
+	sendLat, flushLat                 *obs.Histogram
+}
+
+// pathLabel names the transport for metric labels.
+func (p Path) pathLabel() string {
+	if p == TCP {
+		return "tcp"
+	}
+	return "rdma"
+}
+
+// SetObs registers the bus's telemetry with an obs registry. Call at
+// wiring time, before the bus carries traffic.
+func (b *Bus) SetObs(reg *obs.Registry) {
+	label := `{path="` + b.cfg.Path.pathLabel() + `"}`
+	b.mu.Lock()
+	b.metrics = busMetrics{
+		sends:      reg.Counter("bus_sends_total" + label),
+		bytes:      reg.Counter("bus_bytes_total" + label),
+		aggregated: reg.Counter("bus_aggregated_total" + label),
+		batches:    reg.Counter("bus_batches_total" + label),
+		sendLat:    reg.Histogram("bus_send_seconds" + label),
+		flushLat:   reg.Histogram("bus_flush_seconds" + label),
+	}
+	b.mu.Unlock()
 }
 
 // New builds a bus over the given path with its default link device.
@@ -104,6 +139,8 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 	defer b.mu.Unlock()
 	b.stats.Sends++
 	b.stats.Bytes += n
+	b.metrics.sends.Inc()
+	b.metrics.bytes.Add(n)
 
 	cost := transfer
 	paysFixed := true
@@ -112,9 +149,11 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 		if b.batchFill >= b.cfg.AggregationCount {
 			b.batchFill = 0
 			b.stats.Batches++
+			b.metrics.batches.Inc()
 		} else {
 			paysFixed = false
 			b.stats.Aggregated++
+			b.metrics.aggregated.Inc()
 		}
 	}
 	if paysFixed {
@@ -138,6 +177,7 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 	} else if b.outstanding > 0 {
 		b.outstanding /= 2
 	}
+	b.metrics.sendLat.Observe(cost)
 	return cost
 }
 
@@ -161,6 +201,8 @@ func (b *Bus) flushLocked() time.Duration {
 	b.stats.Batches++
 	b.stats.Flushes++
 	b.stats.FlushCost += fixed
+	b.metrics.batches.Inc()
+	b.metrics.flushLat.Observe(fixed)
 	return fixed
 }
 

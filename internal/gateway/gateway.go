@@ -12,12 +12,20 @@
 //	GET  /v1/tables/{table}/snapshot        current snapshot summary
 //	POST /v1/sql                            {"query": "select ..."}
 //	GET  /v1/stats                          storage statistics
+//	GET  /metrics                           Prometheus text exposition
+//	GET  /trace/{id}                        one recorded trace as JSON
 //
 // Every request must carry "Authorization: Bearer <token>"; tokens map
-// to principals whose ACL lists the verbs they may use.
+// to principals whose ACL lists the verbs they may use. Produce
+// requests may add ?trace=1 to record a span tree of the request's path
+// through the stack; the response then carries the trace_id to fetch it.
+//
+// Every error response — including the mux's own 404/405s — is a JSON
+// envelope {"error": "..."}, so clients never have to sniff the body.
 package gateway
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -28,6 +36,7 @@ import (
 	"sync"
 
 	"streamlake"
+	"streamlake/internal/obs"
 )
 
 // Request-size limits: a single unauthenticated-sized request must not
@@ -124,11 +133,69 @@ func New(lake *streamlake.Lake, acl *ACL) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{table}/snapshot", s.guard(PermQuery, s.snapshot))
 	s.mux.HandleFunc("POST /v1/sql", s.guard(PermQuery, s.sql))
 	s.mux.HandleFunc("GET /v1/stats", s.guard(PermAdmin, s.stats))
+	s.mux.HandleFunc("GET /metrics", s.guard(PermAdmin, s.metrics))
+	s.mux.HandleFunc("GET /trace/{id}", s.guard(PermAdmin, s.trace))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Responses pass through the error
+// envelope: any 4xx/5xx that is not already JSON (the mux's plain-text
+// 404/405, MaxBytesReader's catch-all) is rewritten as {"error": ...}.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ew := &envelopeWriter{rw: w}
+	s.mux.ServeHTTP(ew, r)
+	ew.finish()
+}
+
+// envelopeWriter buffers non-JSON error responses so they can be
+// re-encoded as the gateway's JSON envelope. Success responses and
+// handler-written JSON errors stream through untouched.
+type envelopeWriter struct {
+	rw    http.ResponseWriter
+	code  int
+	wrap  bool // error response needing re-encoding
+	wrote bool // WriteHeader already observed
+	buf   bytes.Buffer
+}
+
+func (e *envelopeWriter) Header() http.Header { return e.rw.Header() }
+
+func (e *envelopeWriter) WriteHeader(code int) {
+	if e.wrote {
+		return
+	}
+	e.wrote = true
+	e.code = code
+	if code >= 400 && !strings.HasPrefix(e.rw.Header().Get("Content-Type"), "application/json") {
+		// Hold the header back: the body is rewritten in finish.
+		e.wrap = true
+		return
+	}
+	e.rw.WriteHeader(code)
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if !e.wrote {
+		e.WriteHeader(http.StatusOK)
+	}
+	if e.wrap {
+		return e.buf.Write(b)
+	}
+	return e.rw.Write(b)
+}
+
+func (e *envelopeWriter) finish() {
+	if !e.wrap {
+		return
+	}
+	msg := strings.TrimSpace(e.buf.String())
+	if msg == "" {
+		msg = http.StatusText(e.code)
+	}
+	e.rw.Header().Set("Content-Type", "application/json")
+	e.rw.WriteHeader(e.code)
+	json.NewEncoder(e.rw).Encode(map[string]string{"error": msg})
+}
 
 // guard wraps a handler with authentication and the required permission.
 func (s *Server) guard(perm Permission, h func(http.ResponseWriter, *http.Request, *Principal)) http.HandlerFunc {
@@ -206,12 +273,24 @@ func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 		s.producers[p.Name] = producer
 	}
 	s.mu.Unlock()
-	msg, cost, err := producer.Send(topic, []byte(req.Key), value)
+	// ?trace=1 records the request's span tree; nil tracer (observability
+	// disabled) degrades to an untraced send.
+	var sp *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		sp = s.lake.Tracer().Start("gateway.produce")
+		sp.SetAttr("topic", topic)
+	}
+	msg, cost, err := producer.SendSpan(topic, []byte(req.Key), value, sp)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, map[string]any{"stream": msg.Stream, "offset": msg.Offset, "latency_ns": cost.Nanoseconds()})
+	sp.End(cost)
+	resp := map[string]any{"stream": msg.Stream, "offset": msg.Offset, "latency_ns": cost.Nanoseconds()}
+	if sp != nil {
+		resp["trace_id"] = sp.ID
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) consume(w http.ResponseWriter, r *http.Request, p *Principal) {
@@ -308,4 +387,36 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request, _ *Principal) {
 		"table_files": st.TableFiles, "logical_bytes": st.LogicalBytes,
 		"physical_bytes": st.PhysicalBytes,
 	})
+}
+
+// metrics serves the Prometheus text exposition of every layer's
+// counters, gauges, and virtual-time histograms.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	reg := s.lake.Obs()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, "observability disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	reg.WriteProm(w)
+}
+
+// trace serves one recorded span tree as JSON.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	tr := s.lake.Tracer()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "observability disabled")
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "trace id must be an integer")
+		return
+	}
+	sp := tr.Get(id)
+	if sp == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no trace %d", id))
+		return
+	}
+	writeJSON(w, map[string]any{"id": sp.ID, "start_ns": int64(sp.Start), "root": sp.JSON()})
 }

@@ -1,0 +1,77 @@
+// Observability feed: LakeBrain's compaction policy derives its global
+// state features from the metrics registry instead of hand-fed inputs.
+// Two registry snapshots bracket an observation window; counter deltas
+// over the window's virtual time become rates, and the pool utilization
+// gauge becomes the global utilization feature. This closes the loop the
+// paper describes — the storage-side optimizer watching the system it
+// optimizes.
+package compact
+
+import (
+	"time"
+
+	"streamlake/internal/obs"
+)
+
+// ObsState derives a State's global features from two registry
+// snapshots taken across an observation window (prev before, cur
+// after). Partition features are not observable from global metrics and
+// are left zero for the caller to fill per partition. targetFileSize
+// passes through.
+//
+// Feature mapping:
+//   - IngestRate: streaming messages produced per virtual second — the
+//     small-file arrival pressure of Section VI-A's ingestion speed.
+//   - QueryRate: SQL queries plus lakehouse scan plans per virtual
+//     second — the query pattern feature.
+//   - GlobalUtil: the SSD pool's utilization gauge at cur.
+func ObsState(prev, cur obs.Snapshot, targetFileSize int64) State {
+	window := (cur.At - prev.At).Seconds()
+	s := State{
+		TargetFileSize: targetFileSize,
+		GlobalUtil:     cur.Gauge(`pool_utilization{pool="ssd"}`),
+	}
+	if window <= 0 {
+		return s
+	}
+	produced := cur.Counter("streamsvc_produced_messages_total") - prev.Counter("streamsvc_produced_messages_total")
+	queries := cur.Counter("query_queries_total") - prev.Counter("query_queries_total")
+	plans := cur.Counter("lakehouse_plans_total") - prev.Counter("lakehouse_plans_total")
+	s.IngestRate = float64(produced) / window
+	s.QueryRate = float64(queries+plans) / window
+	return s
+}
+
+// ObsFeed maintains the previous snapshot so callers can periodically
+// pull a fresh observed State from a live registry.
+type ObsFeed struct {
+	reg  *obs.Registry
+	prev obs.Snapshot
+}
+
+// NewObsFeed starts a feed over the registry, priming the window with
+// the current snapshot. A nil registry yields zero-feature states.
+func NewObsFeed(reg *obs.Registry) *ObsFeed {
+	f := &ObsFeed{reg: reg}
+	if reg != nil {
+		f.prev = reg.Snapshot()
+	}
+	return f
+}
+
+// State snapshots the registry, derives the observed global features
+// over the window since the last call, and slides the window forward.
+func (f *ObsFeed) State(targetFileSize int64) State {
+	if f.reg == nil {
+		return State{TargetFileSize: targetFileSize}
+	}
+	cur := f.reg.Snapshot()
+	s := ObsState(f.prev, cur, targetFileSize)
+	f.prev = cur
+	return s
+}
+
+// Window reports the virtual time covered since the previous snapshot.
+func (f *ObsFeed) Window(now time.Duration) time.Duration {
+	return now - f.prev.At
+}

@@ -1,0 +1,110 @@
+package compact
+
+import (
+	"testing"
+	"time"
+
+	"streamlake/internal/obs"
+	"streamlake/internal/sim"
+)
+
+func TestObsStateDerivesRates(t *testing.T) {
+	clock := sim.NewClock()
+	reg := obs.NewRegistry(clock)
+	feed := NewObsFeed(reg)
+
+	reg.Gauge(`pool_utilization{pool="ssd"}`).Set(0.4)
+	reg.Counter("streamsvc_produced_messages_total").Add(50)
+	reg.Counter("query_queries_total").Add(10)
+	reg.Counter("lakehouse_plans_total").Add(10)
+	clock.Advance(10 * time.Second)
+
+	s := feed.State(64 << 20)
+	if s.IngestRate != 5 {
+		t.Fatalf("ingest rate = %v, want 5 msgs/s", s.IngestRate)
+	}
+	if s.QueryRate != 2 {
+		t.Fatalf("query rate = %v, want 2/s", s.QueryRate)
+	}
+	if s.GlobalUtil != 0.4 {
+		t.Fatalf("global util = %v, want 0.4", s.GlobalUtil)
+	}
+	if s.TargetFileSize != 64<<20 {
+		t.Fatalf("target file size = %v", s.TargetFileSize)
+	}
+
+	// The window slides: a second call with no new activity reads zero
+	// rates, not the cumulative totals.
+	clock.Advance(10 * time.Second)
+	s = feed.State(64 << 20)
+	if s.IngestRate != 0 || s.QueryRate != 0 {
+		t.Fatalf("stale window: ingest=%v query=%v", s.IngestRate, s.QueryRate)
+	}
+}
+
+func TestObsStateZeroWindow(t *testing.T) {
+	clock := sim.NewClock()
+	reg := obs.NewRegistry(clock)
+	feed := NewObsFeed(reg)
+	// No virtual time elapsed: rates are zero rather than dividing by
+	// zero.
+	s := feed.State(1)
+	if s.IngestRate != 0 || s.QueryRate != 0 {
+		t.Fatalf("zero-window rates: %+v", s)
+	}
+	// A nil registry degrades to zero features.
+	nilFeed := NewObsFeed(nil)
+	if s := nilFeed.State(7); s.TargetFileSize != 7 || s.GlobalUtil != 0 {
+		t.Fatalf("nil-registry state: %+v", s)
+	}
+}
+
+// TestPolicyFollowsObservedHeat closes the LakeBrain loop: a trained
+// policy fed from registry snapshots compacts when the observed system
+// is hot (heavy ingest, slack utilization) and holds off when the
+// observed system is cold and tight — the same learner, different
+// decisions, driven only by what the metrics registry reports.
+func TestPolicyFollowsObservedHeat(t *testing.T) {
+	q := NewQLearner(11)
+	hot := State{PartFiles: 20, PartUtil: 0.5, GlobalUtil: 0.3, IngestRate: 10}
+	cold := State{PartFiles: 20, PartUtil: 0.5, GlobalUtil: 0.9, IngestRate: 0}
+	for i := 0; i < 2000; i++ {
+		q.Observe(hot, true, 0.7, hot, false)
+		q.Observe(hot, false, -0.2, hot, false)
+		q.Observe(cold, true, -0.6, cold, false)
+		q.Observe(cold, false, 0.0, cold, false)
+	}
+	q.Train(3)
+	q.SetEpsilon(0)
+
+	clock := sim.NewClock()
+	reg := obs.NewRegistry(clock)
+	feed := NewObsFeed(reg)
+	produced := reg.Counter("streamsvc_produced_messages_total")
+	util := reg.Gauge(`pool_utilization{pool="ssd"}`)
+
+	observe := func() State {
+		s := feed.State(64 << 20)
+		// Partition features are per-partition inputs, held constant so
+		// the decision difference is attributable to the observed
+		// globals.
+		s.PartFiles = 20
+		s.PartUtil = 0.5
+		return s
+	}
+
+	// Hot window: 100 messages over 10s, utilization 0.3.
+	util.Set(0.3)
+	produced.Add(100)
+	clock.Advance(10 * time.Second)
+	if !q.Exploit(observe()) {
+		t.Fatal("policy refused compaction under observed hot ingest")
+	}
+
+	// Cold window: no ingest, utilization 0.9.
+	util.Set(0.9)
+	clock.Advance(10 * time.Second)
+	if q.Exploit(observe()) {
+		t.Fatal("policy compacted under observed cold, tight system")
+	}
+}

@@ -42,8 +42,9 @@ type Engine struct {
 	opts  Options
 	cache *kv.DB // metadata write cache on SCM
 
-	mu     sync.Mutex
-	tables map[string]*tableState
+	mu      sync.Mutex
+	tables  map[string]*tableState
+	metrics scanMetrics
 }
 
 type tableState struct {

@@ -6,8 +6,37 @@ import (
 	"time"
 
 	"streamlake/internal/colfile"
+	"streamlake/internal/obs"
 	"streamlake/internal/tableobj"
 )
+
+// scanMetrics is the lakehouse layer's obs instrument set; wired once
+// by SetObs, nil-safe no-ops until then.
+type scanMetrics struct {
+	scans        *obs.Counter
+	rowsScanned  *obs.Counter
+	readBytes    *obs.Counter
+	skippedBytes *obs.Counter
+	plans        *obs.Counter
+	prunedFiles  *obs.Counter
+	scanLat      *obs.Histogram
+}
+
+// SetObs registers the lakehouse engine's scan telemetry. Call at
+// wiring time, before the engine serves queries.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	e.mu.Lock()
+	e.metrics = scanMetrics{
+		scans:        reg.Counter("lakehouse_scans_total"),
+		rowsScanned:  reg.Counter("lakehouse_rows_scanned_total"),
+		readBytes:    reg.Counter("lakehouse_scan_read_bytes_total"),
+		skippedBytes: reg.Counter("lakehouse_scan_skipped_bytes_total"),
+		plans:        reg.Counter("lakehouse_plans_total"),
+		prunedFiles:  reg.Counter("lakehouse_pruned_files_total"),
+		scanLat:      reg.Histogram("lakehouse_scan_seconds"),
+	}
+	e.mu.Unlock()
+}
 
 // RangeFilter is a pushdown predicate on one column: lo <= col <= hi,
 // with nil bounds unbounded. It is the storage-side predicate shape the
@@ -45,10 +74,21 @@ func (e *Engine) PlanScan(name string, filters []RangeFilter) (Plan, time.Durati
 	if err != nil {
 		return Plan{}, 0, err
 	}
+	var plan Plan
+	var cost time.Duration
 	if e.opts.Acceleration {
-		return e.planAccelerated(st, filters)
+		plan, cost, err = e.planAccelerated(st, filters)
+	} else {
+		plan, cost, err = e.planFileBased(st, filters)
 	}
-	return e.planFileBased(st, filters)
+	if err == nil {
+		e.mu.Lock()
+		m := e.metrics
+		e.mu.Unlock()
+		m.plans.Inc()
+		m.prunedFiles.Add(int64(plan.SkippedFiles))
+	}
+	return plan, cost, err
 }
 
 func (e *Engine) planAccelerated(st *tableState, filters []RangeFilter) (Plan, time.Duration, error) {
@@ -180,6 +220,16 @@ func (e *Engine) Scan(name string, plan Plan, filters []RangeFilter, fn func(col
 	schema := st.tbl.Schema()
 	var stats ScanStats
 	var cost time.Duration
+	e.mu.Lock()
+	m := e.metrics
+	e.mu.Unlock()
+	defer func() {
+		m.scans.Inc()
+		m.rowsScanned.Add(stats.RowsScanned)
+		m.readBytes.Add(stats.ReadBytes)
+		m.skippedBytes.Add(stats.SkippedBytes)
+		m.scanLat.Observe(cost)
+	}()
 	for _, f := range plan.Files {
 		blob, rc, err := e.fs.Read(f.Path)
 		if err != nil {

@@ -1,0 +1,211 @@
+// Virtual-time tracing: a Span records where a request spent its
+// simulated time as it crosses gateway → streamsvc → bus → plog → pool.
+// The data path computes latency as explicit device costs rather than
+// by observing a wall clock, so spans are built the same way: a child
+// span's offset is a cursor the parent advances as sequential costs
+// accrue, and parallel work (the fan-out of a plog append across pool
+// disks) shares one offset with only the maximum advancing the cursor.
+// Under a fixed seed the resulting span tree is exactly reproducible.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+// maxTraces bounds the tracer's ring of retained root spans.
+const maxTraces = 256
+
+// Span is one timed operation in a trace. Offsets and durations are
+// virtual time. A span tree is built by a single goroutine (the request
+// that owns it), so spans themselves are unlocked; only the tracer's
+// index is synchronized.
+type Span struct {
+	ID    int64         // assigned to root spans by the tracer
+	Name  string        // e.g. "plog.append"
+	Start time.Duration // root only: virtual time the trace began
+	Off   time.Duration // offset from the trace start
+	Dur   time.Duration
+
+	attrs    map[string]string
+	children []*Span
+	cursor   time.Duration // where the next sequential child begins
+}
+
+// Child opens a sub-span starting at the parent's cursor. Nil-safe: a
+// nil parent returns a nil child, and the whole span API no-ops on nil,
+// so untraced requests thread a nil *Span through the stack for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Off: s.cursor}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span with the given virtual-time cost and advances the
+// parent cursor past it, via the child's own cursor position being
+// managed by the parent: End is called on the child, so it records the
+// duration; sequential advancement is the caller's contract — Child
+// starts at the cursor, End moves it.
+func (s *Span) End(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Dur = d
+}
+
+// SetAttr attaches a key=value annotation (rendered sorted).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+}
+
+// Advance moves the sequential cursor forward d: the next Child starts
+// that much later. Call after closing a child whose cost is part of the
+// request's critical path, or after a parallel section with the
+// maximum of the parallel costs.
+func (s *Span) Advance(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.cursor += d
+}
+
+// attrString renders the attributes deterministically.
+func (s *Span) attrString() string {
+	if len(s.attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.attrs))
+	for k := range s.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + s.attrs[k]
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+// Tree renders the span tree as indented text for lakectl trace:
+//
+//	gateway.produce                     +0s       92µs
+//	  streamsvc.send                    +0s       92µs
+//	    bus.send                        +0s       3µs
+//	    streamobj.append                +3µs      89µs
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.tree(&b, 0)
+	return b.String()
+}
+
+func (s *Span) tree(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := indent + s.Name
+	pad := 36 - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(b, "%s%s+%-10s %s%s\n", label, strings.Repeat(" ", pad), s.Off, s.Dur, s.attrString())
+	for _, c := range s.children {
+		c.tree(b, depth+1)
+	}
+}
+
+// SpanJSON is the wire form served by the gateway's /trace/{id}.
+type SpanJSON struct {
+	Name     string            `json:"name"`
+	OffNs    int64             `json:"off_ns"`
+	DurNs    int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanJSON        `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form.
+func (s *Span) JSON() SpanJSON {
+	j := SpanJSON{Name: s.Name, OffNs: int64(s.Off), DurNs: int64(s.Dur)}
+	if len(s.attrs) > 0 {
+		j.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			j.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		j.Children = append(j.Children, c.JSON())
+	}
+	return j
+}
+
+// Tracer assigns trace IDs and retains the most recent root spans.
+type Tracer struct {
+	clock *sim.Clock
+
+	mu     sync.Mutex
+	nextID int64
+	traces map[int64]*Span
+	order  []int64 // insertion order, for eviction and Last
+}
+
+// NewTracer builds a tracer stamping trace starts from clock.
+func NewTracer(clock *sim.Clock) *Tracer {
+	return &Tracer{clock: clock, traces: map[int64]*Span{}}
+}
+
+// Start opens a new root span. IDs are sequential, so traces are
+// addressable deterministically under a fixed seed. A nil tracer
+// returns a nil span (the untraced path).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{ID: t.nextID, Name: name, Start: t.clock.Now()}
+	t.traces[s.ID] = s
+	t.order = append(t.order, s.ID)
+	if len(t.order) > maxTraces {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	return s
+}
+
+// Get returns the root span with the given ID, or nil.
+func (t *Tracer) Get(id int64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces[id]
+}
+
+// Last returns the most recently started root span, or nil.
+func (t *Tracer) Last() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.order) == 0 {
+		return nil
+	}
+	return t.traces[t.order[len(t.order)-1]]
+}

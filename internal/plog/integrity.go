@@ -244,6 +244,7 @@ func (l *PLog) quarantine(i int, bad []int) {
 		}
 		l.stale[i] += per
 		l.integ.Quarantined += per
+		l.metrics.quarantined.Add(per)
 	}
 }
 

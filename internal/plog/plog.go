@@ -10,11 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamlake/internal/ec"
+	"streamlake/internal/obs"
 	"streamlake/internal/pool"
 )
 
@@ -131,6 +133,26 @@ type PLog struct {
 	copySums []map[int]uint32 // per copy: extent index -> stored checksum
 	integ    IntegrityStats
 	noVerify *atomic.Bool // shared manager-wide verify-on-read toggle
+
+	// metrics points at the manager's shared instrument set (same
+	// lifetime trick as noVerify). The pointer is always valid for
+	// manager-created logs; the instruments inside stay nil (no-op)
+	// until Manager.SetObs wires a registry.
+	metrics *logMetrics
+}
+
+// logMetrics is the plog layer's obs instrument set, shared by every
+// log of one manager. Fields are wired once by Manager.SetObs before
+// the manager serves traffic; each is a nil-safe no-op until then.
+type logMetrics struct {
+	appendLat      *obs.Histogram // persistence latency per append
+	readLat        *obs.Histogram
+	reconstructLat *obs.Histogram // repair/rebuild device time
+	appendBytes    *obs.Counter
+	readBytes      *obs.Counter
+	degradedOps    *obs.Counter // appends that left stale copies behind
+	quarantined    *obs.Counter // bytes quarantined on checksum mismatch
+	repairedBytes  *obs.Counter
 }
 
 // ID returns the log's identifier.
@@ -188,6 +210,14 @@ func (r Redundancy) required() int {
 // did land, so a failed append leaves pool byte and latency accounting
 // untouched.
 func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error) {
+	return l.AppendSpan(data, nil)
+}
+
+// AppendSpan is Append with tracing: the placement writes are recorded
+// as parallel pool.write children of sp (they share a start offset; the
+// slowest advances the request's critical path). A nil span traces
+// nothing and costs nothing.
+func (l *PLog) AppendSpan(data []byte, sp *obs.Span) (offset int64, cost time.Duration, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.sealed {
@@ -210,6 +240,11 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 			failed = append(failed, i)
 			continue
 		}
+		if sp != nil {
+			w := sp.Child("pool.write")
+			w.SetAttr("disk", strconv.Itoa(int(s.Disk)))
+			w.End(d)
+		}
 		ok = append(ok, landed{s.ID})
 		if d > max {
 			max = d
@@ -223,6 +258,7 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 		return 0, 0, fmt.Errorf("%w: %d of %d placement writes failed",
 			ErrUnavailable, len(failed), len(l.slices))
 	}
+	sp.Advance(max) // the slowest parallel write gates the append
 	for _, i := range failed {
 		if l.stale == nil {
 			l.stale = make(map[int]int64)
@@ -231,6 +267,11 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 	}
 	l.buf = append(l.buf, data...)
 	l.recordExtent(offset, data, failed)
+	l.metrics.appendLat.Observe(max)
+	l.metrics.appendBytes.Add(int64(len(data)))
+	if len(failed) > 0 {
+		l.metrics.degradedOps.Inc()
+	}
 	return offset, max, nil
 }
 
@@ -247,6 +288,15 @@ func (l *PLog) Append(data []byte) (offset int64, cost time.Duration, err error)
 // returned slice is a copy; callers may mutate it freely without
 // corrupting the log.
 func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
+	data, cost, err = l.read(offset, n)
+	if err == nil {
+		l.metrics.readLat.Observe(cost)
+		l.metrics.readBytes.Add(n)
+	}
+	return data, cost, err
+}
+
+func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if offset < 0 || n < 0 || offset+n > int64(len(l.buf)) {
@@ -505,6 +555,10 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 		// The copy holds true bytes again; its checksums verify anew.
 		l.restoreSums(i)
 	}
+	if repaired > 0 {
+		l.metrics.reconstructLat.Observe(cost)
+		l.metrics.repairedBytes.Add(repaired)
+	}
 	return repaired, cost, nil
 }
 
@@ -536,10 +590,38 @@ type Manager struct {
 	// verify is inverted (noVerify) so the zero value means
 	// verification on — every log shares this toggle.
 	verify atomic.Bool
+	// metrics is shared by every log the manager creates (see
+	// PLog.metrics); zero until SetObs wires a registry.
+	metrics logMetrics
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
 	nextID ID
+}
+
+// SetObs registers the plog layer's telemetry: latency histograms and
+// byte counters shared across the manager's logs, plus redundancy and
+// footprint gauges evaluated at scrape time. Call before the manager
+// serves traffic; a nil registry leaves the layer unobserved.
+func (m *Manager) SetObs(reg *obs.Registry) {
+	m.metrics = logMetrics{
+		appendLat:      reg.Histogram("plog_append_seconds"),
+		readLat:        reg.Histogram("plog_read_seconds"),
+		reconstructLat: reg.Histogram("plog_reconstruct_seconds"),
+		appendBytes:    reg.Counter("plog_append_bytes_total"),
+		readBytes:      reg.Counter("plog_read_bytes_total"),
+		degradedOps:    reg.Counter("plog_degraded_appends_total"),
+		quarantined:    reg.Counter("plog_quarantined_bytes_total"),
+		repairedBytes:  reg.Counter("plog_repaired_bytes_total"),
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("plog_logs", func() float64 { return float64(m.Count()) })
+	reg.GaugeFunc("plog_degraded_logs", func() float64 { return float64(m.DegradedCount()) })
+	reg.GaugeFunc("plog_stale_bytes", func() float64 { return float64(m.StaleBytes()) })
+	reg.GaugeFunc("plog_logical_bytes", func() float64 { return float64(m.LogicalBytes()) })
+	reg.GaugeFunc("plog_physical_bytes", func() float64 { return float64(m.PhysicalBytes()) })
 }
 
 // NewManager builds a manager creating logs of the given capacity (0
@@ -579,6 +661,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		codec:    codec,
 		slices:   slices,
 		noVerify: &m.verify,
+		metrics:  &m.metrics,
 	}
 	m.logs[l.id] = l
 	return l, nil

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"streamlake/internal/obs"
 	"streamlake/internal/sim"
 )
 
@@ -97,6 +98,15 @@ type Pool struct {
 	logicalBytes  int64
 	reconstructed int64
 	hook          FaultHook
+	metrics       poolMetrics
+}
+
+// poolMetrics holds the pool's obs instruments. All fields are nil-safe
+// no-ops until SetObs wires a registry; they are copied out under p.mu
+// and bumped outside it, so the hot path pays one atomic add per event.
+type poolMetrics struct {
+	writeOps, writeBytes *obs.Counter
+	readOps, readBytes   *obs.Counter
 }
 
 // Errors returned by pool operations.
@@ -140,6 +150,43 @@ func (p *Pool) SetFaultHook(h FaultHook) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hook = h
+}
+
+// SetObs registers the pool's telemetry with an obs registry: I/O
+// counters labelled by pool name, plus utilization / queue-depth /
+// health gauges evaluated from Stats at scrape time. A nil registry
+// leaves the pool unobserved at ~zero cost.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	label := `{pool="` + p.name + `"}`
+	p.mu.Lock()
+	p.metrics = poolMetrics{
+		writeOps:   reg.Counter("pool_write_ops_total" + label),
+		writeBytes: reg.Counter("pool_write_bytes_total" + label),
+		readOps:    reg.Counter("pool_read_ops_total" + label),
+		readBytes:  reg.Counter("pool_read_bytes_total" + label),
+	}
+	p.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("pool_utilization"+label, func() float64 { return p.Stats().Utilization() })
+	reg.GaugeFunc("pool_failed_disks"+label, func() float64 { return float64(p.Stats().FailedDisks) })
+	reg.GaugeFunc("pool_slices"+label, func() float64 { return float64(p.Stats().SliceCount) })
+	// Average queue depth by Little's law: aggregate device busy time
+	// over elapsed virtual time is the mean number of outstanding ops.
+	reg.GaugeFunc("pool_queue_depth"+label, func() float64 {
+		now := p.clock.Now()
+		if now == 0 {
+			return 0
+		}
+		var busy time.Duration
+		p.mu.Lock()
+		for _, d := range p.disks {
+			busy += d.dev.Stats().BusyTime
+		}
+		p.mu.Unlock()
+		return float64(busy) / float64(now)
+	})
 }
 
 // SliceSize returns the allocation granularity.
@@ -274,6 +321,7 @@ func (p *Pool) Write(id SliceID, n int64) (time.Duration, error) {
 		return 0, ErrDiskFailed
 	}
 	hook := p.hook
+	m := p.metrics
 	diskID := s.Disk
 	p.mu.Unlock()
 	var extra time.Duration
@@ -287,6 +335,8 @@ func (p *Pool) Write(id SliceID, n int64) (time.Duration, error) {
 	p.mu.Lock()
 	s.live += n
 	p.mu.Unlock()
+	m.writeOps.Inc()
+	m.writeBytes.Add(n)
 	return d.dev.Write(n) + extra, nil
 }
 
@@ -324,6 +374,7 @@ func (p *Pool) Read(id SliceID, n int64) (time.Duration, error) {
 		return 0, ErrDiskFailed
 	}
 	hook := p.hook
+	m := p.metrics
 	diskID := s.Disk
 	p.mu.Unlock()
 	var extra time.Duration
@@ -334,6 +385,8 @@ func (p *Pool) Read(id SliceID, n int64) (time.Duration, error) {
 		}
 		extra = e
 	}
+	m.readOps.Inc()
+	m.readBytes.Add(n)
 	return d.dev.Read(n) + extra, nil
 }
 

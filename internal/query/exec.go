@@ -8,6 +8,7 @@ import (
 
 	"streamlake/internal/colfile"
 	"streamlake/internal/lakehouse"
+	"streamlake/internal/obs"
 	"streamlake/internal/sim"
 )
 
@@ -30,6 +31,20 @@ type Engine struct {
 	// architecture every byte reaching the compute engine crosses it,
 	// which is what pushdown exists to avoid.
 	net *sim.Device
+
+	// obs instruments; wired once by SetObs, nil-safe no-ops until then.
+	queries      *obs.Counter
+	pushdownHits *obs.Counter
+	computeBytes *obs.Counter
+}
+
+// SetObs registers the query engine's telemetry: query volume, how
+// often the aggregate pushdown fast path fired (the pushdown hit rate
+// is hits/queries), and the bytes shipped into compute memory.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	e.queries = reg.Counter("query_queries_total")
+	e.pushdownHits = reg.Counter("query_pushdown_hits_total")
+	e.computeBytes = reg.Counter("query_compute_bytes_total")
 }
 
 // New builds a query engine with pushdown enabled.
@@ -83,6 +98,7 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 		}
 	}
 	res := &Result{}
+	e.queries.Inc()
 
 	// Fast path: pure aggregates pushed down to storage — only when the
 	// range filters represent the conjuncts exactly (strict bounds on
@@ -92,8 +108,10 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.pushdownHits.Inc()
 		res.Stats.ComputeBytes = int64(len(aggs)) * rowShipBytes
 		res.Stats.ExecCost = cost + e.net.Read(res.Stats.ComputeBytes)
+		e.computeBytes.Add(res.Stats.ComputeBytes)
 		if err := e.checkBudget(res.Stats.ComputeBytes); err != nil {
 			return nil, err
 		}
@@ -201,6 +219,7 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 	res.Stats.ExecCost = execCost
 	res.Stats.ComputeBytes = shipped + plan.MetadataBytes
 	res.Stats.RowsScanned = stats.RowsScanned
+	e.computeBytes.Add(res.Stats.ComputeBytes)
 
 	if allAggregates(stmt.Select) || stmt.GroupBy != "" {
 		var aggs []lakehouse.AggregateResult

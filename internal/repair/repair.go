@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"streamlake/internal/obs"
 	"streamlake/internal/plog"
 	"streamlake/internal/sim"
 )
@@ -70,8 +71,32 @@ type Service struct {
 	mgr   *plog.Manager
 	cfg   Config
 
-	mu    sync.Mutex
-	stats Stats
+	mu      sync.Mutex
+	stats   Stats
+	metrics repairMetrics
+}
+
+// repairMetrics is the repair service's obs instrument set; wired once
+// by SetObs, nil-safe no-ops until then.
+type repairMetrics struct {
+	rounds        *obs.Counter
+	repairedBytes *obs.Counter
+	attempts      *obs.Counter
+	failures      *obs.Counter
+	roundLat      *obs.Histogram
+}
+
+// SetObs registers repair telemetry with the registry.
+func (s *Service) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	s.metrics = repairMetrics{
+		rounds:        reg.Counter("repair_rounds_total"),
+		repairedBytes: reg.Counter("repair_repaired_bytes_total"),
+		attempts:      reg.Counter("repair_attempts_total"),
+		failures:      reg.Counter("repair_failures_total"),
+		roundLat:      reg.Histogram("repair_round_seconds"),
+	}
+	s.mu.Unlock()
 }
 
 // New builds a repair service over the manager's logs.
@@ -120,7 +145,13 @@ func (s *Service) RunOnce() Report {
 	s.stats.Failures += int64(rep.LogsFailed)
 	s.stats.Cost += rep.Cost
 	s.stats.Backoff += rep.Backoff
+	m := s.metrics
 	s.mu.Unlock()
+	m.rounds.Inc()
+	m.repairedBytes.Add(rep.RepairedBytes)
+	m.attempts.Add(rep.Attempts)
+	m.failures.Add(int64(rep.LogsFailed))
+	m.roundLat.Observe(rep.Cost + rep.Backoff)
 	return rep
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"streamlake/internal/obs"
 	"streamlake/internal/plog"
 	"streamlake/internal/repair"
 	"streamlake/internal/sim"
@@ -84,9 +85,33 @@ type Service struct {
 	rep   *repair.Service // optional; enables the inline repair pass
 	cfg   Config
 
-	mu     sync.Mutex
-	cursor plog.ID // last log scanned; next pass starts after it
-	stats  Stats
+	mu      sync.Mutex
+	cursor  plog.ID // last log scanned; next pass starts after it
+	stats   Stats
+	metrics scrubMetrics
+}
+
+// scrubMetrics is the scrubber's obs instrument set; wired once by
+// SetObs, nil-safe no-ops until then.
+type scrubMetrics struct {
+	passes        *obs.Counter
+	bytesVerified *obs.Counter
+	mismatches    *obs.Counter
+	repairedBytes *obs.Counter
+	passLat       *obs.Histogram
+}
+
+// SetObs registers scrub telemetry with the registry.
+func (s *Service) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	s.metrics = scrubMetrics{
+		passes:        reg.Counter("scrub_passes_total"),
+		bytesVerified: reg.Counter("scrub_bytes_verified_total"),
+		mismatches:    reg.Counter("scrub_mismatches_total"),
+		repairedBytes: reg.Counter("scrub_repaired_bytes_total"),
+		passLat:       reg.Histogram("scrub_pass_seconds"),
+	}
+	s.mu.Unlock()
 }
 
 // New builds a scrubber over the manager's logs. rep may be nil, in
@@ -153,6 +178,11 @@ func (s *Service) runOnceLocked() (Report, error) {
 	s.stats.Mismatches += int64(rep.Mismatches)
 	s.stats.RepairedBytes += rep.RepairedBytes
 	s.stats.Elapsed += rep.Elapsed
+	s.metrics.passes.Inc()
+	s.metrics.bytesVerified.Add(rep.BytesScanned)
+	s.metrics.mismatches.Add(int64(rep.Mismatches))
+	s.metrics.repairedBytes.Add(rep.RepairedBytes)
+	s.metrics.passLat.Observe(rep.Elapsed)
 	return rep, nil
 }
 

@@ -10,9 +10,11 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
+	"streamlake/internal/obs"
 	"streamlake/internal/plog"
 )
 
@@ -147,6 +149,13 @@ func NewSpace(mgr *plog.Manager, red plog.Redundancy) *Space {
 // Append persists data in shard s, rolling the PLog chain as needed, and
 // returns the record's location and the modelled persistence latency.
 func (sp *Space) Append(s ID, data []byte) (Loc, time.Duration, error) {
+	return sp.AppendSpan(s, data, nil)
+}
+
+// AppendSpan is Append with tracing: the PLog append is recorded as a
+// plog.append child of parent, annotated with the shard and log it
+// landed in. A nil span traces nothing.
+func (sp *Space) AppendSpan(s ID, data []byte, parent *obs.Span) (Loc, time.Duration, error) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	l := sp.open[s]
@@ -159,7 +168,12 @@ func (sp *Space) Append(s ID, data []byte) (Loc, time.Duration, error) {
 		sp.open[s] = l
 		sp.chains[s] = append(sp.chains[s], l.ID())
 	}
-	off, cost, err := l.Append(data)
+	var span *obs.Span
+	if parent != nil {
+		span = parent.Child("plog.append")
+		span.SetAttr("shard", strconv.Itoa(int(s)))
+	}
+	off, cost, err := l.AppendSpan(data, span)
 	if err == plog.ErrFull || err == plog.ErrSealed {
 		l.Seal()
 		nl, cerr := sp.mgr.Create(sp.red)
@@ -169,10 +183,15 @@ func (sp *Space) Append(s ID, data []byte) (Loc, time.Duration, error) {
 		sp.open[s] = nl
 		sp.chains[s] = append(sp.chains[s], nl.ID())
 		l = nl
-		off, cost, err = l.Append(data)
+		off, cost, err = l.AppendSpan(data, span)
 	}
 	if err != nil {
 		return Loc{}, 0, err
+	}
+	if span != nil {
+		span.SetAttr("log", strconv.FormatInt(int64(l.ID()), 10))
+		span.End(cost)
+		parent.Advance(cost)
 	}
 	return Loc{Shard: s, Log: l.ID(), Offset: off, Len: int32(len(data))}, cost, nil
 }

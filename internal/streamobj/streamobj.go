@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"streamlake/internal/kv"
+	"streamlake/internal/obs"
 	"streamlake/internal/plog"
 	"streamlake/internal/shard"
 	"streamlake/internal/sim"
@@ -92,6 +93,31 @@ type Store struct {
 	mu      sync.Mutex
 	objects map[ObjectID]*Object
 	nextID  ObjectID
+	metrics storeMetrics
+}
+
+// storeMetrics is the stream-object layer's obs instrument set; wired
+// once by SetObs, nil-safe no-ops until then.
+type storeMetrics struct {
+	flushes    *obs.Counter // slices persisted into PLogs
+	flushBytes *obs.Counter
+	ackLat     *obs.Histogram // per-batch ack (journal/SCM) latency
+}
+
+// SetObs registers the store's telemetry with an obs registry. Call at
+// wiring time, before the store serves traffic.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	s.metrics = storeMetrics{
+		flushes:    reg.Counter("streamobj_slice_flushes_total"),
+		flushBytes: reg.Counter("streamobj_flush_bytes_total"),
+		ackLat:     reg.Histogram("streamobj_ack_seconds"),
+	}
+	s.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("streamobj_objects", func() float64 { return float64(s.Count()) })
 }
 
 // NewStore builds a store creating PLogs from mgr. The index DB serves as
@@ -223,6 +249,15 @@ func (o *Object) End() int64 {
 // seen is acknowledged again without being re-appended, which is how
 // duplicate sends after a network failure are absorbed.
 func (o *Object) Append(records []Record, producerID string, seq int64) (int64, time.Duration, error) {
+	return o.AppendSpan(records, producerID, seq, nil)
+}
+
+// AppendSpan is Append with tracing: the durable ack writes and any
+// slice flushes triggered by the batch are recorded as children of sp.
+// The flush children do not advance the span cursor — flushing happens
+// off the ack path, exactly as the returned latency excludes it. A nil
+// span traces nothing.
+func (o *Object) AppendSpan(records []Record, producerID string, seq int64, sp *obs.Span) (int64, time.Duration, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if last, ok := o.producerSeq[producerID]; ok && producerID != "" && seq <= last {
@@ -249,10 +284,18 @@ func (o *Object) Append(records []Record, producerID string, seq int64) (int64, 
 			cost += o.store.journal.Write(r.encodedSize())
 		}
 		if len(o.buf) >= SliceRecords {
-			if _, err := o.flushSliceLocked(); err != nil {
+			if _, err := o.flushSliceLocked(sp); err != nil {
 				return 0, 0, err
 			}
 		}
+	}
+	if sp != nil {
+		ack := sp.Child("ack.scm")
+		if !o.opts.SCMCache {
+			ack.Name = "ack.journal"
+		}
+		ack.End(cost)
+		sp.Advance(cost) // acks gate the producer's observed latency
 	}
 	if producerID != "" {
 		o.producerSeq[producerID] = seq
@@ -261,6 +304,7 @@ func (o *Object) Append(records []Record, producerID string, seq int64) (int64, 
 	for i := range records {
 		o.bytesAppended += records[i].encodedSize()
 	}
+	o.store.metrics.ackLat.Observe(cost)
 	return base, cost, nil
 }
 
@@ -308,10 +352,10 @@ func (o *Object) takeTokens(n int) error {
 func (o *Object) Flush() (time.Duration, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.flushSliceLocked()
+	return o.flushSliceLocked(nil)
 }
 
-func (o *Object) flushSliceLocked() (time.Duration, error) {
+func (o *Object) flushSliceLocked(sp *obs.Span) (time.Duration, error) {
 	if len(o.buf) == 0 {
 		return 0, nil
 	}
@@ -323,10 +367,21 @@ func (o *Object) flushSliceLocked() (time.Duration, error) {
 	// fills, never chains, and never sees an append after its placement
 	// group was allocated (so a disk death could never degrade a write).
 	sh := shard.ForKey([]byte(fmt.Sprintf("%s/%d", o.opts.Topic, o.id)))
-	loc, cost, err := o.space.Append(sh, data)
+	// The flush rides under its own child span and never advances the
+	// parent cursor: persisting the slice into PLogs happens off the
+	// ack path, so it overlaps the acks in the trace, exactly as the
+	// returned latency excludes it.
+	var fsp *obs.Span
+	if sp != nil {
+		fsp = sp.Child("slice.flush")
+	}
+	loc, cost, err := o.space.AppendSpan(sh, data, fsp)
 	if err != nil {
 		return 0, err
 	}
+	fsp.End(cost)
+	o.store.metrics.flushes.Inc()
+	o.store.metrics.flushBytes.Add(int64(len(data)))
 	entry := sliceEntry{base: o.bufBase, count: len(o.buf), loc: loc}
 	o.slices = append(o.slices, entry)
 	// Persist the slice index in the KV store (the PLog lookup index).

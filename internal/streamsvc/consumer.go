@@ -92,6 +92,8 @@ func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 			states[topic] = ts
 		}
 	}
+	m := c.svc.metrics
+	reg := c.svc.reg
 	c.svc.mu.Unlock()
 	for _, sub := range c.subs {
 		ts, ok := states[sub.topic]
@@ -120,7 +122,18 @@ func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 				sub.offsets[idx] = recs[len(recs)-1].Offset + 1
 			}
 		}
+		if reg != nil {
+			// Consumer lag after this poll: messages still ahead of the
+			// group's position across the topic's streams.
+			var lag int64
+			for i, obj := range ts.streams {
+				lag += obj.End() - sub.offsets[i]
+			}
+			reg.Gauge(`streamsvc_consumer_lag{group="`+c.group+`",topic="`+sub.topic+`"}`).Set(float64(lag))
+		}
 	}
+	m.consumedMsgs.Add(int64(len(out)))
+	m.pollLat.Observe(cost)
 	return out, cost, nil
 }
 

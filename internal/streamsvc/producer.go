@@ -2,10 +2,12 @@ package streamsvc
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"streamlake/internal/bus"
+	"streamlake/internal/obs"
 	"streamlake/internal/streamobj"
 )
 
@@ -50,8 +52,24 @@ func (p *Producer) Send(topic string, key, value []byte) (Message, time.Duration
 // SendBatch publishes records that share a routing key stream (each
 // record routes independently by its key).
 func (p *Producer) SendBatch(topic string, recs []streamobj.Record) ([]Message, time.Duration, error) {
+	return p.sendBatch(nil, topic, recs)
+}
+
+// SendSpan is Send with tracing: the request's bus transfer, durable
+// append, and everything below (PLog placement writes, slice flushes)
+// are recorded as children of sp. A nil span traces nothing.
+func (p *Producer) SendSpan(topic string, key, value []byte, sp *obs.Span) (Message, time.Duration, error) {
+	msgs, cost, err := p.sendBatch(sp, topic, []streamobj.Record{{Key: key, Value: value}})
+	if err != nil {
+		return Message{}, cost, err
+	}
+	return msgs[0], cost, nil
+}
+
+func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record) ([]Message, time.Duration, error) {
 	p.svc.mu.Lock()
 	ts, ok := p.svc.topics[topic]
+	m := p.svc.metrics
 	p.svc.mu.Unlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
@@ -70,15 +88,29 @@ func (p *Producer) SendBatch(topic string, recs []streamobj.Record) ([]Message, 
 		for _, r := range batch {
 			bytes += int64(len(r.Key) + len(r.Value))
 		}
-		cost += w.bus.Send(bytes, bus.Normal)
+		busCost := w.bus.Send(bytes, bus.Normal)
+		cost += busCost
+		if sp != nil {
+			b := sp.Child("bus.send")
+			b.SetAttr("worker", strconv.Itoa(w.id))
+			b.End(busCost)
+			sp.Advance(busCost)
+		}
 		p.mu.Lock()
 		p.seq[streamKey(topic, idx)]++
 		seq := p.seq[streamKey(topic, idx)]
 		p.mu.Unlock()
-		base, c, err := obj.Append(batch, p.id, seq)
+		var osp *obs.Span
+		if sp != nil {
+			osp = sp.Child("streamobj.append")
+			osp.SetAttr("stream", strconv.Itoa(idx))
+		}
+		base, c, err := obj.AppendSpan(batch, p.id, seq, osp)
 		if err != nil {
 			return nil, cost, err
 		}
+		osp.End(c)
+		sp.Advance(c)
 		cost += c
 		w.mu.Lock()
 		w.appended += int64(len(batch))
@@ -90,6 +122,13 @@ func (p *Producer) SendBatch(topic string, recs []streamobj.Record) ([]Message, 
 			})
 		}
 	}
+	m.producedMsgs.Add(int64(len(out)))
+	var total int64
+	for _, r := range recs {
+		total += int64(len(r.Key) + len(r.Value))
+	}
+	m.producedBytes.Add(total)
+	m.produceLat.Observe(cost)
 	return out, cost, nil
 }
 

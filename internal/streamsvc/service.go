@@ -10,6 +10,7 @@ import (
 
 	"streamlake/internal/bus"
 	"streamlake/internal/kv"
+	"streamlake/internal/obs"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
 )
@@ -50,6 +51,15 @@ func (w *Worker) StreamCount() int {
 	return len(w.streams)
 }
 
+// Appended reports the messages appended through this worker. The
+// counter is written under w.mu on the produce path; reading it here
+// under the same lock is the only torn-read-free way to observe it.
+func (w *Worker) Appended() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
 // Service is the streaming service: dispatcher plus worker fleet.
 type Service struct {
 	clock *sim.Clock
@@ -66,6 +76,52 @@ type Service struct {
 	// exclusively while appending so Poll (shared) observes either all
 	// of a transaction's messages or none.
 	commitMu sync.RWMutex
+
+	// reg is retained so workers created after wiring (SetWorkerCount)
+	// register their buses too; metrics holds the service's instruments.
+	reg     *obs.Registry
+	metrics svcMetrics
+}
+
+// svcMetrics is the streaming service's obs instrument set; wired once
+// by SetObs, nil-safe no-ops until then.
+type svcMetrics struct {
+	producedMsgs  *obs.Counter
+	producedBytes *obs.Counter
+	consumedMsgs  *obs.Counter
+	produceLat    *obs.Histogram
+	pollLat       *obs.Histogram
+}
+
+// SetObs registers the service's telemetry — produce/consume throughput
+// counters, latency histograms, topology gauges — and wires the worker
+// buses (current and future: rescaled fleets inherit the registry, and
+// because bus instruments are shared by path label, totals survive the
+// rescale). Call at wiring time.
+func (s *Service) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	s.metrics = svcMetrics{
+		producedMsgs:  reg.Counter("streamsvc_produced_messages_total"),
+		producedBytes: reg.Counter("streamsvc_produced_bytes_total"),
+		consumedMsgs:  reg.Counter("streamsvc_consumed_messages_total"),
+		produceLat:    reg.Histogram("streamsvc_produce_seconds"),
+		pollLat:       reg.Histogram("streamsvc_poll_seconds"),
+	}
+	workers := append([]*Worker(nil), s.workers...)
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.bus.SetObs(reg)
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("streamsvc_topics", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.topics))
+	})
+	reg.GaugeFunc("streamsvc_workers", func() float64 { return float64(s.WorkerCount()) })
 }
 
 // New builds a streaming service with workerCount stream workers over
@@ -215,6 +271,14 @@ func (s *Service) WorkerCount() int {
 	return len(s.workers)
 }
 
+// Workers returns the current worker fleet (read-only use: stats,
+// rebalancing displays).
+func (s *Service) Workers() []*Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Worker(nil), s.workers...)
+}
+
 // SetWorkerCount rescales the worker fleet. Because storage is
 // disaggregated, only the stream→worker mapping changes: the method
 // returns how many stream assignments moved and the modelled remap time
@@ -238,6 +302,7 @@ func (s *Service) SetWorkerCount(n int) (moved int, cost time.Duration) {
 	workers := make([]*Worker, n)
 	for i := 0; i < n; i++ {
 		workers[i] = newWorker(i)
+		workers[i].bus.SetObs(s.reg)
 	}
 	for name, ts := range s.topics {
 		for i := range ts.streams {

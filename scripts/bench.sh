@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Bench trajectory: run the internal/bench experiment suite, then write
+# a BENCH_<date>.json snapshot of virtual-time latencies and obs
+# counters via cmd/benchsnap. Run from the repository root.
+#
+#   scripts/bench.sh          # full suite + full-size snapshot
+#   scripts/bench.sh --smoke  # snapshot only, small workload (CI gate)
+set -eu
+
+mode=full
+if [ "${1:-}" = "--smoke" ]; then
+  mode=smoke
+fi
+
+if [ "$mode" = smoke ]; then
+  go run ./cmd/benchsnap -smoke
+else
+  go test ./internal/bench/
+  go run ./cmd/benchsnap
+fi

@@ -9,8 +9,25 @@
 set -eux
 go build ./...
 go vet ./...
+
+# Wall-clock lint: data-path packages charge the sim.Clock, never the
+# wall clock, or seeded runs stop being reproducible. Non-test files
+# under internal/ may only call time.Now/time.Since if listed in
+# scripts/walltime_allowlist.txt.
+allow=$(grep -v '^#' scripts/walltime_allowlist.txt | grep -v '^$' || true)
+violations=$(grep -rn 'time\.Now(\|time\.Since(' internal/ --include='*.go' \
+  | grep -v '_test\.go' | grep -vF "${allow:-@none@}" || true)
+if [ -n "$violations" ]; then
+  echo "wall-clock use outside scripts/walltime_allowlist.txt:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
 go test -race -short ./...
 go test ./internal/bench/
+# Bench smoke: end-to-end seeded workload snapshot (virtual-time
+# latencies + obs counters) proving the telemetry pipeline works.
+sh scripts/bench.sh --smoke
 # Short fuzz smoke over the codec boundaries: a few seconds of input
 # generation against the decoders that parse untrusted bytes.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/

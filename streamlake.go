@@ -26,6 +26,7 @@ import (
 	"streamlake/internal/faults"
 	"streamlake/internal/lakebrain/compact"
 	"streamlake/internal/lakehouse"
+	"streamlake/internal/obs"
 	"streamlake/internal/plog"
 	"streamlake/internal/pool"
 	"streamlake/internal/query"
@@ -128,6 +129,9 @@ type Config struct {
 	// ScrubRate is the scrubber's bandwidth in bytes per second of
 	// virtual time (default 64 MiB/s).
 	ScrubRate int64
+	// DisableObservability skips the metrics registry and tracer; every
+	// instrument becomes a no-op (the overhead baseline).
+	DisableObservability bool
 	// Seed drives all randomized components deterministically.
 	Seed uint64
 }
@@ -153,6 +157,8 @@ type Lake struct {
 	inj     *faults.Injector
 	rep     *repair.Service
 	scrub   *scrub.Service
+	reg     *obs.Registry // nil when observability is disabled
+	tracer  *obs.Tracer   // nil when observability is disabled
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -211,8 +217,30 @@ func Open(cfg Config) (*Lake, error) {
 		Rate:         cfg.ScrubRate,
 		Repair:       true,
 	})
+	if !cfg.DisableObservability {
+		l.reg = obs.NewRegistry(clock)
+		l.tracer = obs.NewTracer(clock)
+		ssd.SetObs(l.reg)
+		hdd.SetObs(l.reg)
+		logs.SetObs(l.reg)
+		store.SetObs(l.reg)
+		svc.SetObs(l.reg)
+		lh.SetObs(l.reg)
+		l.sql.SetObs(l.reg)
+		l.rep.SetObs(l.reg)
+		l.scrub.SetObs(l.reg)
+	}
 	return l, nil
 }
+
+// Obs exposes the lake's metrics registry; nil when observability is
+// disabled. The registry aggregates every layer's counters, gauges, and
+// virtual-time histograms.
+func (l *Lake) Obs() *obs.Registry { return l.reg }
+
+// Tracer exposes the lake's request tracer; nil when observability is
+// disabled.
+func (l *Lake) Tracer() *obs.Tracer { return l.tracer }
 
 // Clock exposes the lake's virtual clock (experiments advance it).
 func (l *Lake) Clock() *sim.Clock { return l.clock }
