@@ -21,13 +21,32 @@ import (
 )
 
 type snapshot struct {
-	Date     string             `json:"date"`
-	Smoke    bool               `json:"smoke"`
-	Messages int                `json:"messages"`
-	Queries  int                `json:"queries"`
-	Latency  map[string]latency `json:"virtual_latency"`
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Date       string             `json:"date"`
+	Smoke      bool               `json:"smoke"`
+	Messages   int                `json:"messages"`
+	Queries    int                `json:"queries"`
+	Latency    map[string]latency `json:"virtual_latency"`
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Resilience resilience         `json:"resilience"`
+}
+
+// resilience pulls the retry/breaker/hedge/net-fault counters out of
+// the general counter map so bench trajectories can track the
+// resilience path without grepping metric names. The workload's lossy
+// leg guarantees the retry counters are exercised.
+type resilience struct {
+	Retries      int64 `json:"retries"`
+	BreakerSheds int64 `json:"breaker_sheds"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	Deadlines    int64 `json:"deadline_exceeded"`
+	AckDrops     int64 `json:"ack_drops"`
+	NetDrops     int64 `json:"net_drops"`
+	NetBlocked   int64 `json:"net_blocked"`
+	NetDelayed   int64 `json:"net_delayed"`
+	HedgedReads  int64 `json:"hedged_reads"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	HedgeSavedNs int64 `json:"hedge_saved_ns"`
 }
 
 type latency struct {
@@ -104,8 +123,26 @@ func run(smoke bool, out string) error {
 	if _, err := lake.RunScrub(); err != nil {
 		return err
 	}
+	// Lossy leg: the same produce path under a 20% forward drop rate, so
+	// the snapshot's resilience counters reflect real retry traffic. The
+	// net plane's RNG is seeded, so the drops replay identically.
+	lake.Net().SetDropRate("client", "*", 0.2)
+	for i := 0; i < messages/20; i++ {
+		val, err := streamlake.EncodeRow(schema, streamlake.Row{
+			streamlake.StringValue("lossy"), streamlake.IntValue(int64(i)),
+		})
+		if err != nil {
+			return err
+		}
+		if _, _, err := p.Send("bench", []byte(fmt.Sprintf("k%d", i%101)), val); err != nil {
+			return err
+		}
+	}
+	lake.Net().Clear()
 
 	snap := lake.Obs().Snapshot()
+	net := lake.Net().Stats()
+	hs := lake.HedgeStats()
 	result := snapshot{
 		Date:     time.Now().UTC().Format("2006-01-02T15:04:05Z"),
 		Smoke:    smoke,
@@ -114,6 +151,19 @@ func run(smoke bool, out string) error {
 		Latency:  map[string]latency{},
 		Counters: snap.Counters,
 		Gauges:   snap.Gauges,
+		Resilience: resilience{
+			Retries:      snap.Counters["streamsvc_retries_total"],
+			BreakerSheds: snap.Counters["streamsvc_breaker_sheds_total"],
+			BreakerTrips: snap.Counters["streamsvc_breaker_trips_total"],
+			Deadlines:    snap.Counters["streamsvc_deadline_exceeded_total"],
+			AckDrops:     snap.Counters["streamsvc_ack_drops_total"],
+			NetDrops:     net.Drops,
+			NetBlocked:   net.Blocked,
+			NetDelayed:   net.Delayed,
+			HedgedReads:  hs.Hedged,
+			HedgeWins:    hs.Wins,
+			HedgeSavedNs: hs.Saved.Nanoseconds(),
+		},
 	}
 	for name, h := range snap.Histograms {
 		if h.Count == 0 {

@@ -23,6 +23,11 @@
 //	trace produce <topic> <key> <value>  (traced send, prints the span tree)
 //	trace last | trace <id>
 //	faults status
+//	faults net [status]               (standing link faults + breaker states)
+//	faults net drop <from> <to> <rate>
+//	faults net delay <from> <to> <base> [jitter]
+//	faults net partition <from> <to>  (directed; endpoints like client, worker/0)
+//	faults net heal <from> <to> | heal-all | clear
 //	faults kill <pool> <disk>         (pool: ssd|hdd)
 //	faults kill-random <pool>
 //	faults revive <pool> <disk>
@@ -33,8 +38,14 @@
 //	faults corrupt <pool>             (silently corrupt one random copy)
 //	faults bit-flip <pool> <rate>     (per-byte silent corruption rate; 0 clears)
 //	faults clear
+//	advance <duration>                (advance virtual time, e.g. 30ms —
+//	                                   lets breaker cooldowns and failure
+//	                                   windows elapse)
 //	repair [rounds]
 //	scrub [run|cycle|status]
+//	chaos run [seed [events]]         (one seeded chaos drill, fresh lake)
+//	chaos replay [seed [events]]      (run twice, assert bit-identical digests)
+//	chaos status                      (report of the shell's last drill)
 //	help
 package main
 
@@ -48,6 +59,7 @@ import (
 	"time"
 
 	"streamlake"
+	"streamlake/internal/chaos"
 	"streamlake/internal/tiering"
 )
 
@@ -89,8 +101,9 @@ func main() {
 }
 
 type shell struct {
-	lake *streamlake.Lake
-	prod *streamlake.Producer
+	lake      *streamlake.Lake
+	prod      *streamlake.Producer
+	lastChaos *chaos.Report
 }
 
 // producer returns the shell's long-lived producer. A fresh handle per
@@ -109,11 +122,15 @@ func (s *shell) exec(line string) error {
 	rest := args[1:]
 	switch cmd {
 	case "help":
-		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats faults repair scrub")
+		fmt.Println("commands: create-topic produce consume create-table insert sql convert compact snapshot stats faults repair scrub chaos")
 		fmt.Println("faults:   status | kill <pool> <disk> | kill-random <pool> | revive <pool> <disk> |")
 		fmt.Println("          write-error <rate> | read-error <rate> | slow <pool> <disk> <extra> |")
 		fmt.Println("          slow-tier <tier> <factor> | corrupt <pool> | bit-flip <pool> <rate> | clear")
+		fmt.Println("net:      faults net [status] | drop <from> <to> <rate> | delay <from> <to> <base> [jitter] |")
+		fmt.Println("          partition <from> <to> | heal <from> <to> | heal-all | clear")
 		fmt.Println("scrub:    run (one pass) | cycle (sweep every log) | status")
+		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
+		fmt.Println("advance:  advance <duration> (virtual time, e.g. 30ms)")
 		return nil
 	case "create-topic":
 		if len(rest) < 2 {
@@ -285,6 +302,25 @@ func (s *shell) exec(line string) error {
 		return nil
 	case "scrub":
 		return s.scrub(rest)
+	case "chaos":
+		return s.chaos(rest)
+	case "advance":
+		// The shell's requests are instantaneous in virtual time, so
+		// nothing else moves the clock: without this, a tripped breaker's
+		// cooldown or failure window would never elapse.
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: advance <duration> (e.g. 30ms)")
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return fmt.Errorf("duration must be positive, got %v", d)
+		}
+		s.lake.Clock().Advance(d)
+		fmt.Printf("virtual time advanced by %v to %v\n", d, s.lake.Clock().Now())
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -305,6 +341,8 @@ func (s *shell) faults(rest []string) error {
 		return args[0], d, err
 	}
 	switch sub {
+	case "net":
+		return s.netFaults(args)
 	case "status":
 		st := inj.Stats()
 		fmt.Printf("killed=%v writeErrors=%d readErrors=%d kills=%d revives=%d extraLatency=%v\n",
@@ -436,6 +474,180 @@ func (s *shell) faults(rest []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown faults subcommand %q (try help)", sub)
+	}
+}
+
+// netFaults drives the network fault plane: standing drop, delay, and
+// partition rules on directed links, plus the produce path's circuit
+// breaker states.
+func (s *shell) netFaults(args []string) error {
+	np := s.lake.Net()
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+		args = args[1:]
+	}
+	fromTo := func() (string, string, error) {
+		if len(args) < 2 {
+			return "", "", fmt.Errorf("usage: faults net %s <from> <to> ... (endpoints like client, worker/0, or *)", sub)
+		}
+		return args[0], args[1], nil
+	}
+	switch sub {
+	case "status":
+		st := np.Stats()
+		fmt.Printf("drops=%d blocked=%d delayed=%d delayInjected=%v\n",
+			st.Drops, st.Blocked, st.Delayed, st.DelayInjected)
+		rules := np.Rules()
+		if len(rules) == 0 {
+			fmt.Println("no standing network faults")
+		}
+		for _, r := range rules {
+			fmt.Println("  " + r)
+		}
+		for _, eb := range s.lake.Service().BreakerStates() {
+			fmt.Printf("breaker %s: %s trips=%d sheds=%d probes=%d\n",
+				eb.Endpoint, eb.State, eb.Stats.Trips, eb.Stats.Sheds, eb.Stats.Probes)
+		}
+		return nil
+	case "drop":
+		from, to, err := fromTo()
+		if err != nil {
+			return err
+		}
+		if len(args) < 3 {
+			return fmt.Errorf("usage: faults net drop <from> <to> <rate>")
+		}
+		rate, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return err
+		}
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("rate %v outside [0,1] (0 clears)", rate)
+		}
+		np.SetDropRate(from, to, rate)
+		fmt.Printf("drop %s->%s set to %.3f\n", from, to, rate)
+		return nil
+	case "delay":
+		from, to, err := fromTo()
+		if err != nil {
+			return err
+		}
+		if len(args) < 3 {
+			return fmt.Errorf("usage: faults net delay <from> <to> <base> [jitter]")
+		}
+		base, err := time.ParseDuration(args[2])
+		if err != nil {
+			return err
+		}
+		var jitter time.Duration
+		if len(args) > 3 {
+			if jitter, err = time.ParseDuration(args[3]); err != nil {
+				return err
+			}
+		}
+		np.SetDelay(from, to, base, jitter)
+		fmt.Printf("delay %s->%s set to %v+%v\n", from, to, base, jitter)
+		return nil
+	case "partition":
+		from, to, err := fromTo()
+		if err != nil {
+			return err
+		}
+		np.Partition(from, to)
+		fmt.Printf("partitioned %s->%s\n", from, to)
+		return nil
+	case "heal":
+		from, to, err := fromTo()
+		if err != nil {
+			return err
+		}
+		np.Heal(from, to)
+		fmt.Printf("healed %s->%s\n", from, to)
+		return nil
+	case "heal-all":
+		np.HealAll()
+		fmt.Println("all partitions healed (drop and delay rules stay)")
+		return nil
+	case "clear":
+		np.Clear()
+		fmt.Println("all standing network faults cleared")
+		return nil
+	default:
+		return fmt.Errorf("unknown faults net subcommand %q (status|drop|delay|partition|heal|heal-all|clear)", sub)
+	}
+}
+
+// chaos runs a seeded chaos drill against a fresh lake (the shell's
+// instance is untouched) and prints its invariant report.
+func (s *shell) chaos(rest []string) error {
+	sub := "run"
+	if len(rest) > 0 {
+		sub = rest[0]
+		rest = rest[1:]
+	}
+	switch sub {
+	case "run", "replay":
+		cfg := chaos.Config{
+			Seed: 1, DiskKills: true, Corruption: true,
+			Partitions: true, Hedging: true, DeadlineMS: 50,
+		}
+		if len(rest) > 0 {
+			seed, err := strconv.ParseUint(rest[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("seed: %w", err)
+			}
+			cfg.Seed = seed
+		}
+		if len(rest) > 1 {
+			events, err := strconv.Atoi(rest[1])
+			if err != nil {
+				return fmt.Errorf("events: %w", err)
+			}
+			cfg.Events = events
+		}
+		var rep chaos.Report
+		var err error
+		if sub == "replay" {
+			var same bool
+			rep, same, err = chaos.RunWithReplay(cfg)
+			if err == nil {
+				fmt.Printf("replay bit-identical: %v\n", same)
+			}
+		} else {
+			rep, err = chaos.Run(cfg)
+		}
+		if err != nil {
+			return err
+		}
+		s.lastChaos = &rep
+		printChaos(&rep)
+		return nil
+	case "status":
+		if s.lastChaos == nil {
+			return fmt.Errorf("no chaos drill run yet (try: chaos run [seed [events]])")
+		}
+		printChaos(s.lastChaos)
+		return nil
+	default:
+		return fmt.Errorf("unknown chaos subcommand %q (run|replay|status)", sub)
+	}
+}
+
+func printChaos(rep *chaos.Report) {
+	fmt.Printf("events=%d produced=%d consumed=%d drained=%d\n",
+		rep.Events, rep.Produced, rep.Consumed, rep.Drained)
+	fmt.Printf("retries=%d netDrops=%d sheds=%d trips=%d deadlines=%d\n",
+		rep.Retries, rep.NetDrops, rep.Sheds, rep.Trips, rep.Deadlines)
+	fmt.Printf("hedged=%d hedgeWins=%d diskKills=%d corrupted=%d readP99=%v\n",
+		rep.Hedged, rep.HedgeWins, rep.DiskKills, rep.Corrupted, rep.ReadP99)
+	fmt.Printf("digest=%016x\n", rep.Digest)
+	if len(rep.Violations) == 0 {
+		fmt.Println("invariants: all hold (no acked-write loss, no duplicate appends, monotonic offsets)")
+		return
+	}
+	for _, v := range rep.Violations {
+		fmt.Println("VIOLATION: " + v)
 	}
 }
 

@@ -52,17 +52,33 @@ type Config struct {
 	// SmallIOBytes is the threshold below which a send is eligible for
 	// aggregation (default 64 KiB).
 	SmallIOBytes int64
+	// DropTimeout is the virtual time a sender waits before concluding a
+	// message was lost (default 500 µs). Charged, on top of any injected
+	// delay, for every send the network fault plane fails.
+	DropTimeout time.Duration
 }
 
-// Stats reports bus activity.
+// NetHook decides the fate of a message on the directed link from→to:
+// extra delivery delay, or an error when the message is dropped or the
+// link partitioned. faults.NetPlane implements it.
+type NetHook interface {
+	Deliver(from, to string, n int64) (time.Duration, error)
+}
+
+// Stats reports bus activity. Sends/Bytes count delivered messages
+// only; a dropped or partitioned send lands in Drops/DroppedBytes and
+// never touches the aggregation-batch accounting.
 type Stats struct {
-	Sends      int64
-	Bytes      int64
-	Aggregated int64 // sends that rode in a batch without paying fixed cost
-	Batches    int64
-	Flushes    int64         // partial batches closed out by Flush
-	FlushCost  time.Duration // deferred fixed costs charged at flush time
-	QueueDelay time.Duration // cumulative priority queuing delay imposed
+	Sends        int64
+	Bytes        int64
+	Aggregated   int64 // sends that rode in a batch without paying fixed cost
+	Batches      int64
+	Flushes      int64         // partial batches closed out by Flush
+	FlushCost    time.Duration // deferred fixed costs charged at flush time
+	QueueDelay   time.Duration // cumulative priority queuing delay imposed
+	Drops        int64         // sends failed by the network fault plane
+	DroppedBytes int64
+	NetDelay     time.Duration // injected delay on delivered messages
 }
 
 // Bus is one node's view of the data exchange fabric.
@@ -75,6 +91,8 @@ type Bus struct {
 	batchFill   int   // small sends since the last fixed-cost payment
 	outstanding int64 // high-priority bytes notionally in flight
 	metrics     busMetrics
+	net         NetHook // consulted on every send when attached
+	local       string  // this bus's endpoint name on the fault plane
 }
 
 // busMetrics is the bus's obs instrument set, labelled by path so RDMA
@@ -83,6 +101,8 @@ type Bus struct {
 // survive worker rescaling.
 type busMetrics struct {
 	sends, bytes, aggregated, batches *obs.Counter
+	drops                             *obs.Counter
+	netDelay                          *obs.Counter // injected delay, ns
 	sendLat, flushLat                 *obs.Histogram
 }
 
@@ -104,6 +124,8 @@ func (b *Bus) SetObs(reg *obs.Registry) {
 		bytes:      reg.Counter("bus_bytes_total" + label),
 		aggregated: reg.Counter("bus_aggregated_total" + label),
 		batches:    reg.Counter("bus_batches_total" + label),
+		drops:      reg.Counter("bus_drops_total" + label),
+		netDelay:   reg.Counter("bus_net_delay_ns_total" + label),
 		sendLat:    reg.Histogram("bus_send_seconds" + label),
 		flushLat:   reg.Histogram("bus_flush_seconds" + label),
 	}
@@ -118,6 +140,9 @@ func New(cfg Config) *Bus {
 	if cfg.SmallIOBytes <= 0 {
 		cfg.SmallIOBytes = 64 << 10
 	}
+	if cfg.DropTimeout <= 0 {
+		cfg.DropTimeout = 500 * time.Microsecond
+	}
 	class := sim.NetRDMA
 	if cfg.Path == TCP {
 		class = sim.Net10GbE
@@ -128,9 +153,75 @@ func New(cfg Config) *Bus {
 // Link exposes the underlying link device for utilization reporting.
 func (b *Bus) Link() *sim.Device { return b.link }
 
+// SetNet attaches a network fault plane and names this bus's endpoint
+// on it. Every subsequent send is submitted to the hook for a
+// drop/delay/partition verdict before any cost or aggregation state is
+// touched.
+func (b *Bus) SetNet(h NetHook, local string) {
+	b.mu.Lock()
+	b.net = h
+	b.local = local
+	b.mu.Unlock()
+}
+
 // Send models transferring n bytes at the given priority and returns the
-// modelled latency the sender observes.
+// modelled latency the sender observes. It is the fault-blind legacy
+// path (equivalent to SendLink from this bus's own endpoint to an
+// unnamed peer): a fault-plane verdict against the anonymous link is
+// absorbed as latency rather than surfaced, which suits the cost-model
+// callers (benchmarks) that assume delivery. Data paths that must see
+// failures use SendLink.
 func (b *Bus) Send(n int64, prio Priority) time.Duration {
+	b.mu.Lock()
+	local, hook := b.local, b.net
+	b.mu.Unlock()
+	var delay time.Duration
+	var err error
+	if hook != nil {
+		delay, err = hook.Deliver(local, "", n)
+	}
+	if err != nil {
+		return b.failSend(n, delay)
+	}
+	return b.deliver(n, prio, delay)
+}
+
+// SendLink models transferring n bytes on the directed link from→to at
+// the given priority. The network fault plane (when attached) rules on
+// the message first: a drop or partition returns the time the sender
+// lost (injected delay plus the drop timeout) and a non-nil error, and
+// leaves the aggregation batch accounting untouched — an undelivered
+// message must never fill a batch slot or double-charge the batch's
+// deferred fixed cost when it is retried.
+func (b *Bus) SendLink(from, to string, n int64, prio Priority) (time.Duration, error) {
+	b.mu.Lock()
+	hook := b.net
+	b.mu.Unlock()
+	var delay time.Duration
+	var err error
+	if hook != nil {
+		delay, err = hook.Deliver(from, to, n)
+	}
+	if err != nil {
+		return b.failSend(n, delay), err
+	}
+	return b.deliver(n, prio, delay), nil
+}
+
+// failSend accounts an undelivered message: the sender burns the
+// injected delay plus the drop timeout, and nothing else changes.
+func (b *Bus) failSend(n int64, delay time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Drops++
+	b.stats.DroppedBytes += n
+	b.metrics.drops.Inc()
+	return delay + b.cfg.DropTimeout
+}
+
+// deliver charges a delivered message: transfer cost, aggregation-batch
+// fixed-cost amortization, priority queuing, and any injected delay.
+func (b *Bus) deliver(n int64, prio Priority, delay time.Duration) time.Duration {
 	spec := b.link.Spec()
 	fixed := spec.WriteLatency
 	transfer := b.link.Write(n) - fixed // bandwidth term only
@@ -176,6 +267,11 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 		b.outstanding = n
 	} else if b.outstanding > 0 {
 		b.outstanding /= 2
+	}
+	if delay > 0 {
+		cost += delay
+		b.stats.NetDelay += delay
+		b.metrics.netDelay.Add(int64(delay))
 	}
 	b.metrics.sendLat.Observe(cost)
 	return cost

@@ -125,4 +125,121 @@ func TestDefaultsApplied(t *testing.T) {
 	if b.cfg.AggregationCount != 16 || b.cfg.SmallIOBytes != 64<<10 {
 		t.Fatalf("defaults: %+v", b.cfg)
 	}
+	if b.cfg.DropTimeout <= 0 {
+		t.Fatalf("drop timeout default missing: %+v", b.cfg)
+	}
+}
+
+// scriptHook fails delivery according to a fixed script: call i fails
+// iff fail[i] is true. Extra calls succeed.
+type scriptHook struct {
+	fail  []bool
+	calls int
+	err   error
+}
+
+func (h *scriptHook) Deliver(from, to string, n int64) (time.Duration, error) {
+	i := h.calls
+	h.calls++
+	if i < len(h.fail) && h.fail[i] {
+		return 0, h.err
+	}
+	return 0, nil
+}
+
+// errDrop stands in for the faults package's drop error (bus must not
+// import faults).
+var errDrop = &timeoutErr{}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string { return "dropped" }
+
+// TestDroppedSendLeavesBatchAccountingIntact is the satellite-1
+// regression: a failed (dropped/partitioned) send must not fill an
+// aggregation-batch slot, must not count in Sends/Bytes, and must not
+// cause the batch's deferred fixed cost to be charged twice when the
+// send is retried and the batch later flushes.
+func TestDroppedSendLeavesBatchAccountingIntact(t *testing.T) {
+	// Script: every third delivery attempt fails.
+	fail := make([]bool, 30)
+	for i := 2; i < len(fail); i += 3 {
+		fail[i] = true
+	}
+	b := New(Config{Path: TCP, Aggregation: true, AggregationCount: 16})
+	b.SetNet(&scriptHook{fail: fail, err: errDrop}, "client")
+	fixed := b.Link().Spec().WriteLatency
+
+	delivered, dropped := 0, 0
+	for i := 0; i < 24; i++ {
+		// Retry each message until it lands, like the producer does.
+		for {
+			_, err := b.SendLink("client", "worker/0", 512, Normal)
+			if err == nil {
+				delivered++
+				break
+			}
+			dropped++
+		}
+	}
+	if delivered != 24 || dropped == 0 {
+		t.Fatalf("script did not exercise drops: delivered=%d dropped=%d", delivered, dropped)
+	}
+	st := b.Stats()
+	if st.Sends != 24 || st.Bytes != 24*512 {
+		t.Fatalf("delivered accounting polluted by drops: %+v", st)
+	}
+	if st.Drops != int64(dropped) || st.DroppedBytes != int64(dropped)*512 {
+		t.Fatalf("drop accounting: %+v want %d drops", st, dropped)
+	}
+	// 24 delivered small sends = 1 full batch (16) + 8 pending flushed by
+	// Stats: exactly 2 batches, one flush, one deferred fixed cost.
+	if st.Batches != 2 || st.Flushes != 1 || st.FlushCost != fixed {
+		t.Fatalf("batch accounting double-charged or leaked: %+v", st)
+	}
+	if st.Aggregated != 23 { // all but the batch-closing 16th send deferred
+		t.Fatalf("aggregated count: %+v", st)
+	}
+	// Nothing pending afterwards: flushing again charges nothing.
+	if got := b.Flush(); got != 0 {
+		t.Fatalf("flush after stats charged %v", got)
+	}
+}
+
+// TestDropChargesTimeoutNotTransfer: an undelivered message costs the
+// sender its injected delay plus the drop timeout — never the transfer
+// or fixed cost — and the link device sees no bytes for it.
+func TestDropChargesTimeoutNotTransfer(t *testing.T) {
+	b := New(Config{Path: RDMA, DropTimeout: time.Millisecond})
+	b.SetNet(&scriptHook{fail: []bool{true, false}, err: errDrop}, "client")
+	cost, err := b.SendLink("client", "worker/0", 1<<20, Normal)
+	if err == nil {
+		t.Fatal("scripted drop did not surface")
+	}
+	if cost != time.Millisecond {
+		t.Fatalf("drop cost = %v, want the 1ms drop timeout", cost)
+	}
+	if got := b.Link().Stats().WriteBytes; got != 0 {
+		t.Fatalf("dropped bytes reached the link device: %d", got)
+	}
+	if _, err := b.SendLink("client", "worker/0", 1<<20, Normal); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if got := b.Link().Stats().WriteBytes; got != 1<<20 {
+		t.Fatalf("retry bytes: %d", got)
+	}
+}
+
+// TestSendWithoutHookUnchanged: with no fault plane attached, SendLink
+// behaves exactly like the legacy Send.
+func TestSendWithoutHookUnchanged(t *testing.T) {
+	a := New(Config{Path: TCP, Aggregation: true})
+	b := New(Config{Path: TCP, Aggregation: true})
+	for i := 0; i < 20; i++ {
+		want := a.Send(512, Normal)
+		got, err := b.SendLink("client", "worker/0", 512, Normal)
+		if err != nil || got != want {
+			t.Fatalf("send %d: got (%v,%v) want (%v,nil)", i, got, err, want)
+		}
+	}
 }

@@ -1,0 +1,477 @@
+// Package chaos is a deterministic chaos harness for the full lake: a
+// seeded scheduler composes network drops, delays, directed partitions,
+// disk kills, silent corruption, and repair/scrub passes against a
+// produce/consume workload, then checks the invariants that define
+// "resilient" — no acked write is lost, retries never double-append,
+// consumer offsets stay monotonic, and the whole run replays
+// bit-identically from the same seed.
+//
+// Everything runs in virtual time: the harness advances the lake's
+// clock explicitly between events, so a run is a pure function of its
+// Config.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"streamlake"
+	"streamlake/internal/plog"
+	"streamlake/internal/resil"
+	"streamlake/internal/sim"
+)
+
+// Config parameterizes one chaos run. The zero value is usable; Seed
+// selects the schedule.
+type Config struct {
+	// Seed drives the event scheduler, the lake's fault RNGs, and the
+	// producers' backoff jitter. Same seed, same run.
+	Seed uint64
+	// Events is how many scheduler steps to run (default 400).
+	Events int
+	// Streams is the topic's stream count (default 4).
+	Streams int
+	// Workers sizes the stream worker fleet (default 3).
+	Workers int
+	// Hedging enables hedged replica reads.
+	Hedging bool
+	// DropRate bounds the per-link drop rates the scheduler injects
+	// (default 0.25).
+	DropRate float64
+	// MaxDelay bounds injected link delays (default 2ms).
+	MaxDelay time.Duration
+	// DiskKills lets the scheduler kill and revive SSDs (at most two
+	// down at once, inside 3x replication's loss tolerance).
+	DiskKills bool
+	// Corruption lets the scheduler flip bits in stored copies (the
+	// scrubber and verify-on-read must mask them).
+	Corruption bool
+	// Partitions lets the scheduler cut client→worker links outright.
+	Partitions bool
+	// DeadlineMS, when > 0, attaches a virtual-time deadline to every
+	// produce and poll.
+	DeadlineMS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events <= 0 {
+		c.Events = 400
+	}
+	if c.Streams <= 0 {
+		c.Streams = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.DropRate <= 0 {
+		c.DropRate = 0.25
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Report is what one chaos run did and what it proved.
+type Report struct {
+	Events     int
+	Produced   int64 // messages acked to producers
+	Consumed   int64 // messages delivered during the run
+	Drained    int64 // messages read back by the final full drain
+	Retries    int64
+	NetDrops   int64
+	Sheds      int64
+	Trips      int64
+	Deadlines  int64
+	Hedged     int64
+	HedgeWins  int64
+	DiskKills  int
+	Corrupted  int
+	ReadP99    time.Duration // plog read latency p99 at run end
+	Digest     uint64        // FNV-1a over the run's observable outcome
+	Violations []string      // empty on a clean run
+}
+
+const topic = "chaos"
+
+// Run executes one chaos run and returns its report. A non-empty
+// Report.Violations means an invariant broke; the error covers setup
+// failures only.
+func Run(cfg Config) (Report, error) { return run(cfg, 0) }
+
+// RunDegraded is Run with an extra phase: after the fault schedule
+// settles, one SSD is slowed by extra latency and every stream is
+// re-read end to end several times — the sick-but-alive device
+// scenario hedged reads exist for. Comparing the resulting ReadP99
+// with and without Config.Hedging on the same seed quantifies what
+// hedging buys.
+func RunDegraded(cfg Config, extra time.Duration) (Report, error) { return run(cfg, extra) }
+
+func run(cfg Config, degrade time.Duration) (Report, error) {
+	cfg = cfg.withDefaults()
+	lake, err := streamlake.Open(streamlake.Config{
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+		PLogCapacity:   1 << 20,
+		DisableHedging: !cfg.Hedging,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.Hedging {
+		// Chaos runs see few, large slice reads, so warm the hedge
+		// tracker faster and hedge off the median instead of the p95.
+		lake.Logs().SetHedge(plog.HedgeConfig{Enabled: true, Quantile: 0.5, MinSamples: 8})
+	}
+	if err := lake.CreateTopic(streamlake.TopicConfig{Name: topic, StreamNum: cfg.Streams}); err != nil {
+		return Report{}, err
+	}
+	h := &harness{
+		cfg:   cfg,
+		lake:  lake,
+		rng:   sim.NewRNG(cfg.Seed ^ 0x63_68_61_6f_73), // "chaos"
+		acked: map[int]map[int64]string{},
+		last:  map[int]int64{},
+	}
+	h.prod = lake.Producer("chaos-producer")
+	h.cons = lake.Consumer("chaos-group")
+	if err := h.cons.Subscribe(topic); err != nil {
+		return Report{}, err
+	}
+	for i := 0; i < cfg.Events; i++ {
+		h.step(i)
+	}
+	h.settle()
+	if degrade > 0 {
+		// One healthy pass first so the hedge latency tracker is warm —
+		// the comparison then measures steady-state hedging, not the
+		// cold start (run in both modes for a like-for-like schedule).
+		h.readSweep(1)
+		lake.Faults().DegradeDisk("ssd", 0, degrade)
+		h.readSweep(4)
+	}
+	h.drainAndCheck()
+	return h.report(), nil
+}
+
+// RunWithReplay runs the same config twice and reports whether the two
+// runs were bit-identical (same digest). The returned report is the
+// first run's.
+func RunWithReplay(cfg Config) (Report, bool, error) {
+	a, err := Run(cfg)
+	if err != nil {
+		return Report{}, false, err
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		return a, false, err
+	}
+	return a, a.Digest == b.Digest, nil
+}
+
+type harness struct {
+	cfg  Config
+	lake *streamlake.Lake
+	rng  *sim.RNG
+	prod *streamlake.Producer
+	cons *streamlake.Consumer
+
+	acked      map[int]map[int64]string // stream → offset → key
+	last       map[int]int64            // stream → last consumed offset (monotonicity)
+	produced   int64
+	consumed   int64
+	drained    int64
+	eventSeq   int
+	kills      []string // "pool/disk" currently dead, oldest first
+	killCount  int
+	corrupted  int
+	partitions [][2]string
+	violations []string
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+}
+
+func (h *harness) ctx() *resil.Ctx {
+	if h.cfg.DeadlineMS <= 0 {
+		return nil
+	}
+	return resil.NewCtx(h.lake.Clock().Now(), time.Duration(h.cfg.DeadlineMS)*time.Millisecond)
+}
+
+// step runs one weighted scheduler event.
+func (h *harness) step(i int) {
+	switch r := h.rng.Intn(100); {
+	case r < 40:
+		h.produce()
+	case r < 60:
+		h.consume()
+	case r < 70:
+		h.netChurn()
+	case r < 75:
+		if h.cfg.Partitions {
+			h.partitionChurn()
+		}
+	case r < 80:
+		if h.cfg.DiskKills {
+			h.diskChurn()
+		}
+	case r < 83:
+		if h.cfg.Corruption {
+			if _, err := h.lake.Faults().CorruptRandom("ssd"); err == nil {
+				h.corrupted++
+			}
+		}
+	case r < 88:
+		h.lake.RunRepair()
+		if h.rng.Intn(2) == 0 {
+			h.lake.RunScrub()
+		}
+	default:
+		// Let virtual time pass: breaker cooldowns elapse, deadlines
+		// become meaningful, tiering/repair timestamps move.
+		h.lake.Clock().Advance(time.Duration(1+h.rng.Intn(5000)) * time.Microsecond)
+	}
+}
+
+func (h *harness) produce() {
+	n := 1 + h.rng.Intn(4)
+	for j := 0; j < n; j++ {
+		h.eventSeq++
+		key := fmt.Sprintf("k%06d", h.eventSeq)
+		val := fmt.Sprintf("v%06d", h.eventSeq)
+		msg, _, err := h.prod.SendCtx(topic, []byte(key), []byte(val), h.ctx())
+		if err != nil {
+			// Dropped past all retries, shed by an open breaker, or out
+			// of deadline — all legitimate under chaos. Only an *acked*
+			// write creates obligations.
+			continue
+		}
+		h.produced++
+		m := h.acked[msg.Stream]
+		if m == nil {
+			m = map[int64]string{}
+			h.acked[msg.Stream] = m
+		}
+		if prev, dup := m[msg.Offset]; dup {
+			h.violate("stream %d offset %d acked twice (%s then %s)", msg.Stream, msg.Offset, prev, key)
+		}
+		m[msg.Offset] = key
+	}
+}
+
+func (h *harness) consume() {
+	msgs, _, err := h.cons.PollCtx(64, h.ctx())
+	if err != nil && !errors.Is(err, resil.ErrDeadlineExceeded) {
+		h.violate("poll failed: %v", err)
+		return
+	}
+	for _, m := range msgs {
+		if last, ok := h.last[m.Stream]; ok && m.Offset <= last {
+			h.violate("stream %d consumer offset went backwards: %d after %d", m.Stream, m.Offset, last)
+		}
+		h.last[m.Stream] = m.Offset
+		if want, ok := h.acked[m.Stream][m.Offset]; ok && want != string(m.Key) {
+			h.violate("stream %d offset %d delivered key %q, acked %q", m.Stream, m.Offset, m.Key, want)
+		}
+	}
+	h.consumed += int64(len(msgs))
+}
+
+func (h *harness) netChurn() {
+	np := h.lake.Net()
+	worker := fmt.Sprintf("worker/%d", h.rng.Intn(h.cfg.Workers))
+	switch h.rng.Intn(4) {
+	case 0:
+		np.SetDropRate("client", worker, h.cfg.DropRate*h.rng.Float64())
+	case 1:
+		np.SetDropRate(worker, "client", h.cfg.DropRate*h.rng.Float64())
+	case 2:
+		base := time.Duration(h.rng.Int63n(int64(h.cfg.MaxDelay)))
+		np.SetDelay("client", worker, base, base/2)
+	default:
+		np.SetDropRate("client", worker, 0)
+		np.SetDelay("client", worker, 0, 0)
+	}
+}
+
+func (h *harness) partitionChurn() {
+	np := h.lake.Net()
+	if len(h.partitions) > 0 && h.rng.Intn(2) == 0 {
+		p := h.partitions[0]
+		h.partitions = h.partitions[1:]
+		np.Heal(p[0], p[1])
+		return
+	}
+	worker := fmt.Sprintf("worker/%d", h.rng.Intn(h.cfg.Workers))
+	np.Partition("client", worker)
+	h.partitions = append(h.partitions, [2]string{"client", worker})
+}
+
+func (h *harness) diskChurn() {
+	inj := h.lake.Faults()
+	if len(h.kills) > 0 && (len(h.kills) >= 2 || h.rng.Intn(2) == 0) {
+		var disk int
+		fmt.Sscanf(h.kills[0], "ssd/%d", &disk)
+		h.kills = h.kills[1:]
+		inj.ReviveDisk("ssd", disk)
+		return
+	}
+	if disk, err := inj.KillRandomDisk("ssd"); err == nil {
+		h.kills = append(h.kills, fmt.Sprintf("ssd/%d", disk))
+		h.killCount++
+	}
+}
+
+// settle heals every fault and restores full redundancy so the final
+// drain measures what survived, not what is currently unreachable.
+func (h *harness) settle() {
+	np := h.lake.Net()
+	np.HealAll()
+	np.Clear()
+	for _, k := range h.kills {
+		var disk int
+		fmt.Sscanf(k, "ssd/%d", &disk)
+		h.lake.Faults().ReviveDisk("ssd", disk)
+	}
+	h.kills = nil
+	h.lake.Clock().Advance(50 * time.Millisecond) // breaker cooldowns elapse
+	h.lake.RepairUntilRedundant(16)
+	if h.cfg.Corruption {
+		h.lake.ScrubCycle()
+	}
+}
+
+// readSweep re-reads the topic end to end several times through a
+// dedicated consumer — a read-heavy tail-latency probe over whatever
+// slices the run persisted.
+func (h *harness) readSweep(passes int) {
+	c := h.lake.Consumer("chaos-sweeper")
+	if err := c.Subscribe(topic); err != nil {
+		h.violate("sweeper subscribe: %v", err)
+		return
+	}
+	for pass := 0; pass < passes; pass++ {
+		for s := 0; s < h.cfg.Streams; s++ {
+			c.Seek(topic, s, 0)
+		}
+		for {
+			msgs, _, err := c.Poll(64)
+			if err != nil {
+				h.violate("sweeper poll: %v", err)
+				return
+			}
+			if len(msgs) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// drainAndCheck reads every stream back from offset zero under a fresh
+// consumer group and checks the loss and duplication invariants.
+func (h *harness) drainAndCheck() {
+	c := h.lake.Consumer("chaos-verifier")
+	if err := c.Subscribe(topic); err != nil {
+		h.violate("verifier subscribe: %v", err)
+		return
+	}
+	seen := map[int]map[int64]string{}
+	for empty := 0; empty < 2; {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			h.violate("verifier poll: %v", err)
+			return
+		}
+		if len(msgs) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		h.drained += int64(len(msgs))
+		for _, m := range msgs {
+			sm := seen[m.Stream]
+			if sm == nil {
+				sm = map[int64]string{}
+				seen[m.Stream] = sm
+			}
+			if _, dup := sm[m.Offset]; dup {
+				h.violate("drain: stream %d offset %d delivered twice", m.Stream, m.Offset)
+			}
+			sm[m.Offset] = string(m.Key)
+		}
+	}
+	// Zero acked-write loss, no duplicate appends: every acked offset is
+	// present exactly once with the payload that was acked.
+	for stream, offsets := range h.acked {
+		for off, key := range offsets {
+			got, ok := seen[stream][off]
+			if !ok {
+				h.violate("acked write lost: stream %d offset %d (%s)", stream, off, key)
+			} else if got != key {
+				h.violate("acked write mangled: stream %d offset %d has %q, want %q", stream, off, got, key)
+			}
+		}
+	}
+}
+
+// report snapshots counters and computes the run digest.
+func (h *harness) report() Report {
+	snap := h.lake.Obs().Snapshot()
+	hs := h.lake.HedgeStats()
+	ns := h.lake.Net().Stats()
+	r := Report{
+		Events:     h.cfg.Events,
+		Produced:   h.produced,
+		Consumed:   h.consumed,
+		Drained:    h.drained,
+		Retries:    snap.Counters["streamsvc_retries_total"],
+		NetDrops:   ns.Drops + ns.Blocked,
+		Sheds:      snap.Counters["streamsvc_breaker_sheds_total"],
+		Trips:      snap.Counters["streamsvc_breaker_trips_total"],
+		Deadlines:  snap.Counters["streamsvc_deadline_exceeded_total"],
+		Hedged:     hs.Hedged,
+		HedgeWins:  hs.Wins,
+		DiskKills:  h.killCount,
+		Corrupted:  h.corrupted,
+		ReadP99:    snap.Histograms["plog_read_seconds"].Quantile(0.99),
+		Violations: h.violations,
+	}
+	r.Digest = h.digest(r)
+	return r
+}
+
+// digest folds the run's observable outcome — acked set, consumed
+// count, resilience counters — into one FNV-1a value. Two runs of the
+// same config must produce the same digest: the bit-identical-replay
+// invariant.
+func (h *harness) digest(r Report) uint64 {
+	d := fnv.New64a()
+	w := func(format string, args ...any) { fmt.Fprintf(d, format, args...) }
+	w("produced=%d consumed=%d drained=%d retries=%d drops=%d sheds=%d trips=%d deadlines=%d hedged=%d p99=%d;",
+		r.Produced, r.Consumed, r.Drained, r.Retries, r.NetDrops, r.Sheds, r.Trips, r.Deadlines, r.Hedged, r.ReadP99)
+	streams := make([]int, 0, len(h.acked))
+	for s := range h.acked {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	for _, s := range streams {
+		offs := make([]int64, 0, len(h.acked[s]))
+		for off := range h.acked[s] {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		w("stream=%d;", s)
+		for _, off := range offs {
+			w("%d=%s;", off, h.acked[s][off])
+		}
+	}
+	for _, v := range h.violations {
+		w("violation=%s;", v)
+	}
+	return d.Sum64()
+}

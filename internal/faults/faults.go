@@ -55,6 +55,11 @@ type Injector struct {
 	bitFlip    map[string]float64 // per-pool per-byte silent corruption rate
 	events     []plog.CorruptionEvent
 	stats      Stats
+
+	// net is the network fault plane. It has its own lock and RNG (a
+	// seed derived from the injector's) so bus traffic never contends
+	// with disk-fault injection.
+	net *NetPlane
 }
 
 // New builds an injector whose probabilistic decisions derive from seed.
@@ -66,8 +71,12 @@ func New(seed uint64) *Injector {
 		killed:     make(map[diskKey]bool),
 		corruptors: make(map[string]Corruptor),
 		bitFlip:    make(map[string]float64),
+		net:        NewNetPlane(seed ^ 0x6e65746661756c74), // "netfault"
 	}
 }
+
+// Net returns the injector's network fault plane.
+func (in *Injector) Net() *NetPlane { return in.net }
 
 // Attach registers a pool with the injector and installs the injection
 // hook on it. Pools are addressed by their name in later calls.
@@ -187,7 +196,8 @@ func (in *Injector) DegradeDisk(poolName string, disk int, extra time.Duration) 
 // Clear removes every standing fault source: it revives exactly the
 // disks this injector killed (disks failed directly through the pool
 // API are not tracked and stay down), zeroes the error and bit-flip
-// rates, and drops latency degradations. It does NOT undo damage
+// rates, drops latency degradations, and clears the network fault
+// plane (drop rates, delays, partitions). It does NOT undo damage
 // already done — stale copies from missed writes and silent corruption
 // planted at rest persist until the repair/scrub services fix them.
 // Counters and the corruption log are kept.
@@ -225,6 +235,7 @@ func (in *Injector) Clear() {
 		in.stats.Revives++
 	}
 	in.mu.Unlock()
+	in.net.Clear()
 }
 
 // Stats snapshots the injector's counters.

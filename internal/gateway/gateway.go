@@ -34,9 +34,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"streamlake"
 	"streamlake/internal/obs"
+	"streamlake/internal/resil"
+	"streamlake/internal/streamsvc"
 )
 
 // Request-size limits: a single unauthenticated-sized request must not
@@ -213,6 +216,52 @@ func (s *Server) guard(perm Permission, h func(http.ResponseWriter, *http.Reques
 	}
 }
 
+// requestCtx builds the request's resilience context from the
+// ?deadline_ms= query parameter: a virtual-time budget the produce or
+// consume path charges its modelled costs against. No parameter means
+// no deadline (nil context). ok=false means the parameter was invalid
+// and the 400 is already written.
+func (s *Server) requestCtx(w http.ResponseWriter, r *http.Request) (rc *resil.Ctx, ok bool) {
+	d := r.URL.Query().Get("deadline_ms")
+	if d == "" {
+		return nil, true
+	}
+	ms, err := strconv.ParseInt(d, 10, 64)
+	if err != nil || ms <= 0 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("deadline_ms must be a positive integer, got %q", d))
+		return nil, false
+	}
+	return resil.NewCtx(s.lake.Clock().Now(), time.Duration(ms)*time.Millisecond), true
+}
+
+// overloaded maps resilience failures — deadline exceeded, breaker
+// open, retries exhausted — to 503 + Retry-After. These mean the
+// service is sick or out of time, not that the request was wrong, so
+// the client's correct move is to back off and retry. Returns false
+// for every other error so the caller applies its own mapping.
+func (s *Server) overloaded(w http.ResponseWriter, err error) bool {
+	var wait time.Duration
+	switch {
+	case errors.Is(err, resil.ErrBreakerOpen):
+		// Hint the open breaker's remaining cooldown.
+		wait = s.lake.Service().RetryAfter(s.lake.Clock().Now())
+	case errors.Is(err, resil.ErrDeadlineExceeded),
+		errors.Is(err, streamsvc.ErrRetriesExhausted):
+	default:
+		return false
+	}
+	// Retry-After is whole seconds; virtual cooldowns are sub-second, so
+	// round up to the smallest honest hint.
+	secs := (int64(wait) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	httpError(w, http.StatusServiceUnavailable, err.Error())
+	return true
+}
+
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -263,6 +312,10 @@ func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 		httpError(w, http.StatusBadRequest, "value must be base64")
 		return
 	}
+	rc, ok := s.requestCtx(w, r)
+	if !ok {
+		return
+	}
 	// One long-lived producer per principal: its sequence numbers drive
 	// the stream objects' idempotent dedup, so it must not be recreated
 	// per request.
@@ -280,9 +333,11 @@ func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 		sp = s.lake.Tracer().Start("gateway.produce")
 		sp.SetAttr("topic", topic)
 	}
-	msg, cost, err := producer.SendSpan(topic, []byte(req.Key), value, sp)
+	msg, cost, err := producer.SendSpanCtx(topic, []byte(req.Key), value, sp, rc)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		if !s.overloaded(w, err) {
+			httpError(w, http.StatusNotFound, err.Error())
+		}
 		return
 	}
 	sp.End(cost)
@@ -311,6 +366,10 @@ func (s *Server) consume(w http.ResponseWriter, r *http.Request, p *Principal) {
 		}
 		max = v
 	}
+	rc, ok := s.requestCtx(w, r)
+	if !ok {
+		return
+	}
 	s.mu.Lock()
 	key := group + "/" + topic
 	c, ok := s.consumers[key]
@@ -324,9 +383,11 @@ func (s *Server) consume(w http.ResponseWriter, r *http.Request, p *Principal) {
 		s.consumers[key] = c
 	}
 	s.mu.Unlock()
-	msgs, _, err := c.Poll(max)
+	msgs, _, err := c.PollCtx(max, rc)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		if !s.overloaded(w, err) {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	c.CommitOffsets()

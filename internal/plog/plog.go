@@ -18,6 +18,7 @@ import (
 	"streamlake/internal/ec"
 	"streamlake/internal/obs"
 	"streamlake/internal/pool"
+	"streamlake/internal/resil"
 )
 
 // DefaultCapacity is the paper's fixed PLog address space: 128 MB.
@@ -139,6 +140,10 @@ type PLog struct {
 	// manager-created logs; the instruments inside stay nil (no-op)
 	// until Manager.SetObs wires a registry.
 	metrics *logMetrics
+
+	// hedge points at the manager's shared hedged-read state (see
+	// hedge.go); nil disables hedging entirely.
+	hedge *hedgeState
 }
 
 // logMetrics is the plog layer's obs instrument set, shared by every
@@ -153,6 +158,8 @@ type logMetrics struct {
 	degradedOps    *obs.Counter // appends that left stale copies behind
 	quarantined    *obs.Counter // bytes quarantined on checksum mismatch
 	repairedBytes  *obs.Counter
+	hedged         *obs.Counter // reads that issued a hedge request
+	hedgeWins      *obs.Counter // hedges that beat the primary
 }
 
 // ID returns the log's identifier.
@@ -296,6 +303,23 @@ func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error
 	return data, cost, err
 }
 
+// ReadCtx is Read under a resilience context: the virtual-time deadline
+// is checked before any device work starts and the read's cost is
+// charged to rc afterwards. A read whose cost pushes the request past
+// its deadline returns the data it fetched together with
+// resil.ErrDeadlineExceeded; the caller decides whether a late result
+// is still useful. A nil rc makes ReadCtx identical to Read.
+func (l *PLog) ReadCtx(offset, n int64, rc *resil.Ctx) (data []byte, cost time.Duration, err error) {
+	if err := rc.Check(); err != nil {
+		return nil, 0, err
+	}
+	data, cost, err = l.Read(offset, n)
+	if err != nil {
+		return data, cost, err
+	}
+	return data, cost, rc.Charge(cost)
+}
+
 func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -332,6 +356,12 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 				l.imu.Lock()
 				l.integ.FallbackReads++
 				l.imu.Unlock()
+			}
+			// Slow primary? Race a second replica after the hedge delay and
+			// let the requester observe the earlier finisher. Device time of
+			// both reads stays charged above.
+			if saved := l.hedgeLocked(i, offset, n, d, verify); saved > 0 {
+				cost -= saved
 			}
 			return append([]byte(nil), l.buf[offset:offset+n]...), cost, nil
 		}
@@ -593,6 +623,10 @@ type Manager struct {
 	// metrics is shared by every log the manager creates (see
 	// PLog.metrics); zero until SetObs wires a registry.
 	metrics logMetrics
+	// hedge is the shared hedged-read state (see hedge.go); hedging
+	// stays off until SetHedge enables it, but the latency tracker warms
+	// from the first read.
+	hedge hedgeState
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
@@ -613,6 +647,8 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 		degradedOps:    reg.Counter("plog_degraded_appends_total"),
 		quarantined:    reg.Counter("plog_quarantined_bytes_total"),
 		repairedBytes:  reg.Counter("plog_repaired_bytes_total"),
+		hedged:         reg.Counter("plog_hedged_reads_total"),
+		hedgeWins:      reg.Counter("plog_hedge_wins_total"),
 	}
 	if reg == nil {
 		return
@@ -662,6 +698,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		slices:   slices,
 		noVerify: &m.verify,
 		metrics:  &m.metrics,
+		hedge:    &m.hedge,
 	}
 	m.logs[l.id] = l
 	return l, nil

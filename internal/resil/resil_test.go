@@ -1,0 +1,158 @@
+package resil
+
+import (
+	"testing"
+	"time"
+
+	"streamlake/internal/sim"
+)
+
+func TestCtxNilIsNoOp(t *testing.T) {
+	var rc *Ctx
+	if err := rc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Charge(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Spent() != 0 || rc.Now() != 0 || rc.Deadline() != 0 {
+		t.Fatal("nil ctx leaked state")
+	}
+	if rc.Remaining() <= 0 {
+		t.Fatal("nil ctx should report unbounded remaining time")
+	}
+}
+
+func TestCtxChargesAgainstDeadline(t *testing.T) {
+	rc := NewCtx(10*time.Millisecond, 5*time.Millisecond)
+	if err := rc.Charge(2 * time.Millisecond); err != nil {
+		t.Fatalf("under budget: %v", err)
+	}
+	if got := rc.Now(); got != 12*time.Millisecond {
+		t.Fatalf("effective now: %v", got)
+	}
+	if got := rc.Remaining(); got != 3*time.Millisecond {
+		t.Fatalf("remaining: %v", got)
+	}
+	// The charge that pushes past the deadline still lands: time spent
+	// is spent, the caller just learns it was too much.
+	if err := rc.Charge(4 * time.Millisecond); err != ErrDeadlineExceeded {
+		t.Fatalf("over budget: %v", err)
+	}
+	if got := rc.Spent(); got != 6*time.Millisecond {
+		t.Fatalf("spent after overrun: %v", got)
+	}
+	if got := rc.Remaining(); got != 0 {
+		t.Fatalf("remaining after overrun: %v", got)
+	}
+}
+
+func TestCtxNoDeadlineTracksCostOnly(t *testing.T) {
+	rc := NewCtx(time.Millisecond, 0)
+	if err := rc.Charge(time.Hour); err != nil {
+		t.Fatalf("deadline-free ctx errored: %v", err)
+	}
+	if rc.Spent() != time.Hour {
+		t.Fatalf("spent: %v", rc.Spent())
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, Base: 200 * time.Microsecond, Cap: 5 * time.Millisecond, Multiplier: 2}
+	a := sim.NewRNG(99)
+	b := sim.NewRNG(99)
+	for attempt := 0; attempt < 8; attempt++ {
+		d1 := p.Backoff(attempt, a)
+		d2 := p.Backoff(attempt, b)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, d1, d2)
+		}
+		// Equal jitter: the wait is in [step/2, step] for the attempt's
+		// exponential step, and never exceeds the cap.
+		step := time.Duration(float64(p.Base) * float64(int(1)<<attempt))
+		if step > p.Cap {
+			step = p.Cap
+		}
+		if d1 < step/2 || d1 > step {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d1, step/2, step)
+		}
+	}
+}
+
+func TestBackoffNilRNGIsFullStep(t *testing.T) {
+	p := RetryPolicy{Base: time.Millisecond, Cap: time.Second, Multiplier: 2, MaxAttempts: 3}
+	if got := p.Backoff(0, nil); got != time.Millisecond {
+		t.Fatalf("nil rng backoff: %v", got)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Window: 10 * time.Millisecond, Cooldown: 5 * time.Millisecond})
+	now := time.Duration(0)
+	if b.State() != Closed {
+		t.Fatal("new breaker not closed")
+	}
+	// Two failures stay under the threshold.
+	for i := 0; i < 2; i++ {
+		if b.Failure(now) {
+			t.Fatal("tripped early")
+		}
+	}
+	if !b.Failure(now) {
+		t.Fatal("threshold failure did not trip")
+	}
+	if b.State() != Open {
+		t.Fatalf("state after trip: %v", b.State())
+	}
+	// Open sheds until the cooldown elapses.
+	if err := b.Allow(now + time.Millisecond); err != ErrBreakerOpen {
+		t.Fatalf("open breaker admitted: %v", err)
+	}
+	if got := b.RetryAfter(now + time.Millisecond); got != 4*time.Millisecond {
+		t.Fatalf("retry after: %v", got)
+	}
+	// Cooldown over: exactly one probe goes through, the rest shed.
+	now += 5 * time.Millisecond
+	if err := b.Allow(now); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if err := b.Allow(now); err != ErrBreakerOpen {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+	// Probe failure snaps back open and restarts the cooldown.
+	if !b.Failure(now) {
+		t.Fatal("probe failure did not reopen")
+	}
+	if b.State() != Open {
+		t.Fatalf("state after failed probe: %v", b.State())
+	}
+	// Next probe succeeds: closed, and the failure window is clear.
+	now += 5 * time.Millisecond
+	if err := b.Allow(now); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Success(now)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe: %v", b.State())
+	}
+	if b.Failure(now) {
+		t.Fatal("window not cleared by recovery")
+	}
+	st := b.Stats()
+	if st.Trips != 2 || st.Probes != 2 || st.Sheds != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Window: time.Millisecond, Cooldown: time.Millisecond})
+	b.Failure(0)
+	// The first failure ages out of the window before the second lands,
+	// so the breaker never sees two concurrent failures.
+	if b.Failure(5 * time.Millisecond) {
+		t.Fatal("stale failure counted toward the threshold")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state: %v", b.State())
+	}
+}

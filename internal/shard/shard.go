@@ -16,6 +16,7 @@ import (
 
 	"streamlake/internal/obs"
 	"streamlake/internal/plog"
+	"streamlake/internal/resil"
 )
 
 // NumShards is the paper's fixed logical shard count.
@@ -198,11 +199,18 @@ func (sp *Space) AppendSpan(s ID, data []byte, parent *obs.Span) (Loc, time.Dura
 
 // Read fetches the record at loc.
 func (sp *Space) Read(loc Loc) ([]byte, time.Duration, error) {
+	return sp.ReadCtx(loc, nil)
+}
+
+// ReadCtx is Read under a resilience context: the deadline check and
+// cost charging happen in the PLog (see plog.ReadCtx). A nil rc makes
+// it identical to Read.
+func (sp *Space) ReadCtx(loc Loc, rc *resil.Ctx) ([]byte, time.Duration, error) {
 	l := sp.mgr.Get(loc.Log)
 	if l == nil {
 		return nil, 0, fmt.Errorf("shard: no PLog %d", loc.Log)
 	}
-	return l.Read(loc.Offset, int64(loc.Len))
+	return l.ReadCtx(loc.Offset, int64(loc.Len), rc)
 }
 
 // FullyRedundant reports whether every PLog across the space's chains

@@ -27,6 +27,7 @@ import (
 	"streamlake/internal/kv"
 	"streamlake/internal/obs"
 	"streamlake/internal/plog"
+	"streamlake/internal/resil"
 	"streamlake/internal/shard"
 	"streamlake/internal/sim"
 )
@@ -69,6 +70,11 @@ type ReadCtrl struct {
 	MaxRecords int
 	// MaxBytes caps returned payload bytes; 0 means unlimited.
 	MaxBytes int64
+	// Ctx carries the request's virtual-time deadline down through the
+	// shard space into the PLog reads; nil means no deadline. When a
+	// slice load pushes the request past its deadline, Read returns the
+	// records collected so far together with resil.ErrDeadlineExceeded.
+	Ctx *resil.Ctx
 }
 
 // Errors returned by stream object operations.
@@ -99,9 +105,11 @@ type Store struct {
 // storeMetrics is the stream-object layer's obs instrument set; wired
 // once by SetObs, nil-safe no-ops until then.
 type storeMetrics struct {
-	flushes    *obs.Counter // slices persisted into PLogs
-	flushBytes *obs.Counter
-	ackLat     *obs.Histogram // per-batch ack (journal/SCM) latency
+	flushes       *obs.Counter // slices persisted into PLogs
+	flushBytes    *obs.Counter
+	dedupAcks     *obs.Counter // duplicate batches re-acked without appending
+	flushDeferred *obs.Counter // slice flushes deferred by storage errors
+	ackLat        *obs.Histogram // per-batch ack (journal/SCM) latency
 }
 
 // SetObs registers the store's telemetry with an obs registry. Call at
@@ -109,9 +117,11 @@ type storeMetrics struct {
 func (s *Store) SetObs(reg *obs.Registry) {
 	s.mu.Lock()
 	s.metrics = storeMetrics{
-		flushes:    reg.Counter("streamobj_slice_flushes_total"),
-		flushBytes: reg.Counter("streamobj_flush_bytes_total"),
-		ackLat:     reg.Histogram("streamobj_ack_seconds"),
+		flushes:       reg.Counter("streamobj_slice_flushes_total"),
+		flushBytes:    reg.Counter("streamobj_flush_bytes_total"),
+		dedupAcks:     reg.Counter("streamobj_dedup_acks_total"),
+		flushDeferred: reg.Counter("streamobj_flush_deferred_total"),
+		ackLat:        reg.Histogram("streamobj_ack_seconds"),
 	}
 	s.mu.Unlock()
 	if reg == nil {
@@ -147,7 +157,7 @@ func (s *Store) Create(opts CreateOptions) (*Object, error) {
 		opts:        opts,
 		store:       s,
 		space:       shard.NewSpace(s.mgr, opts.Redundancy),
-		producerSeq: make(map[string]int64),
+		producerSeq: make(map[string]dedupEntry),
 		cache:       make(map[int64][]Record),
 	}
 	s.objects[o.id] = o
@@ -220,7 +230,7 @@ type Object struct {
 	buf         []Record // open slice (non-blocking append buffer)
 	bufBase     int64
 	slices      []sliceEntry // persisted slice directory, ascending base
-	producerSeq map[string]int64
+	producerSeq map[string]dedupEntry
 	cache       map[int64][]Record // recent slices kept in SCM
 	cacheOrder  []int64
 	// Quota token bucket on the virtual clock.
@@ -243,13 +253,23 @@ func (o *Object) End() int64 {
 	return o.nextOffset
 }
 
+// dedupEntry remembers, per producer, the last acknowledged batch: its
+// sequence number and the base offset the batch landed at, so a retried
+// batch is re-acked with the offsets the original got. The dedup window
+// is one batch deep — exactly what a producer that retries one batch at
+// a time with the same sequence number needs.
+type dedupEntry struct {
+	seq  int64
+	base int64
+}
+
 // Append appends records (AppendServerStreamObject), returning the
 // offset of the first appended record and the modelled latency. Writes
 // are idempotent per producer: a batch whose sequence number was already
 // seen is acknowledged again without being re-appended, which is how
 // duplicate sends after a network failure are absorbed.
 func (o *Object) Append(records []Record, producerID string, seq int64) (int64, time.Duration, error) {
-	return o.AppendSpan(records, producerID, seq, nil)
+	return o.AppendCtx(records, producerID, seq, nil, nil)
 }
 
 // AppendSpan is Append with tracing: the durable ack writes and any
@@ -258,10 +278,34 @@ func (o *Object) Append(records []Record, producerID string, seq int64) (int64, 
 // off the ack path, exactly as the returned latency excludes it. A nil
 // span traces nothing.
 func (o *Object) AppendSpan(records []Record, producerID string, seq int64, sp *obs.Span) (int64, time.Duration, error) {
+	return o.AppendCtx(records, producerID, seq, sp, nil)
+}
+
+// AppendCtx is AppendSpan under a resilience context carrying the
+// request's virtual-time deadline. The batch is all-or-nothing with
+// respect to visibility: every error that can leave nothing behind
+// (throttle, deadline on entry) is checked before the first record is
+// buffered, and once buffering starts the whole batch becomes durable.
+// If charging the ack cost then lands past the deadline, the batch IS
+// durable — its sequence number is recorded and the base offset is
+// returned alongside resil.ErrDeadlineExceeded, so an idempotent retry
+// resolves the ambiguous timeout with a duplicate ack instead of a
+// duplicate append.
+func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *obs.Span, rc *resil.Ctx) (int64, time.Duration, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if last, ok := o.producerSeq[producerID]; ok && producerID != "" && seq <= last {
-		return o.nextOffset, 0, nil // duplicate batch: already durable
+	if e, ok := o.producerSeq[producerID]; ok && producerID != "" && seq <= e.seq {
+		o.store.metrics.dedupAcks.Inc()
+		if sp != nil {
+			sp.SetAttr("dedup", "hit")
+		}
+		if seq == e.seq {
+			return e.base, 0, nil // retried batch: re-ack its original base
+		}
+		return o.nextOffset, 0, nil // older duplicate: long since durable
+	}
+	if err := rc.Check(); err != nil {
+		return 0, 0, err // out of time before any work: nothing appended
 	}
 	if err := o.takeTokens(len(records)); err != nil {
 		return 0, 0, err
@@ -283,11 +327,6 @@ func (o *Object) AppendSpan(records []Record, producerID string, seq int64, sp *
 		} else {
 			cost += o.store.journal.Write(r.encodedSize())
 		}
-		if len(o.buf) >= SliceRecords {
-			if _, err := o.flushSliceLocked(sp); err != nil {
-				return 0, 0, err
-			}
-		}
 	}
 	if sp != nil {
 		ack := sp.Child("ack.scm")
@@ -298,14 +337,27 @@ func (o *Object) AppendSpan(records []Record, producerID string, seq int64, sp *
 		sp.Advance(cost) // acks gate the producer's observed latency
 	}
 	if producerID != "" {
-		o.producerSeq[producerID] = seq
+		o.producerSeq[producerID] = dedupEntry{seq: seq, base: base}
 	}
 	o.appended += int64(len(records))
 	for i := range records {
 		o.bytesAppended += records[i].encodedSize()
 	}
 	o.store.metrics.ackLat.Observe(cost)
-	return base, cost, nil
+	// Persist full slices into PLogs, after the whole batch is journaled
+	// and visible. A flush failure (storage beyond fault tolerance) does
+	// not fail the append — the records are journal-durable and stay in
+	// the open buffer for the next flush attempt — because failing here
+	// after part of the batch became visible would make a retry
+	// double-append the rest.
+	for len(o.buf) >= SliceRecords {
+		if _, err := o.flushChunkLocked(SliceRecords, sp); err != nil {
+			o.store.metrics.flushDeferred.Inc()
+			break
+		}
+	}
+	derr := rc.Charge(cost)
+	return base, cost, derr
 }
 
 // CanAppend reports whether the quota currently admits n more records,
@@ -347,19 +399,41 @@ func (o *Object) takeTokens(n int) error {
 	return nil
 }
 
-// Flush persists the open slice even if it is short — used on topic
-// shutdown and before conversion so no records are stranded in memory.
+// Flush persists everything in the open buffer, even a short trailing
+// slice — used on topic shutdown and before conversion so no records
+// are stranded in memory. If slice flushes were deferred by storage
+// errors the buffer may hold several slices' worth; they are persisted
+// in SliceRecords-sized chunks.
 func (o *Object) Flush() (time.Duration, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.flushSliceLocked(nil)
+	var total time.Duration
+	for len(o.buf) > 0 {
+		n := len(o.buf)
+		if n > SliceRecords {
+			n = SliceRecords
+		}
+		cost, err := o.flushChunkLocked(n, nil)
+		total += cost
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
-func (o *Object) flushSliceLocked(sp *obs.Span) (time.Duration, error) {
-	if len(o.buf) == 0 {
+// flushChunkLocked persists the oldest n buffered records as one slice.
+// On error the records stay buffered and visible (they are journal-
+// durable); the caller decides whether to surface or defer.
+func (o *Object) flushChunkLocked(n int, sp *obs.Span) (time.Duration, error) {
+	if n <= 0 || len(o.buf) == 0 {
 		return 0, nil
 	}
-	data := encodeSlice(o.buf)
+	if n > len(o.buf) {
+		n = len(o.buf)
+	}
+	chunk := o.buf[:n]
+	data := encodeSlice(chunk)
 	// Figure 4 a-d: the object is assigned to a logical shard by hashing
 	// topic and object id; the shard persists its slices through a chain
 	// of PLogs. Hashing the slice position here instead would give every
@@ -382,19 +456,22 @@ func (o *Object) flushSliceLocked(sp *obs.Span) (time.Duration, error) {
 	fsp.End(cost)
 	o.store.metrics.flushes.Inc()
 	o.store.metrics.flushBytes.Add(int64(len(data)))
-	entry := sliceEntry{base: o.bufBase, count: len(o.buf), loc: loc}
+	entry := sliceEntry{base: o.bufBase, count: n, loc: loc}
 	o.slices = append(o.slices, entry)
 	// Persist the slice index in the KV store (the PLog lookup index).
 	key := fmt.Sprintf("sobj/%d/%020d", o.id, o.bufBase)
-	val := encodeLoc(loc, len(o.buf))
+	val := encodeLoc(loc, n)
 	if _, err := o.store.index.Put([]byte(key), val); err != nil {
 		return 0, err
 	}
 	if o.opts.SCMCache {
-		o.cacheSlice(o.bufBase, o.buf)
+		o.cacheSlice(o.bufBase, chunk)
 	}
-	o.bufBase = o.nextOffset
-	o.buf = nil
+	o.bufBase += int64(n)
+	o.buf = append(o.buf[:0:0], o.buf[n:]...)
+	if len(o.buf) == 0 {
+		o.buf = nil
+	}
 	return cost, nil
 }
 
@@ -415,6 +492,9 @@ func (o *Object) cacheSlice(base int64, recs []Record) {
 // Read returns records from offset (ReadServerStreamObject), subject to
 // ctrl limits, with the modelled read latency. Reads past the current
 // end return ErrPastEnd; the streaming service turns that into a poll.
+// With a deadline (ctrl.Ctx), a slice load that runs the request out of
+// time returns the records collected so far with
+// resil.ErrDeadlineExceeded — partial progress is kept, not discarded.
 func (o *Object) Read(offset int64, ctrl ReadCtrl) ([]Record, time.Duration, error) {
 	maxRecords := ctrl.MaxRecords
 	if maxRecords <= 0 {
@@ -422,6 +502,9 @@ func (o *Object) Read(offset int64, ctrl ReadCtrl) ([]Record, time.Duration, err
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := ctrl.Ctx.Check(); err != nil {
+		return nil, 0, err
+	}
 	if offset < 0 || offset > o.nextOffset {
 		return nil, 0, ErrPastEnd
 	}
@@ -450,7 +533,10 @@ func (o *Object) Read(offset int64, ctrl ReadCtrl) ([]Record, time.Duration, err
 		if !ok {
 			break
 		}
-		recs, c, err := o.loadSlice(entry)
+		recs, c, err := o.loadSlice(entry, ctrl.Ctx)
+		if errors.Is(err, resil.ErrDeadlineExceeded) {
+			return out, cost + c, err
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -483,18 +569,20 @@ func (o *Object) findSlice(offset int64) (sliceEntry, bool) {
 	return o.slices[i], true
 }
 
-// loadSlice fetches a slice from SCM cache or PLog storage.
-func (o *Object) loadSlice(e sliceEntry) ([]Record, time.Duration, error) {
+// loadSlice fetches a slice from SCM cache or PLog storage, charging
+// the load cost to the request context (when present).
+func (o *Object) loadSlice(e sliceEntry, rc *resil.Ctx) ([]Record, time.Duration, error) {
 	if recs, ok := o.cache[e.base]; ok {
 		var n int64
 		for _, r := range recs {
 			n += r.encodedSize()
 		}
-		return recs, o.store.scm.Read(n), nil
+		cost := o.store.scm.Read(n)
+		return recs, cost, rc.Charge(cost)
 	}
-	data, cost, err := o.space.Read(e.loc)
+	data, cost, err := o.space.ReadCtx(e.loc, rc)
 	if err != nil {
-		return nil, 0, err
+		return nil, cost, err
 	}
 	recs, err := decodeSlice(data, e.base)
 	if err != nil {

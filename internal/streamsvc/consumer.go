@@ -2,10 +2,12 @@ package streamsvc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"streamlake/internal/resil"
 	"streamlake/internal/streamobj"
 )
 
@@ -70,6 +72,16 @@ func (c *Consumer) Subscribe(topic string) error {
 // commitMu; Txn.Commit takes commitMu exclusively without c.mu, which is
 // consistent with this order.
 func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
+	return c.PollCtx(max, nil)
+}
+
+// PollCtx is Poll under a resilience context: slice-load and cache
+// costs are charged against rc's virtual-time deadline as the scan
+// proceeds. When the deadline expires mid-poll the messages fetched so
+// far are returned (offsets advanced past them) alongside
+// resil.ErrDeadlineExceeded, so a caller can consume the partial batch
+// and poll again. A nil rc is Poll.
+func (c *Consumer) PollCtx(max int, rc *resil.Ctx) ([]Message, time.Duration, error) {
 	if max <= 0 {
 		max = 256
 	}
@@ -104,14 +116,11 @@ func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 			idx := sub.rr % len(ts.streams)
 			sub.rr++
 			obj := ts.streams[idx]
-			recs, rc, err := obj.Read(sub.offsets[idx], streamobj.ReadCtrl{MaxRecords: max - len(out)})
+			recs, rcost, err := obj.Read(sub.offsets[idx], streamobj.ReadCtrl{MaxRecords: max - len(out), Ctx: rc})
 			if err == streamobj.ErrPastEnd {
 				continue
 			}
-			if err != nil {
-				return out, cost, err
-			}
-			cost += rc
+			cost += rcost
 			for _, r := range recs {
 				out = append(out, Message{
 					Topic: sub.topic, Stream: idx, Key: r.Key, Value: r.Value,
@@ -120,6 +129,16 @@ func (c *Consumer) Poll(max int) ([]Message, time.Duration, error) {
 			}
 			if len(recs) > 0 {
 				sub.offsets[idx] = recs[len(recs)-1].Offset + 1
+			}
+			if err != nil {
+				// A deadline expiry keeps the partial batch: the records
+				// already read are delivered and the offsets above have
+				// advanced past them, so nothing is re-fetched or lost.
+				if errors.Is(err, resil.ErrDeadlineExceeded) {
+					m.deadlines.Inc()
+				}
+				m.consumedMsgs.Add(int64(len(out)))
+				return out, cost, err
 			}
 		}
 		if reg != nil {

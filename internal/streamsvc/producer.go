@@ -1,13 +1,17 @@
 package streamsvc
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"streamlake/internal/bus"
 	"streamlake/internal/obs"
+	"streamlake/internal/resil"
+	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
 )
 
@@ -21,6 +25,7 @@ type Producer struct {
 
 	mu  sync.Mutex
 	seq map[string]int64
+	rng *sim.RNG // seeded backoff jitter, lazily built from the service's resilience seed
 }
 
 // Producer returns a producer handle with the given client id. Sequence
@@ -52,21 +57,58 @@ func (p *Producer) Send(topic string, key, value []byte) (Message, time.Duration
 // SendBatch publishes records that share a routing key stream (each
 // record routes independently by its key).
 func (p *Producer) SendBatch(topic string, recs []streamobj.Record) ([]Message, time.Duration, error) {
-	return p.sendBatch(nil, topic, recs)
+	return p.sendBatch(nil, topic, recs, nil)
 }
 
-// SendSpan is Send with tracing: the request's bus transfer, durable
-// append, and everything below (PLog placement writes, slice flushes)
-// are recorded as children of sp. A nil span traces nothing.
-func (p *Producer) SendSpan(topic string, key, value []byte, sp *obs.Span) (Message, time.Duration, error) {
-	msgs, cost, err := p.sendBatch(sp, topic, []streamobj.Record{{Key: key, Value: value}})
+// SendCtx is Send under a resilience context: bus transfers, backoff
+// waits, and append costs are charged against rc's virtual-time
+// deadline. A nil rc is Send.
+func (p *Producer) SendCtx(topic string, key, value []byte, rc *resil.Ctx) (Message, time.Duration, error) {
+	msgs, cost, err := p.sendBatch(nil, topic, []streamobj.Record{{Key: key, Value: value}}, rc)
 	if err != nil {
 		return Message{}, cost, err
 	}
 	return msgs[0], cost, nil
 }
 
-func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record) ([]Message, time.Duration, error) {
+// SendBatchCtx is SendBatch under a resilience context.
+func (p *Producer) SendBatchCtx(topic string, recs []streamobj.Record, rc *resil.Ctx) ([]Message, time.Duration, error) {
+	return p.sendBatch(nil, topic, recs, rc)
+}
+
+// SendSpan is Send with tracing: the request's bus transfer, durable
+// append, and everything below (PLog placement writes, slice flushes)
+// are recorded as children of sp. A nil span traces nothing.
+func (p *Producer) SendSpan(topic string, key, value []byte, sp *obs.Span) (Message, time.Duration, error) {
+	return p.SendSpanCtx(topic, key, value, sp, nil)
+}
+
+// SendSpanCtx combines SendSpan and SendCtx for callers — the gateway —
+// that both trace a request and bound it with a virtual-time deadline.
+// Either argument may be nil.
+func (p *Producer) SendSpanCtx(topic string, key, value []byte, sp *obs.Span, rc *resil.Ctx) (Message, time.Duration, error) {
+	msgs, cost, err := p.sendBatch(sp, topic, []streamobj.Record{{Key: key, Value: value}}, rc)
+	if err != nil {
+		return Message{}, cost, err
+	}
+	return msgs[0], cost, nil
+}
+
+// backoffRNG returns the producer's seeded backoff jitter stream,
+// derived from the service's resilience seed and the producer id so
+// distinct producers decorrelate while the same seed replays the same
+// schedule.
+func (p *Producer) backoffRNG() *sim.RNG {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		cfg, _ := p.svc.resilience()
+		p.rng = sim.NewRNG(uint64(cfg.Seed) ^ hashString("producer-backoff/"+p.id))
+	}
+	return p.rng
+}
+
+func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record, rc *resil.Ctx) ([]Message, time.Duration, error) {
 	p.svc.mu.Lock()
 	ts, ok := p.svc.topics[topic]
 	m := p.svc.metrics
@@ -79,39 +121,25 @@ func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record
 	for _, r := range recs {
 		byStream[routeKey(r.Key, len(ts.streams))] = append(byStream[routeKey(r.Key, len(ts.streams))], r)
 	}
+	// Deterministic stream order: map iteration order would make retry,
+	// backoff, and breaker decisions depend on runtime map layout,
+	// breaking bit-identical chaos replay.
+	idxs := make([]int, 0, len(byStream))
+	for idx := range byStream {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	var out []Message
 	var cost time.Duration
-	for idx, batch := range byStream {
+	for _, idx := range idxs {
+		batch := byStream[idx]
 		obj := ts.streams[idx]
 		w := p.svc.ownerOf(topic, idx)
-		var bytes int64
-		for _, r := range batch {
-			bytes += int64(len(r.Key) + len(r.Value))
-		}
-		busCost := w.bus.Send(bytes, bus.Normal)
-		cost += busCost
-		if sp != nil {
-			b := sp.Child("bus.send")
-			b.SetAttr("worker", strconv.Itoa(w.id))
-			b.End(busCost)
-			sp.Advance(busCost)
-		}
-		p.mu.Lock()
-		p.seq[streamKey(topic, idx)]++
-		seq := p.seq[streamKey(topic, idx)]
-		p.mu.Unlock()
-		var osp *obs.Span
-		if sp != nil {
-			osp = sp.Child("streamobj.append")
-			osp.SetAttr("stream", strconv.Itoa(idx))
-		}
-		base, c, err := obj.AppendSpan(batch, p.id, seq, osp)
+		base, c, err := p.sendOne(sp, topic, idx, batch, obj, w, rc)
+		cost += c
 		if err != nil {
 			return nil, cost, err
 		}
-		osp.End(c)
-		sp.Advance(c)
-		cost += c
 		w.mu.Lock()
 		w.appended += int64(len(batch))
 		w.mu.Unlock()
@@ -130,6 +158,188 @@ func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record
 	m.producedBytes.Add(total)
 	m.produceLat.Observe(cost)
 	return out, cost, nil
+}
+
+// sendOne delivers one stream's batch to its worker: forward transfer,
+// durable append, acknowledgement, with retries under the service's
+// resilience config. The sequence number is assigned once before the
+// first attempt and reused by every retry, so a redelivered batch —
+// whether the forward transfer or the ack was lost — lands in the
+// stream object's dedup window instead of appending twice.
+func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamobj.Record, obj *streamobj.Object, w *Worker, rc *resil.Ctx) (int64, time.Duration, error) {
+	var bytes int64
+	for _, r := range batch {
+		bytes += int64(len(r.Key) + len(r.Value))
+	}
+	p.mu.Lock()
+	p.seq[streamKey(topic, idx)]++
+	seq := p.seq[streamKey(topic, idx)]
+	p.mu.Unlock()
+
+	cfg, on := p.svc.resilience()
+	ep := workerEndpoint(w.id)
+	var br *resil.Breaker
+	if on {
+		br = p.svc.breakerFor(ep)
+	}
+	m := p.svc.metrics
+	var cost time.Duration
+	if err := rc.Check(); err != nil {
+		m.deadlines.Inc()
+		return 0, 0, err
+	}
+	// Virtual now for breaker decisions: the request's effective time
+	// when a deadline context is threaded, otherwise the clock plus the
+	// cost modelled so far.
+	vnow := func() time.Duration {
+		if rc != nil {
+			return rc.Now()
+		}
+		return p.svc.clock.Now() + cost
+	}
+	attempts := 1
+	if on {
+		attempts = cfg.Retry.MaxAttempts
+		if attempts <= 0 {
+			attempts = resil.DefaultRetryPolicy().MaxAttempts
+		}
+	}
+
+	// attemptOnce runs one full try. final=true means the outcome must
+	// be returned as-is (success, shed, deadline, application error);
+	// final=false is a transient transport failure worth retrying.
+	attemptOnce := func(attempt int) (base int64, err error, final bool) {
+		if br != nil {
+			if aerr := br.Allow(vnow()); aerr != nil {
+				m.sheds.Inc()
+				if sp != nil {
+					e := sp.Child("breaker.shed")
+					e.SetAttr("endpoint", ep)
+					e.End(0)
+				}
+				return 0, fmt.Errorf("streamsvc: produce to %s: %w", ep, aerr), true
+			}
+		}
+		// Forward transfer to the stream worker.
+		var busCost time.Duration
+		var serr error
+		if on {
+			busCost, serr = w.bus.SendLink("client", ep, bytes, bus.Normal)
+		} else {
+			busCost = w.bus.Send(bytes, bus.Normal)
+		}
+		cost += busCost
+		if sp != nil {
+			b := sp.Child("bus.send")
+			b.SetAttr("worker", strconv.Itoa(w.id))
+			if attempt > 0 {
+				b.SetAttr("attempt", strconv.Itoa(attempt))
+			}
+			if serr != nil {
+				b.SetAttr("outcome", "dropped")
+			}
+			b.End(busCost)
+			sp.Advance(busCost)
+		}
+		if derr := rc.Charge(busCost); derr != nil {
+			m.deadlines.Inc()
+			return 0, derr, true
+		}
+		if serr != nil {
+			return 0, fmt.Errorf("streamsvc: send to %s: %w", ep, serr), false
+		}
+		// Durable append at the worker.
+		var osp *obs.Span
+		if sp != nil {
+			osp = sp.Child("streamobj.append")
+			osp.SetAttr("stream", strconv.Itoa(idx))
+			if attempt > 0 {
+				osp.SetAttr("attempt", strconv.Itoa(attempt))
+			}
+		}
+		base, c, aerr := obj.AppendCtx(batch, p.id, seq, osp, rc)
+		if osp != nil {
+			osp.End(c)
+			sp.Advance(c)
+		}
+		cost += c
+		if aerr != nil {
+			if errors.Is(aerr, resil.ErrDeadlineExceeded) {
+				// Ambiguous timeout: the append may have landed durably
+				// (past the ack point the true base still comes back).
+				// Retrying internally would double-spend the deadline;
+				// the caller observes the ambiguity explicitly, as in
+				// real systems where a timed-out produce may still have
+				// committed.
+				m.deadlines.Inc()
+				if br != nil {
+					br.Success(vnow())
+				}
+				return base, aerr, true
+			}
+			// Application errors (quota, sealed stream) are not endpoint
+			// failures; surface them without burning the breaker.
+			return 0, aerr, true
+		}
+		if !on {
+			return base, nil, true
+		}
+		// Acknowledgement on the reverse link: small and high-priority.
+		// A lost ack leaves the append durable but the client unsure —
+		// the retry resends and the dedup window answers with the
+		// original base offset.
+		ackCost, ackErr := w.bus.SendLink(ep, "client", cfg.AckBytes, bus.High)
+		cost += ackCost
+		if sp != nil {
+			sp.Advance(ackCost)
+		}
+		if derr := rc.Charge(ackCost); derr != nil {
+			m.deadlines.Inc()
+			if br != nil {
+				br.Success(vnow())
+			}
+			return base, derr, true
+		}
+		if ackErr != nil {
+			m.ackDrops.Inc()
+			return 0, fmt.Errorf("streamsvc: ack from %s lost: %w", ep, ackErr), false
+		}
+		if br != nil {
+			br.Success(vnow())
+		}
+		return base, nil, true
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		base, err, final := attemptOnce(attempt)
+		if final {
+			return base, cost, err
+		}
+		lastErr = err
+		if br != nil {
+			if br.Failure(vnow()) {
+				m.trips.Inc()
+			}
+		}
+		if attempt+1 >= attempts {
+			break
+		}
+		m.retries.Inc()
+		backoff := cfg.Retry.Backoff(attempt, p.backoffRNG())
+		cost += backoff
+		if sp != nil {
+			b := sp.Child("retry.backoff")
+			b.SetAttr("endpoint", ep)
+			b.End(backoff)
+			sp.Advance(backoff)
+		}
+		if derr := rc.Charge(backoff); derr != nil {
+			m.deadlines.Inc()
+			return 0, cost, derr
+		}
+	}
+	return 0, cost, fmt.Errorf("streamsvc: %s: %w after %d attempts: %w", ep, ErrRetriesExhausted, attempts, lastErr)
 }
 
 // TxnState tracks a transaction through the two-phase commit protocol.
@@ -205,8 +415,16 @@ func (t *Txn) Commit() (time.Duration, error) {
 		return 0, ErrTxnAborted
 	}
 	svc := t.p.svc
+	// Participants in sorted key order: deterministic prepare/commit
+	// sequencing regardless of map layout, for bit-identical replay.
+	keys := make([]string, 0, len(t.parts))
+	for k := range t.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	// Phase 1: prepare.
-	for _, part := range t.parts {
+	for _, k := range keys {
+		part := t.parts[k]
 		if err := part.obj.CanAppend(len(part.recs)); err != nil {
 			t.abortInternal()
 			return 0, fmt.Errorf("%w: prepare failed on %s/%d: %v", ErrTxnAborted, part.topic, part.idx, err)
@@ -217,7 +435,8 @@ func (t *Txn) Commit() (time.Duration, error) {
 	// respect to polling consumers.
 	svc.commitMu.Lock()
 	var cost time.Duration
-	for _, part := range t.parts {
+	for _, k := range keys {
+		part := t.parts[k]
 		t.p.mu.Lock()
 		t.p.seq[streamKey(part.topic, part.idx)]++
 		seq := t.p.seq[streamKey(part.topic, part.idx)]

@@ -1,0 +1,154 @@
+package streamsvc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"streamlake/internal/bus"
+	"streamlake/internal/resil"
+)
+
+// ErrRetriesExhausted reports that a produce burned every attempt its
+// retry policy allowed and still could not reach the worker. Like the
+// resil errors, it means the service (not the request) is unhealthy, so
+// the gateway maps it to 503.
+var ErrRetriesExhausted = errors.New("retries exhausted")
+
+// ResilienceConfig turns on the produce path's end-to-end resilience
+// machinery: seeded jittered retries over the fallible network links,
+// modelled acknowledgement transfers on the reverse link, and a circuit
+// breaker per stream-worker endpoint. Until SetResilience is called the
+// service uses the legacy infallible cost-model path.
+type ResilienceConfig struct {
+	// Retry is the backoff schedule for dropped transfers and lost acks
+	// (zero fields take resil.DefaultRetryPolicy).
+	Retry resil.RetryPolicy
+	// Breaker tunes the per-endpoint circuit breakers (zero fields take
+	// the resil defaults).
+	Breaker resil.BreakerConfig
+	// Seed drives the per-producer backoff jitter RNGs; the same seed
+	// replays the same backoff schedule.
+	Seed int64
+	// AckBytes is the modelled size of a produce acknowledgement on the
+	// reverse link (default 64).
+	AckBytes int64
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.AckBytes <= 0 {
+		c.AckBytes = 64
+	}
+	return c
+}
+
+// workerEndpoint names a stream worker on the network fault plane; the
+// client side of every produce link is "client".
+func workerEndpoint(id int) string { return fmt.Sprintf("worker/%d", id) }
+
+// SetNet installs the network fault hook on every worker bus, present
+// and future: workers created by later rescales inherit it. Each worker
+// sends as endpoint "worker/<id>", so directed partitions and per-link
+// drop rates can target individual workers.
+func (s *Service) SetNet(h bus.NetHook) {
+	s.mu.Lock()
+	s.netHook = h
+	workers := append([]*Worker(nil), s.workers...)
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.bus.SetNet(h, workerEndpoint(w.id))
+	}
+}
+
+// SetResilience enables retries, modelled acks, and per-endpoint
+// circuit breakers on the produce path (defaults applied; see
+// ResilienceConfig). Existing breaker state is reset.
+func (s *Service) SetResilience(cfg ResilienceConfig) {
+	s.mu.Lock()
+	s.resilCfg = cfg.withDefaults()
+	s.resilOn = true
+	s.breakers = make(map[string]*resil.Breaker)
+	s.mu.Unlock()
+}
+
+// resilience snapshots the resilience config and whether it is enabled.
+func (s *Service) resilience() (ResilienceConfig, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resilCfg, s.resilOn
+}
+
+// breakerFor returns the circuit breaker guarding an endpoint, creating
+// it on first use. Breakers are keyed by endpoint name, not by worker
+// object, so they survive fleet rescales: a rebuilt "worker/0" inherits
+// the old one's open/closed state, which is what a client-side breaker
+// observing a named endpoint would do.
+func (s *Service) breakerFor(ep string) *resil.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.resilOn {
+		return nil
+	}
+	b := s.breakers[ep]
+	if b == nil {
+		b = resil.NewBreaker(s.resilCfg.Breaker)
+		s.breakers[ep] = b
+	}
+	return b
+}
+
+// BreakerStates snapshots each tracked endpoint's breaker position for
+// status displays, sorted by endpoint name.
+func (s *Service) BreakerStates() []EndpointBreaker {
+	s.mu.Lock()
+	eps := make([]string, 0, len(s.breakers))
+	for ep := range s.breakers {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	out := make([]EndpointBreaker, 0, len(eps))
+	for _, ep := range eps {
+		b := s.breakers[ep]
+		out = append(out, EndpointBreaker{Endpoint: ep, State: b.State(), Stats: b.Stats()})
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// EndpointBreaker is one endpoint's breaker snapshot.
+type EndpointBreaker struct {
+	Endpoint string
+	State    resil.BreakerState
+	Stats    resil.BreakerStats
+}
+
+// RetryAfter returns the longest cooldown any open breaker still has to
+// serve at virtual time now — the gateway's Retry-After hint. Zero when
+// no breaker is open.
+func (s *Service) RetryAfter(now time.Duration) time.Duration {
+	s.mu.Lock()
+	breakers := make([]*resil.Breaker, 0, len(s.breakers))
+	for _, b := range s.breakers {
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	var max time.Duration
+	for _, b := range breakers {
+		if r := b.RetryAfter(now); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// ResilienceStats aggregates breaker activity across endpoints.
+func (s *Service) ResilienceStats() resil.BreakerStats {
+	var total resil.BreakerStats
+	for _, eb := range s.BreakerStates() {
+		total.Trips += eb.Stats.Trips
+		total.Sheds += eb.Stats.Sheds
+		total.Probes += eb.Stats.Probes
+	}
+	return total
+}

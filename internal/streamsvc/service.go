@@ -11,6 +11,7 @@ import (
 	"streamlake/internal/bus"
 	"streamlake/internal/kv"
 	"streamlake/internal/obs"
+	"streamlake/internal/resil"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
 )
@@ -81,6 +82,14 @@ type Service struct {
 	// register their buses too; metrics holds the service's instruments.
 	reg     *obs.Registry
 	metrics svcMetrics
+
+	// Resilience state (see resil.go): the network fault hook worker
+	// buses consult, the retry/ack/breaker config, and the per-endpoint
+	// circuit breakers (keyed by endpoint name so they survive rescales).
+	netHook  bus.NetHook
+	resilCfg ResilienceConfig
+	resilOn  bool
+	breakers map[string]*resil.Breaker
 }
 
 // svcMetrics is the streaming service's obs instrument set; wired once
@@ -91,6 +100,11 @@ type svcMetrics struct {
 	consumedMsgs  *obs.Counter
 	produceLat    *obs.Histogram
 	pollLat       *obs.Histogram
+	retries       *obs.Counter
+	sheds         *obs.Counter
+	trips         *obs.Counter
+	deadlines     *obs.Counter
+	ackDrops      *obs.Counter
 }
 
 // SetObs registers the service's telemetry — produce/consume throughput
@@ -107,6 +121,11 @@ func (s *Service) SetObs(reg *obs.Registry) {
 		consumedMsgs:  reg.Counter("streamsvc_consumed_messages_total"),
 		produceLat:    reg.Histogram("streamsvc_produce_seconds"),
 		pollLat:       reg.Histogram("streamsvc_poll_seconds"),
+		retries:       reg.Counter("streamsvc_retries_total"),
+		sheds:         reg.Counter("streamsvc_breaker_sheds_total"),
+		trips:         reg.Counter("streamsvc_breaker_trips_total"),
+		deadlines:     reg.Counter("streamsvc_deadline_exceeded_total"),
+		ackDrops:      reg.Counter("streamsvc_ack_drops_total"),
 	}
 	workers := append([]*Worker(nil), s.workers...)
 	s.mu.Unlock()
@@ -303,6 +322,9 @@ func (s *Service) SetWorkerCount(n int) (moved int, cost time.Duration) {
 	for i := 0; i < n; i++ {
 		workers[i] = newWorker(i)
 		workers[i].bus.SetObs(s.reg)
+		if s.netHook != nil {
+			workers[i].bus.SetNet(s.netHook, workerEndpoint(i))
+		}
 	}
 	for name, ts := range s.topics {
 		for i := range ts.streams {

@@ -28,6 +28,11 @@ go test ./internal/bench/
 # Bench smoke: end-to-end seeded workload snapshot (virtual-time
 # latencies + obs counters) proving the telemetry pipeline works.
 sh scripts/bench.sh --smoke
+# Chaos smoke: one seeded drill through the full fault mix (drops,
+# delays, partitions, disk kills, corruption) asserting the core
+# invariants — no acked-write loss, no duplicate appends, monotonic
+# offsets, bit-identical replay.
+go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical' ./internal/chaos/
 # Short fuzz smoke over the codec boundaries: a few seconds of input
 # generation against the decoders that parse untrusted bytes.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/

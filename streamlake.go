@@ -132,6 +132,15 @@ type Config struct {
 	// DisableObservability skips the metrics registry and tracer; every
 	// instrument becomes a no-op (the overhead baseline).
 	DisableObservability bool
+	// DisableResilience turns off the produce path's retry/ack/breaker
+	// machinery — the fragile baseline where any dropped transfer fails
+	// the send outright.
+	DisableResilience bool
+	// DisableHedging turns off hedged replica reads (the tail-latency
+	// baseline: a slow replica is simply waited out).
+	DisableHedging bool
+	// HedgeQuantile overrides the hedge-delay quantile (default 0.95).
+	HedgeQuantile float64
 	// Seed drives all randomized components deterministically.
 	Seed uint64
 }
@@ -211,6 +220,16 @@ func Open(cfg Config) (*Lake, error) {
 	}
 	logs.SetVerifyOnRead(!cfg.DisableVerifyOnRead)
 	inj.AttachCorruptor("ssd", logs)
+	// The network fault plane sits under every worker bus; the produce
+	// path rides it with retries, modelled acks, and per-endpoint circuit
+	// breakers unless the fragile baseline is requested.
+	svc.SetNet(inj.Net())
+	if !cfg.DisableResilience {
+		svc.SetResilience(streamsvc.ResilienceConfig{Seed: int64(cfg.Seed)})
+	}
+	if !cfg.DisableHedging {
+		logs.SetHedge(plog.HedgeConfig{Enabled: true, Quantile: cfg.HedgeQuantile})
+	}
 	l.rep = repair.New(clock, logs, repair.Config{})
 	l.scrub = scrub.New(clock, logs, l.rep, scrub.Config{
 		BytesPerPass: cfg.ScrubBytesPerPass,
@@ -463,6 +482,13 @@ func (l *Lake) ReplicateOffsite() (int64, time.Duration) {
 // All randomness derives from Config.Seed, so fault scenarios replay
 // deterministically.
 func (l *Lake) Faults() *faults.Injector { return l.inj }
+
+// Net exposes the network fault plane the worker buses consult:
+// per-link drop rates, delay/jitter, directed partitions.
+func (l *Lake) Net() *faults.NetPlane { return l.inj.Net() }
+
+// HedgeStats reports hedged-read activity across the lake's PLogs.
+func (l *Lake) HedgeStats() plog.HedgeStats { return l.logs.HedgeStats() }
 
 // Repairer exposes the background repair service that re-replicates or
 // re-encodes stale slices left behind by degraded writes.
