@@ -43,6 +43,7 @@
 //	                                   windows elapse)
 //	repair [rounds]
 //	scrub [run|cycle|status]
+//	cache [status|flush]              (two-tier read cache; -cache sizes it)
 //	chaos run [seed [events]]         (one seeded chaos drill, fresh lake)
 //	chaos replay [seed [events]]      (run twice, assert bit-identical digests)
 //	chaos status                      (report of the shell's last drill)
@@ -65,9 +66,10 @@ import (
 
 func main() {
 	oneShot := flag.String("c", "", "run one command and exit")
+	cacheMB := flag.Int("cache", 64, "read cache size in MB (0 disables)")
 	flag.Parse()
 
-	lake, err := streamlake.Open(streamlake.Config{})
+	lake, err := streamlake.Open(streamlake.Config{CacheMB: *cacheMB})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -129,6 +131,7 @@ func (s *shell) exec(line string) error {
 		fmt.Println("net:      faults net [status] | drop <from> <to> <rate> | delay <from> <to> <base> [jitter] |")
 		fmt.Println("          partition <from> <to> | heal <from> <to> | heal-all | clear")
 		fmt.Println("scrub:    run (one pass) | cycle (sweep every log) | status")
+		fmt.Println("cache:    status | flush (two-tier read cache)")
 		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
 		fmt.Println("advance:  advance <duration> (virtual time, e.g. 30ms)")
 		return nil
@@ -302,6 +305,8 @@ func (s *shell) exec(line string) error {
 		return nil
 	case "scrub":
 		return s.scrub(rest)
+	case "cache":
+		return s.cache(rest)
 	case "chaos":
 		return s.chaos(rest)
 	case "advance":
@@ -728,6 +733,40 @@ func (s *shell) scrub(rest []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown scrub subcommand %q (run|cycle|status)", sub)
+	}
+}
+
+// cache inspects or empties the lake's two-tier read cache.
+func (s *shell) cache(rest []string) error {
+	c := s.lake.Cache()
+	if c == nil {
+		return fmt.Errorf("read cache disabled (restart with -cache <MB>)")
+	}
+	sub := "status"
+	if len(rest) > 0 {
+		sub = rest[0]
+	}
+	switch sub {
+	case "status":
+		st := c.Stats()
+		lookups := st.DRAMHits + st.SCMHits + st.Misses
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = float64(st.DRAMHits+st.SCMHits) / float64(lookups)
+		}
+		fmt.Printf("lookups=%d dramHits=%d scmHits=%d misses=%d hitRate=%.1f%%\n",
+			lookups, st.DRAMHits, st.SCMHits, st.Misses, hitRate*100)
+		fmt.Printf("fills=%d fillBytes=%dB evictions=%d demotions=%d invalidations=%d bytesSaved=%dB\n",
+			st.Fills, st.FillBytes, st.Evictions, st.Demotions, st.Invalidations, st.BytesSaved)
+		fmt.Printf("dram: %d entr(ies), %dB used; scm: %d entr(ies), %dB used; ghost=%d key(s)\n",
+			st.EntriesDRAM, st.UsedDRAM, st.EntriesSCM, st.UsedSCM, st.GhostKeys)
+		return nil
+	case "flush":
+		n := s.lake.FlushCache()
+		fmt.Printf("flushed %d cached entr(ies)\n", n)
+		return nil
+	default:
+		return fmt.Errorf("unknown cache subcommand %q (status|flush)", sub)
 	}
 }
 

@@ -12,10 +12,12 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"time"
 
 	"streamlake"
@@ -54,6 +56,13 @@ type Config struct {
 	// DeadlineMS, when > 0, attaches a virtual-time deadline to every
 	// produce and poll.
 	DeadlineMS int64
+	// CacheMB sizes the lake's two-tier read cache (0 = disabled).
+	CacheMB int
+	// Mixed interleaves lakehouse inserts, scans, tiering passes, and
+	// cache-coherence probes with the streaming schedule — the
+	// everything-at-once workload. The probes enforce the cache
+	// invariant: a cached read never differs from a device read.
+	Mixed bool
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +99,9 @@ type Report struct {
 	HedgeWins  int64
 	DiskKills  int
 	Corrupted  int
+	TableRows  int64 // rows committed to the lakehouse table (Mixed runs)
+	Coherence  int   // cached-vs-device read probes executed (Mixed runs)
+	CacheHits  int64 // read-cache hits across both tiers at run end
 	ReadP99    time.Duration // plog read latency p99 at run end
 	Digest     uint64        // FNV-1a over the run's observable outcome
 	Violations []string      // empty on a clean run
@@ -117,6 +129,7 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 		Seed:           cfg.Seed,
 		PLogCapacity:   1 << 20,
 		DisableHedging: !cfg.Hedging,
+		CacheMB:        cfg.CacheMB,
 	})
 	if err != nil {
 		return Report{}, err
@@ -190,6 +203,11 @@ type harness struct {
 	corrupted  int
 	partitions [][2]string
 	violations []string
+
+	// Mixed-workload state.
+	tableMade bool
+	tableRows int64 // rows whose insert was acked
+	coherence int   // cache-coherence probes executed
 }
 
 func (h *harness) violate(format string, args ...any) {
@@ -205,6 +223,13 @@ func (h *harness) ctx() *resil.Ctx {
 
 // step runs one weighted scheduler event.
 func (h *harness) step(i int) {
+	if h.cfg.Mixed && h.rng.Intn(5) == 0 {
+		// One event in five goes to the lakehouse side of the house. The
+		// extra RNG draw happens only on Mixed runs, so non-mixed
+		// schedules (and their digests) are untouched.
+		h.mixedEvent()
+		return
+	}
 	switch r := h.rng.Intn(100); {
 	case r < 40:
 		h.produce()
@@ -235,6 +260,135 @@ func (h *harness) step(i int) {
 		// Let virtual time pass: breaker cooldowns elapse, deadlines
 		// become meaningful, tiering/repair timestamps move.
 		h.lake.Clock().Advance(time.Duration(1+h.rng.Intn(5000)) * time.Microsecond)
+	}
+}
+
+const mixedTable = "chaos_t"
+
+// mixedEvent runs one lakehouse-side event: an insert, a scan that must
+// see exactly the acked rows, a cache-coherence probe, or a long time
+// jump followed by a tiering pass that physically migrates cold logs.
+func (h *harness) mixedEvent() {
+	switch r := h.rng.Intn(10); {
+	case r < 4:
+		h.insertRows()
+	case r < 7:
+		h.scanTable()
+	case r < 9:
+		h.checkCacheCoherence()
+	default:
+		h.lake.Clock().Advance(time.Duration(10+h.rng.Intn(111)) * time.Minute)
+		h.lake.RunTiering()
+	}
+}
+
+func (h *harness) ensureTable() bool {
+	if h.tableMade {
+		return true
+	}
+	err := h.lake.CreateTable(streamlake.TableMeta{
+		Name:   mixedTable,
+		Schema: streamlake.MustSchema("k:string", "v:int64"),
+	})
+	if err != nil {
+		return false
+	}
+	h.tableMade = true
+	return true
+}
+
+func (h *harness) insertRows() {
+	if !h.ensureTable() {
+		return
+	}
+	n := 1 + h.rng.Intn(4)
+	rows := make([]streamlake.Row, 0, n)
+	for j := 0; j < n; j++ {
+		seq := h.tableRows + int64(j)
+		rows = append(rows, streamlake.Row{
+			streamlake.StringValue(fmt.Sprintf("row%06d", seq)),
+			streamlake.IntValue(seq),
+		})
+	}
+	if err := h.lake.Insert(mixedTable, rows); err != nil {
+		// Rejected inserts create no obligations, same as nacked sends.
+		return
+	}
+	h.tableRows += int64(n)
+	if h.rng.Intn(4) == 0 {
+		// Fold the write cache occasionally so scans exercise both the
+		// pending set and persistent snapshots (and the manifest cache
+		// sees real commits to invalidate).
+		h.lake.FlushTable(mixedTable)
+	}
+}
+
+func (h *harness) scanTable() {
+	if !h.tableMade {
+		return
+	}
+	res, err := h.lake.Query("select count(*) from " + mixedTable)
+	if err != nil {
+		// Scans can fail while faults are live; correctness is only
+		// defined for scans that complete.
+		return
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		h.violate("mixed scan returned malformed result: %v", res.Rows)
+		return
+	}
+	got, _ := strconv.ParseInt(res.Rows[0][0], 10, 64)
+	if got != h.tableRows {
+		h.violate("mixed scan saw %d rows, want %d acked", got, h.tableRows)
+	}
+}
+
+// checkCacheCoherence picks a random live extent range and reads it
+// three ways — straight from the devices, through a (possibly cold)
+// cache fill, and again warm — and demands bit-identical bytes. This is
+// the tier's core safety property: the cache may change cost, never
+// content.
+func (h *harness) checkCacheCoherence() {
+	infos := h.lake.Logs().Logs()
+	// Logs() drains a map; sort so the RNG pick is deterministic.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	nonEmpty := infos[:0]
+	for _, li := range infos {
+		if li.Size > 0 {
+			nonEmpty = append(nonEmpty, li)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return
+	}
+	li := nonEmpty[h.rng.Intn(len(nonEmpty))]
+	l := h.lake.Logs().Get(li.ID)
+	if l == nil {
+		return
+	}
+	n := int64(1 + h.rng.Intn(4096))
+	if n > li.Size {
+		n = li.Size
+	}
+	var off int64
+	if li.Size > n {
+		off = h.rng.Int63n(li.Size - n + 1)
+	}
+	direct, _, derr := l.ReadDirect(off, n)
+	cold, _, cerr := l.Read(off, n) // fills the cache
+	warm, _, werr := l.Read(off, n) // served from the cache
+	h.coherence++
+	if derr != nil || cerr != nil || werr != nil {
+		// Reads may legitimately fail while too many copies are dead or
+		// quarantined; coherence is only defined when the data is
+		// reachable.
+		return
+	}
+	if !bytes.Equal(cold, direct) {
+		h.violate("cache fill diverged from device read: plog %d [%d,%d)", li.ID, off, off+n)
+	}
+	if !bytes.Equal(warm, direct) {
+		h.violate("cached read diverged from device read: plog %d [%d,%d)", li.ID, off, off+n)
 	}
 }
 
@@ -438,8 +592,14 @@ func (h *harness) report() Report {
 		HedgeWins:  hs.Wins,
 		DiskKills:  h.killCount,
 		Corrupted:  h.corrupted,
+		TableRows:  h.tableRows,
+		Coherence:  h.coherence,
 		ReadP99:    snap.Histograms["plog_read_seconds"].Quantile(0.99),
 		Violations: h.violations,
+	}
+	if c := h.lake.Cache(); c != nil {
+		cs := c.Stats()
+		r.CacheHits = cs.DRAMHits + cs.SCMHits
 	}
 	r.Digest = h.digest(r)
 	return r
@@ -454,6 +614,12 @@ func (h *harness) digest(r Report) uint64 {
 	w := func(format string, args ...any) { fmt.Fprintf(d, format, args...) }
 	w("produced=%d consumed=%d drained=%d retries=%d drops=%d sheds=%d trips=%d deadlines=%d hedged=%d p99=%d;",
 		r.Produced, r.Consumed, r.Drained, r.Retries, r.NetDrops, r.Sheds, r.Trips, r.Deadlines, r.Hedged, r.ReadP99)
+	if h.cfg.Mixed {
+		w("tableRows=%d coherence=%d;", r.TableRows, r.Coherence)
+	}
+	if h.cfg.CacheMB > 0 {
+		w("cacheHits=%d;", r.CacheHits)
+	}
 	streams := make([]int, 0, len(h.acked))
 	for s := range h.acked {
 		streams = append(streams, s)

@@ -92,3 +92,47 @@ func TestHedgingCutsTailLatency(t *testing.T) {
 		t.Fatalf("hedging did not cut read p99: hedged=%v unhedged=%v", hedged.ReadP99, unhedged.ReadP99)
 	}
 }
+
+// TestMixedWorkloadCacheCoherence: the everything-at-once run — stream
+// produce/consume, lakehouse inserts and scans, scrub, physical tiering
+// migrations, and the read cache all active under the full fault mix.
+// It must replay bit-identically, break no streaming invariant, and
+// every cache-coherence probe must see device-identical bytes.
+func TestMixedWorkloadCacheCoherence(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := Config{
+			Seed:       seed,
+			Events:     400,
+			DiskKills:  true,
+			Corruption: true,
+			Partitions: true,
+			Hedging:    true,
+			Mixed:      true,
+			CacheMB:    16,
+		}
+		rep, same, err := RunWithReplay(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("seed %d: mixed replay diverged (digest %x)", seed, rep.Digest)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: invariant violated: %s", seed, v)
+		}
+		if rep.TableRows == 0 || rep.Coherence == 0 {
+			t.Errorf("seed %d: mixed schedule degenerate: rows=%d coherence=%d",
+				seed, rep.TableRows, rep.Coherence)
+		}
+		if rep.Produced == 0 {
+			t.Errorf("seed %d: streaming side acked nothing", seed)
+		}
+		if rep.CacheHits == 0 {
+			t.Errorf("seed %d: cache never hit under mixed workload", seed)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/sim"
@@ -69,7 +70,7 @@ type DB struct {
 	runs []*run // newest first
 	wal  int64  // bytes appended to the WAL since the last flush
 	puts int64
-	gets int64
+	gets atomic.Int64 // atomic: bumped under the shared read lock
 }
 
 // ErrCASMismatch is returned by CompareAndSwap when the current value
@@ -129,7 +130,7 @@ func (db *DB) Delete(key []byte) (time.Duration, error) {
 // (RAM), which is what makes the metadata cache's O(1) lookups cheap.
 func (db *DB) Get(key []byte) (value []byte, cost time.Duration, ok bool) {
 	db.mu.RLock()
-	db.gets++
+	db.gets.Add(1)
 	if v, tomb, found := db.mem.get(key); found {
 		db.mu.RUnlock()
 		if tomb {
@@ -340,7 +341,7 @@ func (db *DB) Stats() Stats {
 	defer db.mu.RUnlock()
 	st := Stats{
 		Puts:          db.puts,
-		Gets:          db.gets,
+		Gets:          db.gets.Load(),
 		MemtableBytes: db.mem.bytes,
 		Runs:          len(db.runs),
 	}

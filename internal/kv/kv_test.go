@@ -409,3 +409,30 @@ func TestCheckpointRestore(t *testing.T) {
 		t.Fatal("truncated checkpoint accepted")
 	}
 }
+
+// Concurrent readers share the RWMutex read lock, so the get counter
+// they bump must be atomic — a plain increment under RLock is a data
+// race between two Gets (caught by the query-layer race test first;
+// this pins it at the source).
+func TestConcurrentGetsRaceFree(t *testing.T) {
+	db := Open(Options{})
+	if _, err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	db.Flush()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				db.Get([]byte("k"))
+				db.Scan(nil, nil, func(k, v []byte) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := db.Stats().Gets; got != 2000 {
+		t.Fatalf("lost get increments under concurrency: %d, want 2000", got)
+	}
+}

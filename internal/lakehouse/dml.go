@@ -73,6 +73,9 @@ func (e *Engine) Delete(name string, filters []RangeFilter) (int64, time.Duratio
 		_, err = x.Retry()
 	}
 	cost += x.Cost()
+	if err == nil {
+		e.invalidateManifests(name)
+	}
 	return deleted, cost, err
 }
 
@@ -164,6 +167,9 @@ func (e *Engine) Update(name string, filters []RangeFilter, set func(colfile.Row
 		_, err = x.Retry()
 	}
 	cost += x.Cost()
+	if err == nil {
+		e.invalidateManifests(name)
+	}
 	return updated, cost, err
 }
 
@@ -221,5 +227,6 @@ func (e *Engine) DropHard(name string) (time.Duration, error) {
 	e.mu.Lock()
 	delete(e.tables, name)
 	e.mu.Unlock()
+	e.invalidateManifests(name)
 	return cost, nil
 }

@@ -13,9 +13,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"streamlake/internal/cache"
 	"streamlake/internal/colfile"
 	"streamlake/internal/kv"
 	"streamlake/internal/sim"
@@ -45,6 +47,37 @@ type Engine struct {
 	mu      sync.Mutex
 	tables  map[string]*tableState
 	metrics scanMetrics
+	// rcache is the shared two-tier read cache, when one is attached:
+	// decoded-snapshot manifests are served from it at query-planning
+	// time keyed by snapshot id (immutable by id, so never stale in
+	// content), and DML commits invalidate the table's prefix.
+	rcache *cache.Cache
+}
+
+// SetCache attaches the shared read cache used for snapshot-manifest
+// lookups at planning time (nil detaches it).
+func (e *Engine) SetCache(c *cache.Cache) {
+	e.mu.Lock()
+	e.rcache = c
+	e.mu.Unlock()
+}
+
+func manifestPrefix(name string) string { return "manifest/" + name + "/" }
+
+func manifestKey(name string, id int64) string {
+	return manifestPrefix(name) + strconv.FormatInt(id, 10)
+}
+
+// invalidateManifests drops the table's cached manifests after a commit
+// moved the snapshot pointer. Snapshot files are immutable by id, so
+// this is hygiene (reclaiming dead entries), not a correctness edge.
+func (e *Engine) invalidateManifests(name string) {
+	e.mu.Lock()
+	c := e.rcache
+	e.mu.Unlock()
+	if c != nil {
+		c.InvalidatePrefix(manifestPrefix(name))
+	}
 }
 
 type tableState struct {
@@ -223,11 +256,13 @@ func (e *Engine) Flush(name string) (time.Duration, error) {
 		e.mu.Unlock()
 		return x.Cost(), err
 	}
-	// Clear the flushed entries from the write cache.
+	// Clear the flushed entries from the write cache, and drop cached
+	// manifests now pointing at a superseded snapshot.
 	e.cache.Scan([]byte("wcache/"+name+"/"), []byte("wcache/"+name+"0"), func(k, v []byte) bool {
 		e.cache.Delete(k)
 		return true
 	})
+	e.invalidateManifests(name)
 	return x.Cost(), nil
 }
 

@@ -1,0 +1,154 @@
+package lakehouse
+
+import (
+	"testing"
+
+	"streamlake/internal/cache"
+	"streamlake/internal/colfile"
+	"streamlake/internal/plog"
+	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+	"streamlake/internal/tableobj"
+)
+
+// newCachedEngine builds an accelerated engine with the read cache
+// attached, exposing the pool so tests can account device bytes.
+func newCachedEngine(t testing.TB) (*Engine, *pool.Pool, *cache.Cache) {
+	t.Helper()
+	clock := sim.NewClock()
+	p := pool.New("lh-cached", clock, sim.NVMeSSD, 8, 4<<20)
+	fs := tableobj.NewFileStore(plog.NewManager(p, 8<<20))
+	cat := tableobj.NewCatalog(clock)
+	e := New(clock, fs, cat, Options{Acceleration: true, FlushEvery: 8})
+	c := cache.New(cache.Config{DRAMBytes: 1 << 20, SCMBytes: 4 << 20})
+	e.SetCache(c)
+	return e, p, c
+}
+
+func poolReadBytes(p *pool.Pool) int64 {
+	var total int64
+	for i := 0; i < p.DiskCount(); i++ {
+		total += p.DiskStats(pool.DiskID(i)).ReadBytes
+	}
+	return total
+}
+
+// Repeated planning against an unchanged table must read zero manifest
+// bytes from the devices: the snapshot file is served from the cache
+// and only the catalog pointer (a separate SCM KV device) is consulted.
+func TestRepeatedPlanningReadsNoDeviceBytes(t *testing.T) {
+	e, p, c := newCachedEngine(t)
+	mkTable(t, e, "t")
+	for i := int64(0); i < 20; i++ {
+		if _, err := e.Insert("t", []colfile.Row{cacheRow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Flush("t"); err != nil {
+		t.Fatal(err)
+	}
+	cold, coldCost, err := e.PlanScan("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := poolReadBytes(p)
+	for i := 0; i < 10; i++ {
+		warm, warmCost, err := e.PlanScan("t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warm.Files) != len(cold.Files) || warm.TotalFiles != cold.TotalFiles {
+			t.Fatalf("warm plan diverged: %+v vs %+v", warm, cold)
+		}
+		if warmCost > coldCost {
+			t.Fatalf("warm plan costlier than cold: %v > %v", warmCost, coldCost)
+		}
+	}
+	if got := poolReadBytes(p); got != base {
+		t.Fatalf("warm planning read %d device bytes, want 0", got-base)
+	}
+	if st := c.Stats(); st.DRAMHits+st.SCMHits < 10 {
+		t.Fatalf("manifest lookups missed the cache: %+v", st)
+	}
+}
+
+// A DML commit moves the snapshot pointer: planning must see the new
+// manifest immediately and the superseded entry must be invalidated.
+func TestManifestCacheCoherentAcrossDML(t *testing.T) {
+	e, _, c := newCachedEngine(t)
+	mkTable(t, e, "t")
+	for i := int64(0); i < 8; i++ {
+		if _, err := e.Insert("t", []colfile.Row{cacheRow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Flush("t"); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := e.PlanScan("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PlanScan("t", nil) // warm the manifest entry
+	deleted, _, err := e.Delete("t", []RangeFilter{{Column: "start_time", Lo: iv(0), Hi: iv(3)}})
+	if err != nil || deleted == 0 {
+		t.Fatalf("delete: %d rows, err=%v", deleted, err)
+	}
+	after, _, err := e.PlanScan("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowsBefore, rowsAfter int64
+	for _, f := range before.Files {
+		rowsBefore += f.Rows
+	}
+	for _, f := range after.Files {
+		rowsAfter += f.Rows
+	}
+	if rowsAfter != rowsBefore-deleted {
+		t.Fatalf("post-delete plan sees %d rows, want %d", rowsAfter, rowsBefore-deleted)
+	}
+	if st := c.Stats(); st.Invalidations == 0 {
+		t.Fatal("commit did not invalidate superseded manifests")
+	}
+}
+
+// The cache is an accelerator, not a semantic change: plans with and
+// without it must be identical.
+func TestPlanIdenticalWithAndWithoutCache(t *testing.T) {
+	cached, _, _ := newCachedEngine(t)
+	plain := newEngine(t, true)
+	for _, e := range []*Engine{cached, plain} {
+		mkTable(t, e, "t")
+		for i := int64(0); i < 12; i++ {
+			if _, err := e.Insert("t", []colfile.Row{cacheRow(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Flush("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filters := []RangeFilter{{Column: "start_time", Lo: iv(200), Hi: iv(900)}}
+	a, _, err := cached.PlanScan("t", filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := plain.PlanScan("t", filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Files) != len(b.Files) || a.SkippedFiles != b.SkippedFiles || a.MetadataBytes != b.MetadataBytes {
+		t.Fatalf("plans diverged: cached=%+v plain=%+v", a, b)
+	}
+	for i := range a.Files {
+		if a.Files[i].Path != b.Files[i].Path {
+			t.Fatalf("file %d diverged: %s vs %s", i, a.Files[i].Path, b.Files[i].Path)
+		}
+	}
+}
+
+// cacheRow builds one distinct row per insert for the cache tests.
+func cacheRow(i int64) colfile.Row {
+	return row("http://site", i*100, "Beijing", i)
+}

@@ -92,7 +92,7 @@ func (e *Engine) PlanScan(name string, filters []RangeFilter) (Plan, time.Durati
 }
 
 func (e *Engine) planAccelerated(st *tableState, filters []RangeFilter) (Plan, time.Duration, error) {
-	snap, cost, err := st.tbl.Current()
+	snap, cost, err := e.currentSnapshot(st)
 	if err != nil {
 		return Plan{}, cost, err
 	}
@@ -118,6 +118,44 @@ func (e *Engine) planAccelerated(st *tableState, filters []RangeFilter) (Plan, t
 	// Only the matched entries reach the compute engine.
 	plan.MetadataBytes = int64(len(plan.Files)) * fileMetaBytes
 	return plan, cost, nil
+}
+
+// currentSnapshot resolves the table's current snapshot manifest,
+// serving the encoded snapshot file from the read cache when one is
+// attached (the Figure 15 planning acceleration: repeated planning
+// reads no manifest bytes from devices). The key embeds the snapshot
+// id and snapshot files are immutable by id, so a cached manifest can
+// never be stale in content — the pointer lookup itself always goes to
+// the catalog.
+func (e *Engine) currentSnapshot(st *tableState) (tableobj.Snapshot, time.Duration, error) {
+	e.mu.Lock()
+	c := e.rcache
+	e.mu.Unlock()
+	if c == nil {
+		return st.tbl.Current()
+	}
+	name := st.tbl.Meta().Name
+	ptr, cost, err := e.cat.SnapshotPointer(name)
+	if err != nil {
+		return tableobj.Snapshot{}, cost, err
+	}
+	key := manifestKey(name, ptr)
+	if blob, ccost, ok := c.Get(key); ok {
+		if snap, derr := tableobj.DecodeSnapshot(blob); derr == nil {
+			return snap, cost + ccost, nil
+		}
+		c.Invalidate(key) // undecodable entry: drop it and refill below
+	}
+	blob, rc, err := e.fs.Read(tableobj.SnapshotPath(st.tbl.Meta().Path, ptr))
+	if err != nil {
+		return tableobj.Snapshot{}, cost + rc, err
+	}
+	snap, err := tableobj.DecodeSnapshot(blob)
+	if err != nil {
+		return tableobj.Snapshot{}, cost + rc, err
+	}
+	c.Put(key, blob)
+	return snap, cost + rc, nil
 }
 
 func (e *Engine) planFileBased(st *tableState, filters []RangeFilter) (Plan, time.Duration, error) {

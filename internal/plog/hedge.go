@@ -131,6 +131,15 @@ func (l *PLog) hedgeLocked(primary int, offset, n int64, primaryCost time.Durati
 	}
 	for j, s := range l.slices {
 		if j == primary || l.missingIn(j, offset, n) {
+			continue // quarantined/degraded ranges can never win the race
+		}
+		if l.pool.DiskFailed(s.Disk) {
+			continue // a hedge against a dead disk is a guaranteed loss
+		}
+		if !verify && l.corruptIn(j, offset, n) >= 0 {
+			// Without verification a corrupt copy would "win" with bytes
+			// that differ from what the primary served — a stale win the
+			// latency model must not credit. Skip it.
 			continue
 		}
 		d2, rerr := l.pool.Read(s.ID, n)

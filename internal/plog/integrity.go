@@ -232,7 +232,7 @@ func (l *PLog) corruptIn(i int, off, n int64) int {
 // detected (and counted) exactly once. Caller holds mu.
 func (l *PLog) quarantine(i int, bad []int) {
 	l.imu.Lock()
-	defer l.imu.Unlock()
+	quarantined := false
 	for _, e := range bad {
 		if _, ok := l.copySums[i][e]; !ok {
 			continue
@@ -245,6 +245,13 @@ func (l *PLog) quarantine(i int, bad []int) {
 		l.stale[i] += per
 		l.integ.Quarantined += per
 		l.metrics.quarantined.Add(per)
+		quarantined = true
+	}
+	l.imu.Unlock()
+	if quarantined {
+		// Media under this log proved untrustworthy; drop its cached
+		// ranges so subsequent reads re-verify against the devices.
+		l.invalidateCached()
 	}
 }
 
@@ -420,8 +427,18 @@ func (l *PLog) Scrub() (ScrubResult, error) {
 // SetVerifyOnRead toggles checksum verification on every read across the
 // manager's logs (on by default). Disabling it models a system without
 // end-to-end integrity: reads that land on a corrupt copy silently
-// return wrong bytes.
-func (m *Manager) SetVerifyOnRead(v bool) { m.verify.Store(!v) }
+// return wrong bytes. Because cache fills must be verified, disabling
+// verification also flushes and bypasses the read cache — resident
+// verified bytes could otherwise diverge from what a raw device read
+// would now return.
+func (m *Manager) SetVerifyOnRead(v bool) {
+	m.verify.Store(!v)
+	if !v {
+		if c := m.cache.Load(); c != nil {
+			c.Flush()
+		}
+	}
+}
 
 // VerifyOnRead reports whether reads verify checksums.
 func (m *Manager) VerifyOnRead() bool { return !m.verify.Load() }
@@ -466,10 +483,15 @@ func (m *Manager) corruptRandom(d pool.DiskID, rng *sim.RNG) (CorruptionEvent, b
 	counts := make([]int, len(logs))
 	for i, l := range logs {
 		l.imu.Lock()
-		n, _, _ := l.corruptCandidatesLocked(d, -1)
+		// Disk-scoped corruption means "disk d of this manager's pool":
+		// a log migrated to another pool must not alias on the bare
+		// numeric disk id. Placement writers hold both mu and imu, so
+		// reading l.pool under imu is safe from hook context.
+		if d < 0 || l.pool == m.pool {
+			counts[i], _, _ = l.corruptCandidatesLocked(d, -1)
+		}
 		l.imu.Unlock()
-		counts[i] = n
-		total += n
+		total += counts[i]
 	}
 	if total == 0 {
 		return CorruptionEvent{}, false

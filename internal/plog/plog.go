@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamlake/internal/cache"
 	"streamlake/internal/ec"
 	"streamlake/internal/obs"
 	"streamlake/internal/pool"
@@ -144,6 +145,13 @@ type PLog struct {
 	// hedge points at the manager's shared hedged-read state (see
 	// hedge.go); nil disables hedging entirely.
 	hedge *hedgeState
+
+	// rcache points at the manager's shared read-cache slot (same
+	// lifetime trick as metrics); the slot holds nil until SetCache.
+	// Fills are inserted only after checksum verification, and every
+	// coherence edge — quarantine, repair rewrite, degraded append,
+	// migration, destroy — invalidates the log's cached ranges.
+	rcache *atomic.Pointer[cache.Cache]
 }
 
 // logMetrics is the plog layer's obs instrument set, shared by every
@@ -278,6 +286,10 @@ func (l *PLog) AppendSpan(data []byte, sp *obs.Span) (offset int64, cost time.Du
 	l.metrics.appendBytes.Add(int64(len(data)))
 	if len(failed) > 0 {
 		l.metrics.degradedOps.Inc()
+		// Degraded write: some copies now hold stale ranges; drop the
+		// log's cached ranges rather than reason about which reads could
+		// have observed which copy.
+		l.invalidateCached()
 	}
 	return offset, max, nil
 }
@@ -295,12 +307,103 @@ func (l *PLog) AppendSpan(data []byte, sp *obs.Span) (offset int64, cost time.Du
 // returned slice is a copy; callers may mutate it freely without
 // corrupting the log.
 func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
+	data, cost, _, err = l.readThrough(offset, n)
+	return data, cost, err
+}
+
+// readThrough is the cache-aware read path: a resident range is served
+// from the read cache (a DRAM hit at zero cost, an SCM hit at SCM
+// device cost); a miss goes to the devices and, when verification is
+// on, the verified bytes fill the cache. hit reports whether the cache
+// served the read.
+func (l *PLog) readThrough(offset, n int64) (data []byte, cost time.Duration, hit bool, err error) {
+	c := l.cacheActive()
+	if c == nil || n <= 0 {
+		data, cost, err = l.read(offset, n)
+		if err == nil {
+			l.metrics.readLat.Observe(cost)
+			l.metrics.readBytes.Add(n)
+		}
+		return data, cost, false, err
+	}
+	key := l.cacheKey(offset, n)
+	if data, ccost, ok := c.Get(key); ok {
+		l.metrics.readLat.Observe(ccost)
+		l.metrics.readBytes.Add(n)
+		return data, ccost, true, nil
+	}
 	data, cost, err = l.read(offset, n)
 	if err == nil {
 		l.metrics.readLat.Observe(cost)
 		l.metrics.readBytes.Add(n)
+		// Verified fill: l.read only returns clean bytes while
+		// verification is on (cacheActive gates the off case away).
+		c.Put(key, data)
+	}
+	return data, cost, false, err
+}
+
+// ReadDirect is Read bypassing the read cache: the raw device path,
+// metrics-free. The chaos harness compares it against cached reads to
+// enforce the "cached read never differs from device read" invariant.
+func (l *PLog) ReadDirect(offset, n int64) ([]byte, time.Duration, error) {
+	return l.read(offset, n)
+}
+
+// ReadSpan is Read with tracing: the read is recorded as a child span
+// of sp annotated with its cache outcome, so traces honestly show
+// cache hits as near-zero device time. A nil span traces nothing.
+func (l *PLog) ReadSpan(offset, n int64, sp *obs.Span) ([]byte, time.Duration, error) {
+	data, cost, hit, err := l.readThrough(offset, n)
+	if sp != nil && err == nil {
+		outcome := "uncached"
+		if l.cacheActive() != nil {
+			outcome = "miss"
+			if hit {
+				outcome = "hit"
+			}
+		}
+		ch := sp.Child("plog.read")
+		ch.SetAttr("cache", outcome)
+		ch.End(cost)
 	}
 	return data, cost, err
+}
+
+// cacheActive returns the attached read cache, or nil when there is
+// none or verification is off — an unverified fill could launder
+// corrupt bytes, so the cache stands down entirely with verification
+// disabled.
+func (l *PLog) cacheActive() *cache.Cache {
+	if l.rcache == nil {
+		return nil
+	}
+	if l.noVerify != nil && l.noVerify.Load() {
+		return nil
+	}
+	return l.rcache.Load()
+}
+
+func (l *PLog) cachePrefix() string {
+	return "plog/" + strconv.FormatInt(int64(l.id), 10) + "/"
+}
+
+func (l *PLog) cacheKey(offset, n int64) string {
+	return l.cachePrefix() + strconv.FormatInt(offset, 10) + "/" + strconv.FormatInt(n, 10)
+}
+
+// invalidateCached drops every cached range of this log. The logical
+// bytes are append-only and immutable, so cached entries can never go
+// stale in content — invalidation models device-state honesty on the
+// coherence edges where the media under the log changed (quarantine,
+// repair rewrite, degraded append, migration, destroy).
+func (l *PLog) invalidateCached() {
+	if l.rcache == nil {
+		return
+	}
+	if c := l.rcache.Load(); c != nil {
+		c.InvalidatePrefix(l.cachePrefix())
+	}
 }
 
 // ReadCtx is Read under a resilience context: the virtual-time deadline
@@ -588,6 +691,9 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 	if repaired > 0 {
 		l.metrics.reconstructLat.Observe(cost)
 		l.metrics.repairedBytes.Add(repaired)
+		// Repair rewrote device copies under the cache; invalidate the
+		// log's cached ranges so they refill from the repaired media.
+		l.invalidateCached()
 	}
 	return repaired, cost, nil
 }
@@ -627,11 +733,23 @@ type Manager struct {
 	// stays off until SetHedge enables it, but the latency tracker warms
 	// from the first read.
 	hedge hedgeState
+	// cache is the shared read-cache slot every log points at; nil
+	// until SetCache attaches one.
+	cache atomic.Pointer[cache.Cache]
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
 	nextID ID
 }
+
+// SetCache attaches a two-tier read cache shared by every log of the
+// manager (nil detaches it). Extent reads fill the cache only after
+// checksum verification, and the coherence edges (quarantine, repair,
+// degraded appends, migration, destroy) invalidate affected ranges.
+func (m *Manager) SetCache(c *cache.Cache) { m.cache.Store(c) }
+
+// Cache returns the attached read cache, or nil.
+func (m *Manager) Cache() *cache.Cache { return m.cache.Load() }
 
 // SetObs registers the plog layer's telemetry: latency histograms and
 // byte counters shared across the manager's logs, plus redundancy and
@@ -699,6 +817,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		noVerify: &m.verify,
 		metrics:  &m.metrics,
 		hedge:    &m.hedge,
+		rcache:   &m.cache,
 	}
 	m.logs[l.id] = l
 	return l, nil
@@ -722,11 +841,18 @@ func (m *Manager) Destroy(id ID) error {
 	if !ok {
 		return fmt.Errorf("plog: no log %d", id)
 	}
-	for _, s := range l.slices {
-		if err := m.pool.Free(s.ID); err != nil {
+	// Free from the log's own pool, not the manager's: a tiering
+	// migration may have moved the placement group to another pool,
+	// whose slice ids the manager's pool knows nothing about.
+	l.mu.Lock()
+	slices, lp := l.slices, l.pool
+	l.mu.Unlock()
+	for _, s := range slices {
+		if err := lp.Free(s.ID); err != nil {
 			return err
 		}
 	}
+	l.invalidateCached()
 	return nil
 }
 

@@ -1,0 +1,84 @@
+package plog
+
+import (
+	"fmt"
+	"time"
+
+	"streamlake/internal/pool"
+)
+
+// Migrate moves the log's placement group to dst, reading each copy
+// from its current pool and rewriting it on the destination — the
+// physical leg of a tiering migration (SSD draining to HDD after the
+// demotion window). The per-extent CRC sidecar state moves with the
+// data verbatim: checksums are keyed by copy index, not device
+// identity, so a corrupt or stale copy stays exactly as corrupt or
+// stale on the new pool and a scrub pass in flight keeps finding
+// precisely what it would have found — never a false mismatch. The
+// log's cached ranges are invalidated (the bytes now live on different
+// media). On a destination write failure the destination allocation is
+// rolled back and the log stays where it was. Migrating to the current
+// pool is a no-op.
+func (l *PLog) Migrate(dst *pool.Pool) (time.Duration, error) {
+	if dst == nil {
+		return 0, fmt.Errorf("plog: migrate log %d to nil pool", l.id)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pool == dst {
+		return 0, nil
+	}
+	newSlices, err := dst.AllocGroup(len(l.slices))
+	if err != nil {
+		return 0, fmt.Errorf("plog: migrate log %d: %w", l.id, err)
+	}
+	per := l.red.shardSize(int64(len(l.buf)))
+	var cost time.Duration
+	for i, s := range l.slices {
+		// Only the bytes the copy actually holds move; stale holes stay
+		// holes on the destination (the repair service's job, not the
+		// migration's).
+		n := per - l.stale[i]
+		if n <= 0 {
+			continue
+		}
+		// Charge the source read when the source disk can serve it; an
+		// unreadable source still lands on the destination (rebuilt from
+		// the redundancy set, which the simulation holds authoritatively).
+		if !l.pool.DiskFailed(s.Disk) {
+			if c, rerr := l.pool.Read(s.ID, n); rerr == nil {
+				cost += c
+			}
+		}
+		c, werr := dst.Write(newSlices[i].ID, n)
+		if werr != nil {
+			for _, ns := range newSlices {
+				dst.Free(ns.ID)
+			}
+			return cost, fmt.Errorf("plog: migrate log %d: %w", l.id, werr)
+		}
+		cost += c
+	}
+	old, oldPool := l.slices, l.pool
+	// Placement-identity writers hold both mu and imu so hook-context
+	// readers (corruption injection) can read l.pool/l.slices under imu
+	// alone.
+	l.imu.Lock()
+	l.slices = newSlices
+	l.pool = dst
+	l.imu.Unlock()
+	for _, s := range old {
+		oldPool.Free(s.ID)
+	}
+	l.invalidateCached()
+	return cost, nil
+}
+
+// MigrateLog moves one log's placement group to dst (see PLog.Migrate).
+func (m *Manager) MigrateLog(id ID, dst *pool.Pool) (time.Duration, error) {
+	l := m.Get(id)
+	if l == nil {
+		return 0, fmt.Errorf("plog: no log %d", id)
+	}
+	return l.Migrate(dst)
+}

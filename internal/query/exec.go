@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/colfile"
@@ -32,7 +33,15 @@ type Engine struct {
 	// which is what pushdown exists to avoid.
 	net *sim.Device
 
-	// obs instruments; wired once by SetObs, nil-safe no-ops until then.
+	// metrics holds the obs instrument set behind an atomic pointer so
+	// SetObs can be wired (or re-wired) while queries are in flight;
+	// Execute loads one consistent set per query. A zero engineMetrics
+	// is all nil-safe no-op counters.
+	metrics atomic.Pointer[engineMetrics]
+}
+
+// engineMetrics is the query layer's obs instrument set.
+type engineMetrics struct {
 	queries      *obs.Counter
 	pushdownHits *obs.Counter
 	computeBytes *obs.Counter
@@ -40,11 +49,23 @@ type Engine struct {
 
 // SetObs registers the query engine's telemetry: query volume, how
 // often the aggregate pushdown fast path fired (the pushdown hit rate
-// is hits/queries), and the bytes shipped into compute memory.
+// is hits/queries), and the bytes shipped into compute memory. Safe to
+// call concurrently with Execute: the instrument set is swapped
+// atomically, never mutated in place.
 func (e *Engine) SetObs(reg *obs.Registry) {
-	e.queries = reg.Counter("query_queries_total")
-	e.pushdownHits = reg.Counter("query_pushdown_hits_total")
-	e.computeBytes = reg.Counter("query_compute_bytes_total")
+	e.metrics.Store(&engineMetrics{
+		queries:      reg.Counter("query_queries_total"),
+		pushdownHits: reg.Counter("query_pushdown_hits_total"),
+		computeBytes: reg.Counter("query_compute_bytes_total"),
+	})
+}
+
+// obsMetrics returns the current instrument set, never nil.
+func (e *Engine) obsMetrics() *engineMetrics {
+	if m := e.metrics.Load(); m != nil {
+		return m
+	}
+	return &engineMetrics{}
 }
 
 // New builds a query engine with pushdown enabled.
@@ -98,7 +119,8 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 		}
 	}
 	res := &Result{}
-	e.queries.Inc()
+	m := e.obsMetrics()
+	m.queries.Inc()
 
 	// Fast path: pure aggregates pushed down to storage — only when the
 	// range filters represent the conjuncts exactly (strict bounds on
@@ -108,10 +130,10 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.pushdownHits.Inc()
+		m.pushdownHits.Inc()
 		res.Stats.ComputeBytes = int64(len(aggs)) * rowShipBytes
 		res.Stats.ExecCost = cost + e.net.Read(res.Stats.ComputeBytes)
-		e.computeBytes.Add(res.Stats.ComputeBytes)
+		m.computeBytes.Add(res.Stats.ComputeBytes)
 		if err := e.checkBudget(res.Stats.ComputeBytes); err != nil {
 			return nil, err
 		}
@@ -219,7 +241,7 @@ func (e *Engine) Execute(stmt *Stmt) (*Result, error) {
 	res.Stats.ExecCost = execCost
 	res.Stats.ComputeBytes = shipped + plan.MetadataBytes
 	res.Stats.RowsScanned = stats.RowsScanned
-	e.computeBytes.Add(res.Stats.ComputeBytes)
+	m.computeBytes.Add(res.Stats.ComputeBytes)
 
 	if allAggregates(stmt.Select) || stmt.GroupBy != "" {
 		var aggs []lakehouse.AggregateResult

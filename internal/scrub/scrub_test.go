@@ -172,3 +172,50 @@ func TestEmptyManager(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A tiering migration in the middle of a budgeted scrub cycle must not
+// confuse the scrubber: the CRC sidecar and the cursor are keyed by
+// log ID, not device identity, so a migrated log's planted corruption
+// is found exactly once and nothing healthy is reported corrupt.
+func TestMigrationUnderActiveScrubPass(t *testing.T) {
+	clock, m, logs := newFixture(t, 5, 4, 3)
+	hdd := pool.New("scrub-hdd", clock, sim.SASHDD, 5, 1<<20)
+	rep := repair.New(clock, m, repair.Config{})
+	// 10 KiB per pass: each pass covers one 3-extent 3-replica log
+	// (9 KiB) and parks the cursor, leaving the rest for later passes.
+	s := New(clock, m, rep, Config{BytesPerPass: 10 << 10, Repair: true})
+	if r, err := s.RunOnce(); err != nil || r.FullCycle {
+		t.Fatalf("first pass should park mid-population: %+v err=%v", r, err)
+	}
+	// Corrupt a copy of a not-yet-scanned log, then migrate that log to
+	// the cold pool while the cursor is parked before it.
+	victim := logs[2]
+	if ok, err := victim.CorruptCopy(1, 2); err != nil || !ok {
+		t.Fatalf("CorruptCopy: ok=%v err=%v", ok, err)
+	}
+	if _, err := victim.Migrate(hdd); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Mismatches != 1 {
+		t.Fatalf("scrub over migrated population found %d mismatches, want exactly 1", rest.Mismatches)
+	}
+	if rest.RepairedBytes == 0 {
+		t.Fatal("inline repair restored nothing on the destination pool")
+	}
+	if m.DegradedCount() != 0 {
+		t.Fatal("logs still degraded after scrub+repair across pools")
+	}
+	// A fresh full cycle over the now-clean population must stay silent:
+	// no false corruption from the migration.
+	clean, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Mismatches != 0 {
+		t.Fatalf("clean population reported %d mismatches after migration", clean.Mismatches)
+	}
+}

@@ -33,6 +33,13 @@ sh scripts/bench.sh --smoke
 # invariants — no acked-write loss, no duplicate appends, monotonic
 # offsets, bit-identical replay.
 go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical' ./internal/chaos/
+# Cache gate: the two-tier read cache under the race detector, plus the
+# mixed chaos workload (produce + scan + scrub + tiering + cache) that
+# asserts bit-identical replay and cached-read ≡ device-read. The
+# benchsnap smoke above already enforces the cache's perf floor
+# (hit rate ≥ 0.5, warm p99 ≥ 5x under cold, ~zero warm plan bytes).
+go test -race -count=1 ./internal/cache/
+go test -count=1 -short -run 'TestMixedWorkloadCacheCoherence' ./internal/chaos/
 # Short fuzz smoke over the codec boundaries: a few seconds of input
 # generation against the decoders that parse untrusted bytes.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/

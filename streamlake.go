@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"streamlake/internal/cache"
 	"streamlake/internal/colfile"
 	"streamlake/internal/convert"
 	"streamlake/internal/faults"
@@ -141,6 +142,12 @@ type Config struct {
 	DisableHedging bool
 	// HedgeQuantile overrides the hedge-delay quantile (default 0.95).
 	HedgeQuantile float64
+	// CacheMB sizes the two-tier (DRAM + SCM) read cache in megabytes;
+	// 0 (the default) disables it, leaving every read on the device
+	// path. The DRAM tier gets 1/8 of the budget, the SCM tier the
+	// rest. Extent reads fill it only after checksum verification, and
+	// repair/scrub/migration/DML events invalidate affected entries.
+	CacheMB int
 	// Seed drives all randomized components deterministically.
 	Seed uint64
 }
@@ -168,6 +175,7 @@ type Lake struct {
 	scrub   *scrub.Service
 	reg     *obs.Registry // nil when observability is disabled
 	tracer  *obs.Tracer   // nil when observability is disabled
+	rcache  *cache.Cache  // nil when Config.CacheMB is 0
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -220,6 +228,12 @@ func Open(cfg Config) (*Lake, error) {
 	}
 	logs.SetVerifyOnRead(!cfg.DisableVerifyOnRead)
 	inj.AttachCorruptor("ssd", logs)
+	if cfg.CacheMB > 0 {
+		total := int64(cfg.CacheMB) << 20
+		l.rcache = cache.New(cache.Config{DRAMBytes: total / 8, SCMBytes: total - total/8})
+		logs.SetCache(l.rcache)
+		lh.SetCache(l.rcache)
+	}
 	// The network fault plane sits under every worker bus; the produce
 	// path rides it with retries, modelled acks, and per-endpoint circuit
 	// breakers unless the fragile baseline is requested.
@@ -248,8 +262,23 @@ func Open(cfg Config) (*Lake, error) {
 		l.sql.SetObs(l.reg)
 		l.rep.SetObs(l.reg)
 		l.scrub.SetObs(l.reg)
+		if l.rcache != nil {
+			l.rcache.SetObs(l.reg)
+		}
 	}
 	return l, nil
+}
+
+// Cache exposes the two-tier read cache; nil when Config.CacheMB is 0.
+func (l *Lake) Cache() *cache.Cache { return l.rcache }
+
+// FlushCache drops every resident cache entry (statistics survive) and
+// returns how many entries were dropped; 0 when no cache is configured.
+func (l *Lake) FlushCache() int {
+	if l.rcache == nil {
+		return 0
+	}
+	return l.rcache.Flush()
 }
 
 // Obs exposes the lake's metrics registry; nil when observability is
@@ -451,7 +480,12 @@ func (l *Lake) Catalog() *tableobj.Catalog { return l.cat }
 // thresholds drains from SSD toward HDD and the archive tier (the data
 // service layer's tiering service, Section III). A log is quiescent when
 // it is sealed, or when its size has not changed since the previous
-// tiering pass (streaming chains stay open but go cold).
+// tiering pass (streaming chains stay open but go cold). Sealed logs
+// demoted between the SSD and HDD tiers are physically migrated: their
+// placement groups move pools, carrying the CRC sidecar and stale
+// accounting verbatim so scrub and repair stay coherent across the
+// move. A migration that fails (e.g. the destination pool is full) is
+// left for the next pass; the accounting-level move stands either way.
 func (l *Lake) RunTiering() ([]tiering.Migration, time.Duration) {
 	if l.tierSizes == nil {
 		l.tierSizes = make(map[plog.ID]int64)
@@ -467,7 +501,30 @@ func (l *Lake) RunTiering() ([]tiering.Migration, time.Duration) {
 			l.tiers.Register(id, info.Size, tiering.SSD)
 		}
 	}
-	return l.tiers.RunOnce()
+	migs, cost := l.tiers.RunOnce()
+	for _, m := range migs {
+		var id int64
+		if _, err := fmt.Sscanf(m.ID, "plog/%d", &id); err != nil {
+			continue
+		}
+		lg := l.logs.Get(plog.ID(id))
+		if lg == nil || !lg.Sealed() {
+			continue // open logs tier by accounting only
+		}
+		var dst *pool.Pool
+		switch m.To {
+		case tiering.HDD:
+			dst = l.hddPool
+		case tiering.SSD:
+			dst = l.ssdPool
+		default:
+			continue // the archive tier has no storage pool behind it
+		}
+		if c, err := lg.Migrate(dst); err == nil {
+			cost += c
+		}
+	}
+	return migs, cost
 }
 
 // ReplicateOffsite ships every tiered item to the remote backup site

@@ -215,6 +215,29 @@ func TestTieringAndReplicationIntegration(t *testing.T) {
 	if len(migs) == 0 || cost <= 0 {
 		t.Fatalf("no migrations after idle window: %+v", migs)
 	}
+	// Migrations are physical, not bookkeeping: the sealed logs' slices
+	// now occupy the HDD pool, and the data still reads back.
+	if used := l.hddPool.Stats().Used; used == 0 {
+		t.Fatal("tiering reported migrations but no bytes moved to the HDD pool")
+	}
+	c := l.Consumer("cold-reader")
+	if err := c.Subscribe("cold"); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for {
+		msgs, _, err := c.Poll(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		got += len(msgs)
+	}
+	if got != 2000 {
+		t.Fatalf("drained %d messages after migration, want 2000", got)
+	}
 	// Off-site replication ships the tiered bytes.
 	n, rcost := l.ReplicateOffsite()
 	if n == 0 || rcost <= 0 {
