@@ -15,12 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"streamlake"
+	"streamlake/internal/lakehouse"
+	"streamlake/internal/plog"
 	"streamlake/internal/pool"
+	"streamlake/internal/sim"
+	"streamlake/internal/streamobj"
 )
 
 type snapshot struct {
@@ -33,6 +38,36 @@ type snapshot struct {
 	Gauges     map[string]float64 `json:"gauges"`
 	Resilience resilience         `json:"resilience"`
 	Cache      cacheBench         `json:"cache"`
+	Speed      speedBench         `json:"speed"`
+}
+
+// speedBench is the hot-path leg: group-commit device-write coalescing,
+// scan-path allocations, and zone-map scan pruning, each against its own
+// seeded lake. Like the cache leg it is self-enforcing — run() fails
+// when a floor is missed, so tier1's benchsnap smoke doubles as the
+// hot-path regression gate.
+type speedBench struct {
+	// Slice-flush device writes for the same seeded append workload,
+	// with group commit off (the pre-group-commit behavior: the legacy
+	// flush path is taken verbatim) and on at 8 slices per commit.
+	GCBaselineWrites int64   `json:"gc_baseline_writes"`
+	GCGroupedWrites  int64   `json:"gc_grouped_writes"`
+	GCReductionX     float64 `json:"gc_reduction_x"`
+	// Heap allocations per operation, measured with runtime.MemStats
+	// around fixed produce and scan loops. ScanAllocsBaseline is the
+	// number the same scan loop measured before the zero-copy read path
+	// and scan-row reuse landed — the denominator of the enforced
+	// reduction.
+	ProduceAllocsPerOp int64   `json:"produce_allocs_per_op"`
+	ScanAllocsPerOp    int64   `json:"scan_allocs_per_op"`
+	ScanAllocsBaseline int64   `json:"scan_allocs_baseline"`
+	ScanAllocsCut      float64 `json:"scan_allocs_cut"`
+	// Files a selective equality query must read, with zone maps off
+	// (every file overlaps the probe by min/max, so none prune) and on
+	// (per-file blooms rule out the non-matching files).
+	PruneFilesOff int     `json:"prune_files_off"`
+	PruneFilesOn  int     `json:"prune_files_on"`
+	PruneCutX     float64 `json:"prune_cut_x"`
 }
 
 // cacheBench is the read-cache leg: a second seeded lake with the
@@ -69,9 +104,9 @@ type resilience struct {
 }
 
 type latency struct {
-	Count int64 `json:"count"`
-	P50Ns int64 `json:"p50_ns"`
-	P99Ns int64 `json:"p99_ns"`
+	Count  int64 `json:"count"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
 	MeanNs int64 `json:"mean_ns"`
 }
 
@@ -203,6 +238,11 @@ func run(smoke bool, out string) error {
 		return err
 	}
 	result.Cache = cb
+	sb, err := speedLeg(smoke)
+	if err != nil {
+		return err
+	}
+	result.Speed = sb
 
 	if out == "" {
 		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
@@ -217,6 +257,9 @@ func run(smoke bool, out string) error {
 	fmt.Printf("benchsnap: %d messages, %d queries -> %s\n", messages, queries, out)
 	fmt.Printf("benchsnap: cache leg cold p99=%dns warm p99=%dns hit rate=%.1f%% plan bytes %d -> %d\n",
 		cb.ColdReadP99Ns, cb.WarmReadP99Ns, cb.HitRate*100, cb.PlanColdBytes, cb.PlanWarmBytes)
+	fmt.Printf("benchsnap: speed leg gc writes %d -> %d (%.1fx), scan allocs/op %d (cut %.0f%%), prune files %d -> %d (%.1fx)\n",
+		sb.GCBaselineWrites, sb.GCGroupedWrites, sb.GCReductionX,
+		sb.ScanAllocsPerOp, sb.ScanAllocsCut*100, sb.PruneFilesOff, sb.PruneFilesOn, sb.PruneCutX)
 	return nil
 }
 
@@ -328,6 +371,206 @@ func cacheLeg(smoke bool) (cacheBench, error) {
 		return cb, fmt.Errorf("cache leg: warm planning read %dB of metadata (cold %dB)", planWarm, planCold)
 	}
 	return cb, nil
+}
+
+// speedLeg benchmarks the three hot-path mechanisms against dedicated
+// lakes and enforces their floors: group commit must at least halve
+// slice-flush device writes, the scan path must hold its allocs/op at
+// least 30% under the pre-zero-copy baseline, and zone maps must cut a
+// selective query's files-read by at least 5x.
+func speedLeg(smoke bool) (speedBench, error) {
+	var sb speedBench
+
+	// Group-commit probe: the same seeded append stream into two stream
+	// object stores, one flushing slice by slice (the pre-group-commit
+	// path, taken verbatim when the feature is off), one coalescing 8
+	// slices per device commit. Only slice flushes write to these pools,
+	// so the write-op delta is the coalescing, isolated.
+	appends := 8 * 1024
+	if smoke {
+		appends = 4 * 1024
+	}
+	gcRun := func(slices int) (int64, error) {
+		clock := sim.NewClock()
+		p := pool.New("speed-gc", clock, sim.NVMeSSD, 6, 64<<20)
+		store := streamobj.NewStore(clock, plog.NewManager(p, 16<<20))
+		if slices > 1 {
+			store.EnableGroupCommit(slices)
+		}
+		o, err := store.Create(streamobj.CreateOptions{Topic: "bench"})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < appends; i++ {
+			r := streamobj.Record{Key: []byte(fmt.Sprintf("k%06d", i)), Value: []byte(fmt.Sprintf("v%06d", i))}
+			if _, _, err := o.Append([]streamobj.Record{r}, "p", int64(i+1)); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := o.Flush(); err != nil {
+			return 0, err
+		}
+		var writes int64
+		for i := 0; i < 6; i++ {
+			writes += p.DiskStats(pool.DiskID(i)).WriteOps
+		}
+		return writes, nil
+	}
+	var err error
+	if sb.GCBaselineWrites, err = gcRun(0); err != nil {
+		return sb, err
+	}
+	if sb.GCGroupedWrites, err = gcRun(8); err != nil {
+		return sb, err
+	}
+	sb.GCReductionX = float64(sb.GCBaselineWrites) / float64(max64(sb.GCGroupedWrites, 1))
+
+	// Allocation probe: allocs per produce and per full-table scan.
+	// 41040 is what this exact scan loop measured before the zero-copy
+	// read path and scan-row reuse (per-row colfile.Row allocation)
+	// landed; the ceiling enforces a ≥30% cut with headroom for runtime
+	// variance.
+	lake, err := streamlake.Open(streamlake.Config{Seed: 7})
+	if err != nil {
+		return sb, err
+	}
+	schema := streamlake.MustSchema("k:string", "v:int64")
+	if err := lake.CreateTable(streamlake.TableMeta{Name: "speed_t", Path: "/speed_t", Schema: schema}); err != nil {
+		return sb, err
+	}
+	rows := make([]streamlake.Row, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		rows = append(rows, streamlake.Row{
+			streamlake.StringValue(fmt.Sprintf("key-%06d", i)),
+			streamlake.IntValue(int64(i)),
+		})
+	}
+	for i := 0; i < len(rows); i += 1000 {
+		if err := lake.Insert("speed_t", rows[i:i+1000]); err != nil {
+			return sb, err
+		}
+	}
+	if err := lake.FlushTable("speed_t"); err != nil {
+		return sb, err
+	}
+	if err := lake.CreateTopic(streamlake.TopicConfig{Name: "speed", StreamNum: 4}); err != nil {
+		return sb, err
+	}
+	prod := lake.Producer("speed-prod")
+	val, err := streamlake.EncodeRow(schema, rows[0])
+	if err != nil {
+		return sb, err
+	}
+	produceOnce := func(i int) error {
+		_, _, err := prod.Send("speed", []byte(fmt.Sprintf("k%d", i%101)), val)
+		return err
+	}
+	plan, _, err := lake.Engine().PlanScan("speed_t", nil)
+	if err != nil {
+		return sb, err
+	}
+	scanOnce := func() error {
+		var n int64
+		if _, _, err := lake.Engine().Scan("speed_t", plan, nil, func(r streamlake.Row) bool { n++; return true }); err != nil {
+			return err
+		}
+		if n != 20000 {
+			return fmt.Errorf("speed leg: scan saw %d rows", n)
+		}
+		return nil
+	}
+	if err := scanOnce(); err != nil { // warm code paths before measuring
+		return sb, err
+	}
+	var m0, m1 runtime.MemStats
+	const produceOps = 2000
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < produceOps; i++ {
+		if err := produceOnce(i); err != nil {
+			return sb, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	sb.ProduceAllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / produceOps
+	const scanOps = 20
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < scanOps; i++ {
+		if err := scanOnce(); err != nil {
+			return sb, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	sb.ScanAllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / scanOps
+	sb.ScanAllocsBaseline = 41040
+	sb.ScanAllocsCut = 1 - float64(sb.ScanAllocsPerOp)/float64(sb.ScanAllocsBaseline)
+
+	// Prune probe: 16 files whose min/max ranges all cover the whole key
+	// space (keys dealt round-robin), probed with an equality predicate
+	// only one file can satisfy — the skewed query zone maps exist for.
+	const pruneFiles, perFile = 16, 200
+	pruneRun := func(zoneMaps bool) (int, error) {
+		l, err := streamlake.Open(streamlake.Config{Seed: 7, ZoneMaps: zoneMaps})
+		if err != nil {
+			return 0, err
+		}
+		if err := l.CreateTable(streamlake.TableMeta{Name: "zm_t", Path: "/zm_t", Schema: schema}); err != nil {
+			return 0, err
+		}
+		for fi := 0; fi < pruneFiles; fi++ {
+			batch := make([]streamlake.Row, 0, perFile)
+			for i := 0; i < perFile; i++ {
+				k := int64(i*pruneFiles + fi)
+				batch = append(batch, streamlake.Row{
+					streamlake.StringValue(fmt.Sprintf("key-%06d", k)),
+					streamlake.IntValue(k),
+				})
+			}
+			if err := l.Insert("zm_t", batch); err != nil {
+				return 0, err
+			}
+		}
+		probe := int64(100*pruneFiles + 5) // mid-range: inside every file's min/max
+		v := streamlake.IntValue(probe)
+		p, _, err := l.Engine().PlanScan("zm_t", []lakehouse.RangeFilter{{Column: "v", Lo: &v, Hi: &v}})
+		if err != nil {
+			return 0, err
+		}
+		return len(p.Files), nil
+	}
+	if sb.PruneFilesOff, err = pruneRun(false); err != nil {
+		return sb, err
+	}
+	if sb.PruneFilesOn, err = pruneRun(true); err != nil {
+		return sb, err
+	}
+	sb.PruneCutX = float64(sb.PruneFilesOff) / float64(maxInt(sb.PruneFilesOn, 1))
+
+	// The floors. Miss any and the snapshot is a hot-path regression.
+	if sb.GCReductionX < 2 {
+		return sb, fmt.Errorf("speed leg: group commit cut device writes %.2fx, floor is 2x (%d -> %d)",
+			sb.GCReductionX, sb.GCBaselineWrites, sb.GCGroupedWrites)
+	}
+	if sb.ScanAllocsPerOp > 28000 {
+		return sb, fmt.Errorf("speed leg: scan allocs/op %d above the 28000 ceiling (baseline %d, ≥30%% cut required)",
+			sb.ScanAllocsPerOp, sb.ScanAllocsBaseline)
+	}
+	if sb.ProduceAllocsPerOp > 64 {
+		return sb, fmt.Errorf("speed leg: produce allocs/op %d above the 64 ceiling (12 at pin time)", sb.ProduceAllocsPerOp)
+	}
+	if sb.PruneCutX < 5 {
+		return sb, fmt.Errorf("speed leg: zone maps cut files-read %.2fx, floor is 5x (%d -> %d)",
+			sb.PruneCutX, sb.PruneFilesOff, sb.PruneFilesOn)
+	}
+	return sb, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func p99ns(durs []time.Duration) int64 {

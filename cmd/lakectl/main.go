@@ -67,9 +67,15 @@ import (
 func main() {
 	oneShot := flag.String("c", "", "run one command and exit")
 	cacheMB := flag.Int("cache", 64, "read cache size in MB (0 disables)")
+	groupCommit := flag.Int("group-commit", 0, "coalesce this many slice flushes per device commit (0/1 disables)")
+	zoneMaps := flag.Bool("zonemaps", false, "record zone maps + bloom filters at insert time for scan pruning")
 	flag.Parse()
 
-	lake, err := streamlake.Open(streamlake.Config{CacheMB: *cacheMB})
+	lake, err := streamlake.Open(streamlake.Config{
+		CacheMB:           *cacheMB,
+		GroupCommitSlices: *groupCommit,
+		ZoneMaps:          *zoneMaps,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -285,6 +291,10 @@ func (s *shell) exec(line string) error {
 		fmt.Printf("topics=%d streamObjects=%d tableFiles=%d logical=%dB physical=%dB util=%.1f%% degradedLogs=%d staleBytes=%dB\n",
 			st.Topics, st.StreamObjects, st.TableFiles, st.LogicalBytes, st.PhysicalBytes,
 			st.PoolUtilization*100, st.DegradedLogs, st.StaleBytes)
+		if gc := s.lake.GroupCommitStats(); gc.Commits > 0 {
+			fmt.Printf("groupCommits=%d payloads=%d savedDeviceWrites=%d\n",
+				gc.Commits, gc.Payloads, gc.SavedDeviceWrites)
+		}
 		return nil
 	case "trace":
 		return s.trace(rest)

@@ -183,10 +183,15 @@ func (c *Cache) SetObs(reg *obs.Registry) {
 	})
 }
 
-// Get looks key up, returning a copy of the cached bytes, the modelled
-// lookup cost (zero for a DRAM hit, one SCM device read for an SCM
-// hit), and whether it hit. An SCM hit promotes the entry back into
-// DRAM's main FIFO — it has proven hot twice.
+// Get looks key up, returning the cached bytes, the modelled lookup
+// cost (zero for a DRAM hit, one SCM device read for an SCM hit), and
+// whether it hit. An SCM hit promotes the entry back into DRAM's main
+// FIFO — it has proven hot twice.
+//
+// Borrow discipline: the returned slice is shared with the cache (and
+// with every other Get of the same key) — callers MUST NOT mutate it.
+// Cached fills are verified reads of immutable log ranges, so sharing
+// is safe and saves a copy on the hot read path.
 func (c *Cache) Get(key string) ([]byte, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -218,7 +223,7 @@ func (c *Cache) Get(key string) ([]byte, time.Duration, bool) {
 		c.stats.DRAMHits++
 		c.metrics.dramHits.Inc()
 	}
-	return append([]byte(nil), e.data...), cost, true
+	return e.data, cost, true
 }
 
 // Contains reports whether key is resident (either tier), without
@@ -235,6 +240,11 @@ func (c *Cache) Contains(key string) bool {
 // probationary small FIFO. Objects larger than the DRAM tier are not
 // admitted. The returned duration is any foreground device cost (none
 // today: DRAM insertion is free and destaging is background busy time).
+//
+// The cache retains data itself — no defensive copy — so the caller
+// must hand over bytes that stay immutable for the entry's lifetime
+// (the fill path passes borrowed slices of append-only PLog streams,
+// which satisfy this by construction).
 func (c *Cache) Put(key string, data []byte) time.Duration {
 	n := int64(len(data))
 	c.mu.Lock()
@@ -250,7 +260,7 @@ func (c *Cache) Put(key string, data []byte) time.Duration {
 		}
 		return 0
 	}
-	e := &entry{key: key, data: append([]byte(nil), data...)}
+	e := &entry{key: key, data: data}
 	if el, ghosted := c.ghost[key]; ghosted {
 		c.ghostQ.Remove(el)
 		delete(c.ghost, key)

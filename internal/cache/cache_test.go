@@ -31,25 +31,21 @@ func TestMissThenHit(t *testing.T) {
 	}
 }
 
-func TestGetReturnsACopy(t *testing.T) {
+// TestGetSharesImmutableBytes pins the zero-copy borrow contract: Get
+// returns the cache's own slice (no per-hit copy), so every hit of one
+// key observes the same backing array. The fill path only inserts
+// verified reads of immutable log ranges, which is what makes sharing
+// safe.
+func TestGetSharesImmutableBytes(t *testing.T) {
 	c := testCache()
 	c.Put("k", []byte("abc"))
 	got, _, _ := c.Get("k")
-	got[0] = 'X'
 	again, _, _ := c.Get("k")
-	if string(again) != "abc" {
-		t.Fatalf("caller mutation leaked into cache: %q", again)
+	if len(got) == 0 || len(again) == 0 || &got[0] != &again[0] {
+		t.Fatal("Get copied the cached bytes; hits should share the fill's slice")
 	}
-}
-
-func TestPutCopiesData(t *testing.T) {
-	c := testCache()
-	src := []byte("abc")
-	c.Put("k", src)
-	src[0] = 'X'
-	got, _, _ := c.Get("k")
 	if string(got) != "abc" {
-		t.Fatalf("fill aliased caller buffer: %q", got)
+		t.Fatalf("got %q", got)
 	}
 }
 

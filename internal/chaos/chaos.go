@@ -63,6 +63,10 @@ type Config struct {
 	// everything-at-once workload. The probes enforce the cache
 	// invariant: a cached read never differs from a device read.
 	Mixed bool
+	// GroupCommit runs the lake with slice group commit on (4 slices per
+	// coalesced device write), so the loss/duplication invariants and the
+	// replay digest are checked over the batched flush path.
+	GroupCommit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,25 +90,26 @@ func (c Config) withDefaults() Config {
 
 // Report is what one chaos run did and what it proved.
 type Report struct {
-	Events     int
-	Produced   int64 // messages acked to producers
-	Consumed   int64 // messages delivered during the run
-	Drained    int64 // messages read back by the final full drain
-	Retries    int64
-	NetDrops   int64
-	Sheds      int64
-	Trips      int64
-	Deadlines  int64
-	Hedged     int64
-	HedgeWins  int64
-	DiskKills  int
-	Corrupted  int
-	TableRows  int64 // rows committed to the lakehouse table (Mixed runs)
-	Coherence  int   // cached-vs-device read probes executed (Mixed runs)
-	CacheHits  int64 // read-cache hits across both tiers at run end
-	ReadP99    time.Duration // plog read latency p99 at run end
-	Digest     uint64        // FNV-1a over the run's observable outcome
-	Violations []string      // empty on a clean run
+	Events       int
+	Produced     int64 // messages acked to producers
+	Consumed     int64 // messages delivered during the run
+	Drained      int64 // messages read back by the final full drain
+	Retries      int64
+	NetDrops     int64
+	Sheds        int64
+	Trips        int64
+	Deadlines    int64
+	Hedged       int64
+	HedgeWins    int64
+	DiskKills    int
+	Corrupted    int
+	TableRows    int64         // rows committed to the lakehouse table (Mixed runs)
+	Coherence    int           // cached-vs-device read probes executed (Mixed runs)
+	GroupCommits int64         // coalesced slice commits (GroupCommit runs)
+	CacheHits    int64         // read-cache hits across both tiers at run end
+	ReadP99      time.Duration // plog read latency p99 at run end
+	Digest       uint64        // FNV-1a over the run's observable outcome
+	Violations   []string      // empty on a clean run
 }
 
 const topic = "chaos"
@@ -124,13 +129,17 @@ func RunDegraded(cfg Config, extra time.Duration) (Report, error) { return run(c
 
 func run(cfg Config, degrade time.Duration) (Report, error) {
 	cfg = cfg.withDefaults()
-	lake, err := streamlake.Open(streamlake.Config{
+	lakeCfg := streamlake.Config{
 		Workers:        cfg.Workers,
 		Seed:           cfg.Seed,
 		PLogCapacity:   1 << 20,
 		DisableHedging: !cfg.Hedging,
 		CacheMB:        cfg.CacheMB,
-	})
+	}
+	if cfg.GroupCommit {
+		lakeCfg.GroupCommitSlices = 4
+	}
+	lake, err := streamlake.Open(lakeCfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -601,6 +610,9 @@ func (h *harness) report() Report {
 		cs := c.Stats()
 		r.CacheHits = cs.DRAMHits + cs.SCMHits
 	}
+	if h.cfg.GroupCommit {
+		r.GroupCommits = h.lake.GroupCommitStats().Commits
+	}
 	r.Digest = h.digest(r)
 	return r
 }
@@ -619,6 +631,9 @@ func (h *harness) digest(r Report) uint64 {
 	}
 	if h.cfg.CacheMB > 0 {
 		w("cacheHits=%d;", r.CacheHits)
+	}
+	if h.cfg.GroupCommit {
+		w("groupCommits=%d;", r.GroupCommits)
 	}
 	streams := make([]int, 0, len(h.acked))
 	for s := range h.acked {

@@ -136,3 +136,40 @@ func TestMixedWorkloadCacheCoherence(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCommitChaos: the batched flush path under faults. With group
+// commit on (4 slices per coalesced device write), a long two-stream
+// schedule with disk kills must ack-and-keep every write, actually
+// exercise coalesced commits, and replay bit-identically. (The schedule
+// is 10x the default length so streams buffer past the group trigger;
+// at this length random corruption would overwhelm 3x replication
+// between scrub passes — an injector limit, not a flush-path property —
+// so this run stresses disk death only.)
+func TestGroupCommitChaos(t *testing.T) {
+	cfg := Config{
+		Seed:        5,
+		Events:      4000,
+		Streams:     2,
+		DiskKills:   true,
+		GroupCommit: true,
+	}
+	rep, same, err := RunWithReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("group-commit replay diverged (digest %x)", rep.Digest)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if rep.GroupCommits == 0 {
+		t.Fatalf("schedule never reached the group-commit trigger: %+v", rep)
+	}
+	if rep.DiskKills == 0 {
+		t.Fatalf("no disks died; the run proved nothing about faulted batches: %+v", rep)
+	}
+	if rep.Drained < rep.Produced {
+		t.Fatalf("acked writes lost through the batched path: %+v", rep)
+	}
+}

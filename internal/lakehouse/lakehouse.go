@@ -34,6 +34,11 @@ type Options struct {
 	// MetaFresher folds the cache into persistent metadata when it
 	// fills. Zero means 64.
 	FlushEvery int
+	// ZoneMaps records per-row-group min/max values and per-column
+	// bloom filters in data-file metadata at insert time; planning
+	// consults them to prune files before any device read. Off by
+	// default (the stats encoding changes when on).
+	ZoneMaps bool
 }
 
 // Engine executes lakehouse operations over a file store and catalog.
@@ -110,6 +115,7 @@ func (e *Engine) CreateTable(meta tableobj.TableMeta) (time.Duration, error) {
 	if err != nil {
 		return cost, err
 	}
+	tbl.SetZoneMaps(e.opts.ZoneMaps)
 	e.mu.Lock()
 	e.tables[meta.Name] = &tableState{tbl: tbl}
 	e.mu.Unlock()
@@ -126,6 +132,7 @@ func (e *Engine) state(name string) (*tableState, error) {
 	if err != nil {
 		return nil, err
 	}
+	tbl.SetZoneMaps(e.opts.ZoneMaps)
 	st := &tableState{tbl: tbl}
 	e.tables[name] = st
 	return st, nil

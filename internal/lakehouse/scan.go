@@ -19,6 +19,8 @@ type scanMetrics struct {
 	skippedBytes *obs.Counter
 	plans        *obs.Counter
 	prunedFiles  *obs.Counter
+	zonePruned   *obs.Counter
+	bloomPruned  *obs.Counter
 	scanLat      *obs.Histogram
 }
 
@@ -33,6 +35,8 @@ func (e *Engine) SetObs(reg *obs.Registry) {
 		skippedBytes: reg.Counter("lakehouse_scan_skipped_bytes_total"),
 		plans:        reg.Counter("lakehouse_plans_total"),
 		prunedFiles:  reg.Counter("lakehouse_pruned_files_total"),
+		zonePruned:   reg.Counter("lakehouse_zone_pruned_files_total"),
+		bloomPruned:  reg.Counter("lakehouse_bloom_pruned_files_total"),
 		scanLat:      reg.Histogram("lakehouse_scan_seconds"),
 	}
 	e.mu.Unlock()
@@ -58,6 +62,13 @@ type Plan struct {
 	MetadataBytes int64
 	// SkippedFiles counts files pruned by statistics.
 	SkippedFiles int
+	// ZonePrunedFiles counts the SkippedFiles subset pruned only by zone
+	// maps: the file-level range overlapped the predicate but no single
+	// row group's did.
+	ZonePrunedFiles int
+	// BloomPrunedFiles counts the SkippedFiles subset pruned only by a
+	// bloom filter on an equality predicate.
+	BloomPrunedFiles int
 	// TotalFiles is the table's current file count.
 	TotalFiles int
 }
@@ -87,6 +98,8 @@ func (e *Engine) PlanScan(name string, filters []RangeFilter) (Plan, time.Durati
 		e.mu.Unlock()
 		m.plans.Inc()
 		m.prunedFiles.Add(int64(plan.SkippedFiles))
+		m.zonePruned.Add(int64(plan.ZonePrunedFiles))
+		m.bloomPruned.Add(int64(plan.BloomPrunedFiles))
 	}
 	return plan, cost, err
 }
@@ -109,11 +122,7 @@ func (e *Engine) planAccelerated(st *tableState, filters []RangeFilter) (Plan, t
 			continue
 		}
 		plan.TotalFiles++
-		if fileMatches(st.tbl.Schema(), f, filters) {
-			plan.Files = append(plan.Files, f)
-		} else {
-			plan.SkippedFiles++
-		}
+		plan.admit(st.tbl.Schema(), f, filters)
 	}
 	// Only the matched entries reach the compute engine.
 	plan.MetadataBytes = int64(len(plan.Files)) * fileMetaBytes
@@ -195,11 +204,7 @@ func (e *Engine) planFileBased(st *tableState, filters []RangeFilter) (Plan, tim
 			f.Min = append(f.Min, lo)
 			f.Max = append(f.Max, hi)
 		}
-		if fileMatches(schema, f, filters) {
-			plan.Files = append(plan.Files, f)
-		} else {
-			plan.SkippedFiles++
-		}
+		plan.admit(schema, f, filters)
 	}
 	// The whole listing plus every footer passed through compute memory.
 	plan.MetadataBytes = int64(len(paths)) * fileMetaBytes * 4
@@ -214,9 +219,40 @@ func partitionOf(path string) string {
 	return ""
 }
 
-func fileMatches(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilter) bool {
+// admit routes one file into the plan or the skip counters, attributing
+// zone-map and bloom prunes separately from file-level range prunes.
+func (p *Plan) admit(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilter) {
+	switch filePrune(schema, f, filters) {
+	case pruneNone:
+		p.Files = append(p.Files, f)
+	case pruneRange:
+		p.SkippedFiles++
+	case pruneZone:
+		p.SkippedFiles++
+		p.ZonePrunedFiles++
+	case pruneBloom:
+		p.SkippedFiles++
+		p.BloomPrunedFiles++
+	}
+}
+
+type pruneReason int
+
+const (
+	pruneNone  pruneReason = iota
+	pruneRange             // file-level min/max (or an empty file) excludes the predicate
+	pruneZone              // file range overlaps, but no row group's range does
+	pruneBloom             // ranges overlap, but the bloom filter rules out an equality probe
+)
+
+// filePrune decides whether the file's statistics exclude the filters,
+// consulting (in escalating precision) the file-level value ranges, the
+// per-row-group zone maps, and the per-column bloom filters for
+// equality predicates. Files written without zone maps carry neither
+// zones nor blooms and behave exactly as before.
+func filePrune(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilter) pruneReason {
 	if f.Rows == 0 {
-		return false
+		return pruneRange
 	}
 	for _, flt := range filters {
 		c := schema.FieldIndex(flt.Column)
@@ -224,10 +260,39 @@ func fileMatches(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilt
 			continue
 		}
 		if !f.Overlaps(c, flt.Lo, flt.Hi) {
-			return false
+			return pruneRange
+		}
+		if len(f.Zones) > 0 && !zonesOverlap(f.Zones, c, flt.Lo, flt.Hi) {
+			return pruneZone
+		}
+		if flt.Lo != nil && flt.Hi != nil && colfile.Compare(*flt.Lo, *flt.Hi) == 0 &&
+			c < len(f.Blooms) && !f.Blooms[c].MayContain(*flt.Lo) {
+			return pruneBloom
 		}
 	}
-	return true
+	return pruneNone
+}
+
+// zonesOverlap reports whether any row group's range for column c can
+// intersect [lo, hi].
+func zonesOverlap(zones []tableobj.ZoneMap, c int, lo, hi *colfile.Value) bool {
+	for _, z := range zones {
+		if c >= len(z.Min) {
+			return true // no stats for the column: cannot skip
+		}
+		if lo != nil && colfile.Compare(z.Max[c], *lo) < 0 {
+			continue
+		}
+		if hi != nil && colfile.Compare(z.Min[c], *hi) > 0 {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func fileMatches(schema colfile.Schema, f tableobj.DataFile, filters []RangeFilter) bool {
+	return filePrune(schema, f, filters) == pruneNone
 }
 
 func rowMatches(schema colfile.Schema, row colfile.Row, filters []RangeFilter) bool {
@@ -249,7 +314,9 @@ func rowMatches(schema colfile.Schema, row colfile.Row, filters []RangeFilter) b
 // Scan reads the planned files and streams matching rows to fn,
 // skipping row groups whose statistics exclude the filters (data
 // skipping within the file) and returning the modelled read latency
-// plus the bytes actually read vs skipped.
+// plus the bytes actually read vs skipped. The row passed to fn is a
+// reused buffer, valid only for the duration of the callback: retain a
+// copy, not the row itself.
 func (e *Engine) Scan(name string, plan Plan, filters []RangeFilter, fn func(colfile.Row) bool) (ScanStats, time.Duration, error) {
 	st, err := e.state(name)
 	if err != nil {
@@ -268,6 +335,7 @@ func (e *Engine) Scan(name string, plan Plan, filters []RangeFilter, fn func(col
 		m.skippedBytes.Add(stats.SkippedBytes)
 		m.scanLat.Observe(cost)
 	}()
+	var row colfile.Row // reused across rows; fn must not retain it
 	for _, f := range plan.Files {
 		blob, rc, err := e.fs.Read(f.Path)
 		if err != nil {
@@ -289,8 +357,10 @@ func (e *Engine) Scan(name string, plan Plan, filters []RangeFilter, fn func(col
 			if err != nil {
 				return stats, cost, err
 			}
+			if len(row) != len(cols) {
+				row = make(colfile.Row, len(cols))
+			}
 			for i := 0; i < r.GroupRows(g); i++ {
-				row := make(colfile.Row, len(cols))
 				for c := range cols {
 					row[c] = cols[c][i]
 				}

@@ -121,6 +121,11 @@ type PLog struct {
 	slices []*pool.Slice
 	buf    []byte
 	sealed bool
+	// destroyed is set by Manager.Destroy under mu. A destroyed log's
+	// slices have been freed; late operations that raced the destroy
+	// (a tiering migrate holding a stale pointer, a straggler append)
+	// must fail deterministically instead of touching freed slices.
+	destroyed bool
 	// stale maps a placement-slice index to the logical bytes that copy
 	// (or shard column) is missing after degraded writes. A stale slice
 	// never serves reads and is the repair service's work queue.
@@ -168,6 +173,8 @@ type logMetrics struct {
 	repairedBytes  *obs.Counter
 	hedged         *obs.Counter // reads that issued a hedge request
 	hedgeWins      *obs.Counter // hedges that beat the primary
+	groupCommits   *obs.Counter // coalesced AppendBatch commits
+	groupPayloads  *obs.Counter // payloads folded into coalesced commits
 }
 
 // ID returns the log's identifier.
@@ -303,11 +310,27 @@ func (l *PLog) AppendSpan(data []byte, sp *obs.Span) (offset int64, cost time.Du
 // surviving shards. When placement disks have failed, fallen stale, or
 // been found corrupt it degrades the same way, and returns
 // ErrUnavailable only when the policy's fault tolerance is exceeded —
-// corrupt bytes are never returned while verification is on. The
-// returned slice is a copy; callers may mutate it freely without
-// corrupting the log.
+// corrupt bytes are never returned while verification is on.
+//
+// Borrow discipline: the returned slice is a read-only borrow of the
+// log's immutable byte stream (or of a shared cache entry) — callers
+// MUST NOT mutate it. The log is append-only and the slice is
+// capacity-capped, so the borrow stays valid and stable forever, even
+// across concurrent appends, seals and migrations; verified extent
+// bytes flow to the gateway and query scan with zero intermediate
+// copies. A caller that needs a private, mutable buffer uses ReadCopy.
 func (l *PLog) Read(offset, n int64) (data []byte, cost time.Duration, err error) {
 	data, cost, _, err = l.readThrough(offset, n)
+	return data, cost, err
+}
+
+// ReadCopy is Read returning a private copy the caller may mutate
+// freely — the explicit-copy escape hatch of the borrow discipline.
+func (l *PLog) ReadCopy(offset, n int64) (data []byte, cost time.Duration, err error) {
+	data, cost, err = l.Read(offset, n)
+	if data != nil {
+		data = append([]byte(nil), data...)
+	}
 	return data, cost, err
 }
 
@@ -466,7 +489,9 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 			if saved := l.hedgeLocked(i, offset, n, d, verify); saved > 0 {
 				cost -= saved
 			}
-			return append([]byte(nil), l.buf[offset:offset+n]...), cost, nil
+			// Zero-copy borrow: buf is append-only, so this full-capped
+			// subslice stays valid and immutable even as the log grows.
+			return l.buf[offset : offset+n : offset+n], cost, nil
 		}
 		if lastErr == nil {
 			lastErr = errors.New("all replicas stale")
@@ -518,7 +543,8 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 			l.integ.FallbackReads++
 			l.imu.Unlock()
 		}
-		return append([]byte(nil), l.buf[offset:offset+n]...), cost, nil
+		// Zero-copy borrow: see the Replicate branch.
+		return l.buf[offset : offset+n : offset+n], cost, nil
 	}
 	return nil, 0, fmt.Errorf("plog: unknown redundancy kind %d", l.red.Kind)
 }
@@ -767,6 +793,8 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 		repairedBytes:  reg.Counter("plog_repaired_bytes_total"),
 		hedged:         reg.Counter("plog_hedged_reads_total"),
 		hedgeWins:      reg.Counter("plog_hedge_wins_total"),
+		groupCommits:   reg.Counter("plog_group_commits_total"),
+		groupPayloads:  reg.Counter("plog_group_commit_payloads_total"),
 	}
 	if reg == nil {
 		return
@@ -843,8 +871,15 @@ func (m *Manager) Destroy(id ID) error {
 	}
 	// Free from the log's own pool, not the manager's: a tiering
 	// migration may have moved the placement group to another pool,
-	// whose slice ids the manager's pool knows nothing about.
+	// whose slice ids the manager's pool knows nothing about. Sealing
+	// and marking the log destroyed under the same critical section
+	// makes every operation that raced the destroy deterministic: late
+	// appends see ErrSealed (and the shard space rolls a fresh log), a
+	// tiering migrate holding a stale pointer refuses to run instead of
+	// re-homing freed slices onto a new pool and leaking them.
 	l.mu.Lock()
+	l.sealed = true
+	l.destroyed = true
 	slices, lp := l.slices, l.pool
 	l.mu.Unlock()
 	for _, s := range slices {

@@ -360,7 +360,15 @@ func TestRepairStaleRelocatesFromDeadDisk(t *testing.T) {
 	}
 }
 
-func TestReadReturnsCopy(t *testing.T) {
+// TestReadBorrowDiscipline pins the zero-copy read contract: Read
+// returns a read-only borrow of the log's byte stream (two reads of the
+// same range share a backing array, and the borrow stays intact across
+// later appends), while ReadCopy is the escape hatch for callers that
+// must mutate — its buffer is private, so scribbling on it cannot
+// corrupt the log. A caller violating the borrow contract WOULD corrupt
+// subsequent reads, which is exactly what makes the no-copy hot path
+// measurable; the mutation audit keeps all in-tree callers read-only.
+func TestReadBorrowDiscipline(t *testing.T) {
 	m := newManager(t, 3)
 	l, _ := m.Create(ReplicateN(2))
 	l.Append([]byte("immutable"))
@@ -368,10 +376,37 @@ func TestReadReturnsCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got[0] = 'X'
 	again, _, err := l.Read(0, 9)
-	if err != nil || string(again) != "immutable" {
-		t.Fatalf("mutating a read corrupted the log: %q %v", again, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &again[0] {
+		t.Fatal("Read copied; reads of one range should share the log's buffer")
+	}
+	// The borrow is full-capped: an append through it cannot land in the
+	// log's live buffer.
+	if cap(got) != len(got) {
+		t.Fatalf("borrow not capacity-capped: len=%d cap=%d", len(got), cap(got))
+	}
+	// Appends after the borrow leave it intact (the logical stream is
+	// append-only; a growth reallocation copies, never overwrites).
+	for i := 0; i < 64; i++ {
+		if _, _, err := l.Append([]byte("growgrowgrowgrow")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "immutable" {
+		t.Fatalf("borrow invalidated by later appends: %q", got)
+	}
+	// ReadCopy callers may mutate freely.
+	cp, _, err := l.ReadCopy(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp[0] = 'X'
+	final, _, err := l.Read(0, 9)
+	if err != nil || string(final) != "immutable" {
+		t.Fatalf("mutating a ReadCopy corrupted the log: %q %v", final, err)
 	}
 }
 

@@ -25,6 +25,14 @@ func (l *PLog) Migrate(dst *pool.Pool) (time.Duration, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.destroyed {
+		// The log was destroyed between enumeration and migration (a
+		// reclaim draining the stream while tiering held a stale
+		// pointer): its slices are already freed. Migrating would
+		// allocate a fresh placement group nothing tracks — a leak —
+		// and free already-freed slice ids. Refuse deterministically.
+		return 0, fmt.Errorf("plog: migrate log %d: log destroyed", l.id)
+	}
 	if l.pool == dst {
 		return 0, nil
 	}

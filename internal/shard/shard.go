@@ -159,6 +159,98 @@ func (sp *Space) Append(s ID, data []byte) (Loc, time.Duration, error) {
 func (sp *Space) AppendSpan(s ID, data []byte, parent *obs.Span) (Loc, time.Duration, error) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
+	return sp.appendOneLocked(s, data, parent)
+}
+
+// AppendBatch persists several payloads in shard s as one group commit:
+// every payload keeps its own offset and extent (so reads, checksums,
+// and replay are indistinguishable from individual appends) but the
+// whole batch costs one device write per placement copy
+// (plog.AppendBatch). The chain rolls like AppendSpan; a batch too
+// large even for a fresh log falls back to payload-at-a-time appends,
+// which can split it across the roll. Locs are returned in payload
+// order.
+func (sp *Space) AppendBatch(s ID, payloads [][]byte, parent *obs.Span) ([]Loc, time.Duration, error) {
+	if len(payloads) == 0 {
+		return nil, 0, nil
+	}
+	if len(payloads) == 1 {
+		loc, cost, err := sp.AppendSpan(s, payloads[0], parent)
+		if err != nil {
+			return nil, 0, err
+		}
+		return []Loc{loc}, cost, nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	l := sp.open[s]
+	if l == nil {
+		nl, err := sp.mgr.Create(sp.red)
+		if err != nil {
+			return nil, 0, err
+		}
+		l = nl
+		sp.open[s] = l
+		sp.chains[s] = append(sp.chains[s], l.ID())
+	}
+	var span *obs.Span
+	if parent != nil {
+		span = parent.Child("plog.append")
+		span.SetAttr("shard", strconv.Itoa(int(s)))
+		span.SetAttr("batch", strconv.Itoa(len(payloads)))
+	}
+	offs, cost, err := l.AppendBatch(payloads, span)
+	if err == plog.ErrFull || err == plog.ErrSealed {
+		l.Seal()
+		nl, cerr := sp.mgr.Create(sp.red)
+		if cerr != nil {
+			return nil, 0, cerr
+		}
+		sp.open[s] = nl
+		sp.chains[s] = append(sp.chains[s], nl.ID())
+		l = nl
+		offs, cost, err = l.AppendBatch(payloads, span)
+	}
+	if err == plog.ErrFull {
+		// The batch overflows even a fresh log: coalescing is off the
+		// table, so fall back to one append per payload (splitting
+		// across the chain as each log fills). parent is reused so each
+		// append traces as its own plog.append child.
+		if span != nil {
+			span.End(0)
+		}
+		locs := make([]Loc, len(payloads))
+		var total time.Duration
+		for i, p := range payloads {
+			loc, c, aerr := sp.appendOneLocked(s, p, parent)
+			if aerr != nil {
+				return nil, total, aerr
+			}
+			locs[i] = loc
+			if c > total {
+				total = c
+			}
+		}
+		return locs, total, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if span != nil {
+		span.SetAttr("log", strconv.FormatInt(int64(l.ID()), 10))
+		span.End(cost)
+		parent.Advance(cost)
+	}
+	locs := make([]Loc, len(payloads))
+	for i, off := range offs {
+		locs[i] = Loc{Shard: s, Log: l.ID(), Offset: off, Len: int32(len(payloads[i]))}
+	}
+	return locs, cost, nil
+}
+
+// appendOneLocked is AppendSpan's body with sp.mu already held — the
+// oversized-batch fallback path of AppendBatch.
+func (sp *Space) appendOneLocked(s ID, data []byte, parent *obs.Span) (Loc, time.Duration, error) {
 	l := sp.open[s]
 	if l == nil {
 		nl, err := sp.mgr.Create(sp.red)

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/kv"
@@ -100,6 +102,31 @@ type Store struct {
 	objects map[ObjectID]*Object
 	nextID  ObjectID
 	metrics storeMetrics
+
+	// gc is the optional group-commit coordinator (see
+	// plog.GroupCommitter): when set, full-slice flushes are deferred
+	// until its target count is buffered and folded into one coalesced
+	// PLog commit. Atomic so flush paths read it without the store lock.
+	gc atomic.Pointer[plog.GroupCommitter]
+}
+
+// EnableGroupCommit installs a group-commit coordinator folding up to
+// `slices` full-slice flushes into one coalesced PLog commit per
+// placement group. Values below 2 remove the coordinator (one device
+// commit per slice, the legacy path). Call at wiring time; flipping it
+// mid-traffic is safe but makes flush timing config-dependent.
+func (s *Store) EnableGroupCommit(slices int) {
+	if slices > 1 {
+		s.gc.Store(plog.NewGroupCommitter(slices))
+	} else {
+		s.gc.Store(nil)
+	}
+}
+
+// GroupCommitStats snapshots the group-commit coordinator's counters;
+// zeros when group commit is off.
+func (s *Store) GroupCommitStats() plog.GroupCommitStats {
+	return s.gc.Load().Stats()
 }
 
 // storeMetrics is the stream-object layer's obs instrument set; wired
@@ -107,8 +134,8 @@ type Store struct {
 type storeMetrics struct {
 	flushes       *obs.Counter // slices persisted into PLogs
 	flushBytes    *obs.Counter
-	dedupAcks     *obs.Counter // duplicate batches re-acked without appending
-	flushDeferred *obs.Counter // slice flushes deferred by storage errors
+	dedupAcks     *obs.Counter   // duplicate batches re-acked without appending
+	flushDeferred *obs.Counter   // slice flushes deferred by storage errors
 	ackLat        *obs.Histogram // per-batch ack (journal/SCM) latency
 }
 
@@ -350,10 +377,22 @@ func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *o
 	// the open buffer for the next flush attempt — because failing here
 	// after part of the batch became visible would make a retry
 	// double-append the rest.
-	for len(o.buf) >= SliceRecords {
-		if _, err := o.flushChunkLocked(SliceRecords, sp); err != nil {
-			o.store.metrics.flushDeferred.Inc()
-			break
+	if g := o.store.gc.Load(); g != nil {
+		// Group commit: full slices wait until the coordinator's target
+		// count is buffered, then fold into one coalesced PLog commit.
+		// Deferral risks nothing — the records are journal-durable and
+		// readable from the open buffer while they wait.
+		if len(o.buf) >= g.Target()*SliceRecords {
+			if _, err := o.flushGroupLocked(sp); err != nil {
+				o.store.metrics.flushDeferred.Inc()
+			}
+		}
+	} else {
+		for len(o.buf) >= SliceRecords {
+			if _, err := o.flushChunkLocked(SliceRecords, sp); err != nil {
+				o.store.metrics.flushDeferred.Inc()
+				break
+			}
 		}
 	}
 	derr := rc.Charge(cost)
@@ -407,6 +446,20 @@ func (o *Object) takeTokens(n int) error {
 func (o *Object) Flush() (time.Duration, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.store.gc.Load() != nil {
+		// Group commit drains the whole buffer — full slices plus the
+		// short tail — as one coalesced PLog commit.
+		var counts []int
+		for rem := len(o.buf); rem > 0; {
+			n := rem
+			if n > SliceRecords {
+				n = SliceRecords
+			}
+			counts = append(counts, n)
+			rem -= n
+		}
+		return o.flushBatchLocked(counts, nil)
+	}
 	var total time.Duration
 	for len(o.buf) > 0 {
 		n := len(o.buf)
@@ -433,7 +486,8 @@ func (o *Object) flushChunkLocked(n int, sp *obs.Span) (time.Duration, error) {
 		n = len(o.buf)
 	}
 	chunk := o.buf[:n]
-	data := encodeSlice(chunk)
+	bp := sliceBufPool.Get().(*[]byte)
+	data := encodeSliceInto((*bp)[:0], chunk)
 	// Figure 4 a-d: the object is assigned to a logical shard by hashing
 	// topic and object id; the shard persists its slices through a chain
 	// of PLogs. Hashing the slice position here instead would give every
@@ -450,12 +504,18 @@ func (o *Object) flushChunkLocked(n int, sp *obs.Span) (time.Duration, error) {
 		fsp = sp.Child("slice.flush")
 	}
 	loc, cost, err := o.space.AppendSpan(sh, data, fsp)
+	// The PLog copies the payload into its logical stream and computes
+	// sidecar checksums within the append, so the encode buffer is dead
+	// the moment the call returns — success or not — and can be recycled.
+	encoded := int64(len(data))
+	*bp = data[:0]
+	sliceBufPool.Put(bp)
 	if err != nil {
 		return 0, err
 	}
 	fsp.End(cost)
 	o.store.metrics.flushes.Inc()
-	o.store.metrics.flushBytes.Add(int64(len(data)))
+	o.store.metrics.flushBytes.Add(encoded)
 	entry := sliceEntry{base: o.bufBase, count: n, loc: loc}
 	o.slices = append(o.slices, entry)
 	// Persist the slice index in the KV store (the PLog lookup index).
@@ -469,6 +529,83 @@ func (o *Object) flushChunkLocked(n int, sp *obs.Span) (time.Duration, error) {
 	}
 	o.bufBase += int64(n)
 	o.buf = append(o.buf[:0:0], o.buf[n:]...)
+	if len(o.buf) == 0 {
+		o.buf = nil
+	}
+	return cost, nil
+}
+
+// flushGroupLocked persists every full slice currently buffered as one
+// coalesced PLog commit. The short tail (if any) stays in the open
+// buffer for the next group or an explicit Flush.
+func (o *Object) flushGroupLocked(sp *obs.Span) (time.Duration, error) {
+	counts := make([]int, 0, len(o.buf)/SliceRecords)
+	for rem := len(o.buf); rem >= SliceRecords; rem -= SliceRecords {
+		counts = append(counts, SliceRecords)
+	}
+	return o.flushBatchLocked(counts, sp)
+}
+
+// flushBatchLocked persists the oldest buffered records as len(counts)
+// consecutive slices folded into ONE device commit per placement copy
+// (plog.AppendBatch): each slice keeps its own payload, CRC sidecar,
+// index entry, and SCM-cache entry — only the device write ops
+// coalesce. On error nothing is persisted and the records stay buffered
+// and visible, exactly like flushChunkLocked.
+func (o *Object) flushBatchLocked(counts []int, sp *obs.Span) (time.Duration, error) {
+	if len(counts) == 0 {
+		return 0, nil
+	}
+	if len(counts) == 1 {
+		return o.flushChunkLocked(counts[0], sp)
+	}
+	payloads := make([][]byte, len(counts))
+	bufs := make([]*[]byte, len(counts))
+	start := 0
+	for i, n := range counts {
+		bufs[i] = sliceBufPool.Get().(*[]byte)
+		payloads[i] = encodeSliceInto((*bufs[i])[:0], o.buf[start:start+n])
+		start += n
+	}
+	sh := shard.ForKey([]byte(fmt.Sprintf("%s/%d", o.opts.Topic, o.id)))
+	var fsp *obs.Span
+	if sp != nil {
+		fsp = sp.Child("slice.flush")
+		fsp.SetAttr("group", strconv.Itoa(len(counts)))
+	}
+	locs, cost, err := o.space.AppendBatch(sh, payloads, fsp)
+	encoded := make([]int64, len(payloads))
+	for i, p := range payloads {
+		encoded[i] = int64(len(p))
+		*bufs[i] = p[:0]
+		sliceBufPool.Put(bufs[i])
+	}
+	if err != nil {
+		return 0, err
+	}
+	fsp.End(cost)
+	o.store.gc.Load().Note(len(counts), o.opts.Redundancy.Width())
+	start = 0
+	for i, n := range counts {
+		chunk := o.buf[start : start+n]
+		o.store.metrics.flushes.Inc()
+		o.store.metrics.flushBytes.Add(encoded[i])
+		o.slices = append(o.slices, sliceEntry{base: o.bufBase, count: n, loc: locs[i]})
+		key := fmt.Sprintf("sobj/%d/%020d", o.id, o.bufBase)
+		_, perr := o.store.index.Put([]byte(key), encodeLoc(locs[i], n))
+		if o.opts.SCMCache {
+			o.cacheSlice(o.bufBase, chunk)
+		}
+		o.bufBase += int64(n)
+		start += n
+		if perr != nil {
+			// This chunk is persisted and tracked in o.slices; trim
+			// through it so a retry can't double-flush, then surface.
+			o.buf = append(o.buf[:0:0], o.buf[start:]...)
+			return cost, perr
+		}
+	}
+	o.buf = append(o.buf[:0:0], o.buf[start:]...)
 	if len(o.buf) == 0 {
 		o.buf = nil
 	}
@@ -697,8 +834,18 @@ func (o *Object) Stats() Stats {
 // Slice wire format: count, then per record key/value lengths and bytes
 // plus the timestamp. Offsets are implicit from the slice base.
 
-func encodeSlice(recs []Record) []byte {
-	var out []byte
+// sliceBufPool recycles slice-encode buffers. A payload is copied into
+// the PLog's logical stream (and checksummed) within the append call,
+// so the encode buffer is dead the moment the append returns and the
+// next flush can reuse it instead of allocating.
+var sliceBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+func encodeSlice(recs []Record) []byte { return encodeSliceInto(nil, recs) }
+
+func encodeSliceInto(out []byte, recs []Record) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(len(recs)))
 	out = append(out, tmp[:n]...)
@@ -732,14 +879,19 @@ func decodeSlice(data []byte, base int64) ([]Record, error) {
 			return nil, errors.New("streamobj: truncated key")
 		}
 		data = data[sz:]
-		key := append([]byte(nil), data[:kl]...)
+		// Zero-copy borrow: the key and value alias the slice buffer —
+		// either a read-only borrow of the PLog's logical stream or the
+		// object's SCM-cached copy, both immutable — so decoding a slice
+		// allocates only the Record headers, never the payload bytes.
+		// Full-capped so an append on a Record can't scribble on the log.
+		key := data[:kl:kl]
 		data = data[kl:]
 		vl, sz := binary.Uvarint(data)
 		if sz <= 0 || uint64(len(data)-sz) < vl {
 			return nil, errors.New("streamobj: truncated value")
 		}
 		data = data[sz:]
-		val := append([]byte(nil), data[:vl]...)
+		val := data[:vl:vl]
 		data = data[vl:]
 		ts, sz := binary.Varint(data)
 		if sz <= 0 {

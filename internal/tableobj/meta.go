@@ -19,6 +19,22 @@ type DataFile struct {
 	Rows      int64
 	Bytes     int64
 	Min, Max  []colfile.Value // aligned with the table schema
+
+	// Zones are optional per-row-group value ranges (zone maps): finer
+	// statistics than Min/Max that let planning prune a file when no
+	// single row group can satisfy a predicate, even though the file's
+	// overall range overlaps it. Empty on files written without zone
+	// maps enabled.
+	Zones []ZoneMap
+	// Blooms are optional per-column membership filters consulted by
+	// equality predicates; nil entries mean no filter for that column.
+	Blooms []*Bloom
+}
+
+// ZoneMap is one row group's per-column value range, aligned with the
+// table schema.
+type ZoneMap struct {
+	Min, Max []colfile.Value
 }
 
 // Overlaps reports whether the file's value range for column c can
@@ -69,37 +85,115 @@ type Snapshot struct {
 var commitSchema = colfile.MustSchema(
 	"op:string", "path:string", "partition:string", "rows:int64", "bytes:int64", "stats:string")
 
-func encodeStats(min, max []colfile.Value) string {
+// statsV2Marker introduces the extended stats encoding (zone maps and
+// bloom filters appended after the legacy min/max pairs). The legacy
+// encoding starts with a uvarint column count, whose first byte is 0xFF
+// only for a multi-byte count of 127+ columns — no real schema — so the
+// marker is unambiguous. Files with no zones and no blooms keep the
+// legacy encoding byte-for-byte, which keeps metadata (and replay
+// digests) identical when zone maps are off.
+const statsV2Marker = 0xFF
+
+func encodeStats(f DataFile) string {
 	var buf []byte
-	buf = binary.AppendUvarint(buf, uint64(len(min)))
-	for i := range min {
-		buf = colfile.AppendValue(buf, min[i])
-		buf = colfile.AppendValue(buf, max[i])
+	v2 := len(f.Zones) > 0 || len(f.Blooms) > 0
+	if v2 {
+		buf = append(buf, statsV2Marker)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.Min)))
+	for i := range f.Min {
+		buf = colfile.AppendValue(buf, f.Min[i])
+		buf = colfile.AppendValue(buf, f.Max[i])
+	}
+	if !v2 {
+		return string(buf)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.Zones)))
+	for _, z := range f.Zones {
+		buf = binary.AppendUvarint(buf, uint64(len(z.Min)))
+		for i := range z.Min {
+			buf = colfile.AppendValue(buf, z.Min[i])
+			buf = colfile.AppendValue(buf, z.Max[i])
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.Blooms)))
+	for _, b := range f.Blooms {
+		buf = appendBloom(buf, b)
 	}
 	return string(buf)
 }
 
-func decodeStats(s string) (min, max []colfile.Value, err error) {
+func decodeStats(s string, f *DataFile) error {
 	data := []byte(s)
+	v2 := len(data) > 0 && data[0] == statsV2Marker
+	if v2 {
+		data = data[1:]
+	}
+	var err error
+	f.Min, f.Max, data, err = readRange(data)
+	if err != nil {
+		return err
+	}
+	if !v2 {
+		return nil
+	}
+	groups, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return errors.New("tableobj: truncated zone maps")
+	}
+	data = data[sz:]
+	// Untrusted count: each zone costs at least one byte.
+	if groups > uint64(len(data))+1 {
+		return errors.New("tableobj: zone count exceeds stats size")
+	}
+	for i := uint64(0); i < groups; i++ {
+		var z ZoneMap
+		z.Min, z.Max, data, err = readRange(data)
+		if err != nil {
+			return err
+		}
+		f.Zones = append(f.Zones, z)
+	}
+	cols, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return errors.New("tableobj: truncated bloom list")
+	}
+	data = data[sz:]
+	if cols > uint64(len(data))+1 {
+		return errors.New("tableobj: bloom count exceeds stats size")
+	}
+	for i := uint64(0); i < cols; i++ {
+		var b *Bloom
+		b, data, err = readBloom(data)
+		if err != nil {
+			return err
+		}
+		f.Blooms = append(f.Blooms, b)
+	}
+	return nil
+}
+
+// readRange parses one count-prefixed sequence of min/max value pairs.
+func readRange(data []byte) (min, max []colfile.Value, rest []byte, err error) {
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return nil, nil, errors.New("tableobj: truncated stats")
+		return nil, nil, nil, errors.New("tableobj: truncated stats")
 	}
 	data = data[sz:]
 	for i := uint64(0); i < n; i++ {
 		var lo, hi colfile.Value
 		lo, data, err = colfile.ReadValue(data)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		hi, data, err = colfile.ReadValue(data)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		min = append(min, lo)
 		max = append(max, hi)
 	}
-	return min, max, nil
+	return min, max, data, nil
 }
 
 func fileToRow(op string, f DataFile) colfile.Row {
@@ -109,23 +203,21 @@ func fileToRow(op string, f DataFile) colfile.Row {
 		colfile.StringValue(f.Partition),
 		colfile.IntValue(f.Rows),
 		colfile.IntValue(f.Bytes),
-		colfile.StringValue(encodeStats(f.Min, f.Max)),
+		colfile.StringValue(encodeStats(f)),
 	}
 }
 
 func rowToFile(r colfile.Row) (string, DataFile, error) {
-	min, max, err := decodeStats(r[5].Str)
-	if err != nil {
-		return "", DataFile{}, err
-	}
-	return r[0].Str, DataFile{
+	f := DataFile{
 		Path:      r[1].Str,
 		Partition: r[2].Str,
 		Rows:      r[3].Int,
 		Bytes:     r[4].Int,
-		Min:       min,
-		Max:       max,
-	}, nil
+	}
+	if err := decodeStats(r[5].Str, &f); err != nil {
+		return "", DataFile{}, err
+	}
+	return r[0].Str, f, nil
 }
 
 // EncodeCommit serializes a commit file.

@@ -19,7 +19,15 @@ type Table struct {
 	meta  TableMeta
 
 	seq atomic.Int64 // unique ids for data files, commits and snapshots
+
+	zoneMaps atomic.Bool // collect zone maps + blooms on WriteRows
 }
+
+// SetZoneMaps toggles zone-map and bloom-filter statistics collection
+// for data files written through this handle (see DataFile.Zones). Off
+// by default: enabling changes the commit metadata encoding, so runs
+// are digest-comparable only with the same setting.
+func (t *Table) SetZoneMaps(on bool) { t.zoneMaps.Store(on) }
 
 // Create registers a new table: catalog entry, /data and /metadata
 // directories, and an initial empty snapshot (CREATE TABLE in Section
@@ -213,6 +221,33 @@ func (x *Txn) WriteRows(rows []colfile.Row) (DataFile, error) {
 		Bytes:     int64(len(blob)),
 		Min:       min,
 		Max:       max,
+	}
+	if x.t.zoneMaps.Load() {
+		// Harvest per-row-group ranges from the freshly encoded footer
+		// (the writer already computed them) and build per-column blooms
+		// from the rows — planning-time pruning stats the commit carries.
+		if r, err := colfile.Open(blob); err == nil {
+			for g := 0; g < r.NumRowGroups(); g++ {
+				z := ZoneMap{
+					Min: make([]colfile.Value, schema.NumFields()),
+					Max: make([]colfile.Value, schema.NumFields()),
+				}
+				for c := 0; c < schema.NumFields(); c++ {
+					gs := r.GroupStats(g, c)
+					z.Min[c], z.Max[c] = gs.Min, gs.Max
+				}
+				f.Zones = append(f.Zones, z)
+			}
+		}
+		f.Blooms = make([]*Bloom, schema.NumFields())
+		for c := range f.Blooms {
+			f.Blooms[c] = NewBloom(len(rows))
+		}
+		for _, r := range rows {
+			for c := range f.Blooms {
+				f.Blooms[c].Add(r[c])
+			}
+		}
 	}
 	cost, err := x.t.fs.Write(f.Path, blob)
 	if err != nil {

@@ -26,13 +26,18 @@ fi
 go test -race -short ./...
 go test ./internal/bench/
 # Bench smoke: end-to-end seeded workload snapshot (virtual-time
-# latencies + obs counters) proving the telemetry pipeline works.
+# latencies + obs counters) proving the telemetry pipeline works. The
+# benchsnap speed leg doubles as the hot-path regression gate: it fails
+# the run if group commit stops halving slice-flush device writes, scan
+# allocs/op rise above the pinned ceiling (≥30% under the pre-zero-copy
+# baseline), or zone maps stop cutting selective-query files-read 5x.
 sh scripts/bench.sh --smoke
 # Chaos smoke: one seeded drill through the full fault mix (drops,
 # delays, partitions, disk kills, corruption) asserting the core
 # invariants — no acked-write loss, no duplicate appends, monotonic
-# offsets, bit-identical replay.
-go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical' ./internal/chaos/
+# offsets, bit-identical replay — plus the group-commit drill (batched
+# slice flushes under disk kills, replayed bit-identically).
+go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical|TestGroupCommitChaos' ./internal/chaos/
 # Cache gate: the two-tier read cache under the race detector, plus the
 # mixed chaos workload (produce + scan + scrub + tiering + cache) that
 # asserts bit-identical replay and cached-read ≡ device-read. The

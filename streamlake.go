@@ -142,6 +142,19 @@ type Config struct {
 	DisableHedging bool
 	// HedgeQuantile overrides the hedge-delay quantile (default 0.95).
 	HedgeQuantile float64
+	// GroupCommitSlices coalesces up to this many full slice flushes
+	// into one PLog group commit (one device write per placement copy
+	// instead of one per slice). 0 or 1 (the default) keeps the legacy
+	// one-commit-per-slice path; flush timing and device write-op counts
+	// change when enabled, so replay digests are comparable only between
+	// runs with the same setting.
+	GroupCommitSlices int
+	// ZoneMaps records per-row-group column min/max values and per-column
+	// bloom filters in table file metadata at insert time, letting scan
+	// planning prune files no predicate can match before any device read.
+	// Off by default: the stats encoding changes when enabled, so replay
+	// digests are comparable only between runs with the same setting.
+	ZoneMaps bool
 	// CacheMB sizes the two-tier (DRAM + SCM) read cache in megabytes;
 	// 0 (the default) disables it, leaving every read on the device
 	// path. The DRAM tier gets 1/8 of the budget, the SCM tier the
@@ -202,8 +215,12 @@ func Open(cfg Config) (*Lake, error) {
 	svc := streamsvc.New(clock, store, cfg.Workers)
 	fs := tableobj.NewFileStore(logs)
 	cat := tableobj.NewCatalog(clock)
+	if cfg.GroupCommitSlices > 1 {
+		store.EnableGroupCommit(cfg.GroupCommitSlices)
+	}
 	lh := lakehouse.New(clock, fs, cat, lakehouse.Options{
 		Acceleration: !cfg.DisableMetadataAcceleration,
+		ZoneMaps:     cfg.ZoneMaps,
 	})
 	tiers := tiering.NewService(clock, tiering.Policy{DemoteAfter: time.Hour, ArchiveAfter: 24 * time.Hour})
 	inj := faults.New(cfg.Seed)
@@ -546,6 +563,10 @@ func (l *Lake) Net() *faults.NetPlane { return l.inj.Net() }
 
 // HedgeStats reports hedged-read activity across the lake's PLogs.
 func (l *Lake) HedgeStats() plog.HedgeStats { return l.logs.HedgeStats() }
+
+// GroupCommitStats reports slice-flush coalescing activity; zeros when
+// Config.GroupCommitSlices left group commit off.
+func (l *Lake) GroupCommitStats() plog.GroupCommitStats { return l.store.GroupCommitStats() }
 
 // Repairer exposes the background repair service that re-replicates or
 // re-encodes stale slices left behind by degraded writes.
