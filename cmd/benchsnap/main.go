@@ -39,6 +39,24 @@ type snapshot struct {
 	Resilience resilience         `json:"resilience"`
 	Cache      cacheBench         `json:"cache"`
 	Speed      speedBench         `json:"speed"`
+	Cluster    clusterBench       `json:"cluster"`
+}
+
+// clusterBench is the failover leg: a 5-node cluster loses its metadata
+// leader and a storage node mid-workload, and the snapshot records how
+// long detection, producer recovery, and re-replication took in virtual
+// time. Self-enforcing like the other legs — run() fails when a ceiling
+// is blown, so tier1's benchsnap smoke doubles as the failover
+// regression gate.
+type clusterBench struct {
+	Nodes            int   `json:"nodes"`
+	AckedWrites      int64 `json:"acked_writes"`
+	Elections        int64 `json:"elections"`
+	FailoverDetectNs int64 `json:"failover_detect_ns"` // kills -> both deaths committed
+	ProducerGapNs    int64 `json:"producer_gap_ns"`    // kills -> first post-failure ack
+	RebalanceNs      int64 `json:"rebalance_ns"`       // re-replication elapsed virtual time
+	RebalancedBytes  int64 `json:"rebalanced_bytes"`   // bytes re-replicated off the dead node
+	RebalanceDone    bool  `json:"rebalance_complete"` // full redundancy restored in budget
 }
 
 // speedBench is the hot-path leg: group-commit device-write coalescing,
@@ -243,6 +261,11 @@ func run(smoke bool, out string) error {
 		return err
 	}
 	result.Speed = sb
+	clb, err := clusterLeg(smoke)
+	if err != nil {
+		return err
+	}
+	result.Cluster = clb
 
 	if out == "" {
 		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
@@ -260,7 +283,104 @@ func run(smoke bool, out string) error {
 	fmt.Printf("benchsnap: speed leg gc writes %d -> %d (%.1fx), scan allocs/op %d (cut %.0f%%), prune files %d -> %d (%.1fx)\n",
 		sb.GCBaselineWrites, sb.GCGroupedWrites, sb.GCReductionX,
 		sb.ScanAllocsPerOp, sb.ScanAllocsCut*100, sb.PruneFilesOff, sb.PruneFilesOn, sb.PruneCutX)
+	fmt.Printf("benchsnap: cluster leg detect=%.1fms gap=%.1fms rebalance=%.1fms (%dB, complete=%v)\n",
+		float64(clb.FailoverDetectNs)/1e6, float64(clb.ProducerGapNs)/1e6,
+		float64(clb.RebalanceNs)/1e6, clb.RebalancedBytes, clb.RebalanceDone)
 	return nil
+}
+
+// clusterLeg runs the scripted failover drill: healthy traffic, kill
+// the metadata leader plus one storage node, keep producing through the
+// outage, then re-replicate the dead nodes' slices — all in virtual
+// time, all seeded.
+func clusterLeg(smoke bool) (clusterBench, error) {
+	warm := 400
+	if smoke {
+		warm = 100
+	}
+	lake, err := streamlake.Open(streamlake.Config{
+		Nodes:        5,
+		Workers:      5,
+		SSDDisks:     10,
+		Seed:         7,
+		PLogCapacity: 1 << 20,
+	})
+	if err != nil {
+		return clusterBench{}, err
+	}
+	cl := lake.Cluster()
+	cb := clusterBench{Nodes: 5}
+	if err := lake.CreateTopic(streamlake.TopicConfig{Name: "clbench", StreamNum: 4}); err != nil {
+		return cb, err
+	}
+	prod := lake.Producer("clbench")
+	send := func(i int) bool {
+		_, _, err := prod.Send("clbench", []byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%06d", i)))
+		if err == nil {
+			cb.AckedWrites++
+		}
+		return err == nil
+	}
+	for i := 0; i < warm; i++ {
+		if !send(i) {
+			return cb, fmt.Errorf("cluster leg: healthy send %d failed", i)
+		}
+		if i%16 == 0 {
+			lake.Clock().Advance(time.Millisecond)
+			cl.Tick()
+		}
+	}
+	leader := cl.Leader()
+	storage := (leader + 2) % 5
+	killAt := lake.Clock().Now()
+	if err := cl.KillNode(leader); err != nil {
+		return cb, err
+	}
+	if err := cl.KillNode(storage); err != nil {
+		return cb, err
+	}
+	for i := 0; i < 400; i++ {
+		lake.Clock().Advance(time.Millisecond)
+		cl.Tick()
+		v := cl.CurrentView()
+		if cb.FailoverDetectNs == 0 && !v.Alive[leader] && !v.Alive[storage] {
+			cb.FailoverDetectNs = int64(lake.Clock().Now() - killAt)
+		}
+		if cb.ProducerGapNs == 0 && send(warm+i) {
+			cb.ProducerGapNs = int64(lake.Clock().Now() - killAt)
+		}
+		if cb.FailoverDetectNs > 0 && cb.ProducerGapNs > 0 {
+			break
+		}
+	}
+	if cb.FailoverDetectNs == 0 {
+		return cb, fmt.Errorf("cluster leg: node deaths never committed")
+	}
+	if cb.ProducerGapNs == 0 {
+		return cb, fmt.Errorf("cluster leg: producers never recovered")
+	}
+	reb := cl.RunRebalance(2 * time.Second)
+	cb.RebalanceNs = int64(reb.Elapsed)
+	cb.RebalancedBytes = reb.RepairedBytes
+	cb.RebalanceDone = reb.Complete
+	cb.Elections = cl.Stats().Elections
+
+	// The ceilings. Detection must land within 4x the detector's full
+	// reaction window, producers must be acking again shortly after, and
+	// re-replication must finish inside its virtual-time budget.
+	if ceiling := (80 * time.Millisecond).Nanoseconds(); cb.FailoverDetectNs > ceiling {
+		return cb, fmt.Errorf("cluster leg: detection took %dns, ceiling %dns", cb.FailoverDetectNs, ceiling)
+	}
+	if ceiling := (120 * time.Millisecond).Nanoseconds(); cb.ProducerGapNs > ceiling {
+		return cb, fmt.Errorf("cluster leg: producer gap %dns, ceiling %dns", cb.ProducerGapNs, ceiling)
+	}
+	if !cb.RebalanceDone {
+		return cb, fmt.Errorf("cluster leg: rebalance incomplete after %dns", cb.RebalanceNs)
+	}
+	if ceiling := (2 * time.Second).Nanoseconds(); cb.RebalanceNs > ceiling {
+		return cb, fmt.Errorf("cluster leg: rebalance took %dns, ceiling %dns", cb.RebalanceNs, ceiling)
+	}
+	return cb, nil
 }
 
 // cacheLeg runs the read-cache benchmark against its own lake so the

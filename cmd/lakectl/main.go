@@ -47,6 +47,11 @@
 //	chaos run [seed [events]]         (one seeded chaos drill, fresh lake)
 //	chaos replay [seed [events]]      (run twice, assert bit-identical digests)
 //	chaos status                      (report of the shell's last drill)
+//	cluster status                    (per-node membership, roles, backlog; -nodes N)
+//	cluster kill <node> | revive <node>
+//	cluster drain <node> | undrain <node>
+//	cluster tick [n]                  (n heartbeat rounds of virtual time)
+//	cluster rebalance [budget]        (re-replicate off dead nodes, e.g. 2s)
 //	help
 package main
 
@@ -69,13 +74,21 @@ func main() {
 	cacheMB := flag.Int("cache", 64, "read cache size in MB (0 disables)")
 	groupCommit := flag.Int("group-commit", 0, "coalesce this many slice flushes per device commit (0/1 disables)")
 	zoneMaps := flag.Bool("zonemaps", false, "record zone maps + bloom filters at insert time for scan pruning")
+	nodes := flag.Int("nodes", 0, "run a multi-node cluster of this size (0/1 single-node)")
 	flag.Parse()
 
-	lake, err := streamlake.Open(streamlake.Config{
+	cfg := streamlake.Config{
 		CacheMB:           *cacheMB,
 		GroupCommitSlices: *groupCommit,
 		ZoneMaps:          *zoneMaps,
-	})
+		Nodes:             *nodes,
+	}
+	if *nodes > 1 {
+		// Every copy needs its own failure domain, and losing a node must
+		// leave room to re-replicate: give each node two SSD disks.
+		cfg.SSDDisks = 2 * *nodes
+	}
+	lake, err := streamlake.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -139,6 +152,8 @@ func (s *shell) exec(line string) error {
 		fmt.Println("scrub:    run (one pass) | cycle (sweep every log) | status")
 		fmt.Println("cache:    status | flush (two-tier read cache)")
 		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
+		fmt.Println("cluster:  status | kill <node> | revive <node> | drain <node> | undrain <node> |")
+		fmt.Println("          tick [n] | rebalance [budget]   (start with -nodes N)")
 		fmt.Println("advance:  advance <duration> (virtual time, e.g. 30ms)")
 		return nil
 	case "create-topic":
@@ -319,6 +334,8 @@ func (s *shell) exec(line string) error {
 		return s.cache(rest)
 	case "chaos":
 		return s.chaos(rest)
+	case "cluster":
+		return s.cluster(rest)
 	case "advance":
 		// The shell's requests are instantaneous in virtual time, so
 		// nothing else moves the clock: without this, a tripped breaker's
@@ -646,6 +663,125 @@ func (s *shell) chaos(rest []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown chaos subcommand %q (run|replay|status)", sub)
+	}
+}
+
+// cluster drives the multi-node membership plane: status, kill/revive,
+// drain, heartbeat ticks, and bounded re-replication. Requires the
+// shell to have been started with -nodes N (N > 1).
+func (s *shell) cluster(rest []string) error {
+	cl := s.lake.Cluster()
+	if cl == nil {
+		return fmt.Errorf("single-node lake (restart with -nodes <N>)")
+	}
+	sub := "status"
+	if len(rest) > 0 {
+		sub = rest[0]
+		rest = rest[1:]
+	}
+	nodeArg := func() (int, error) {
+		if len(rest) < 1 {
+			return 0, fmt.Errorf("usage: cluster %s <node>", sub)
+		}
+		return strconv.Atoi(rest[0])
+	}
+	switch sub {
+	case "status":
+		st := cl.Status()
+		fmt.Printf("leader=%d term=%d applied=%d elections=%d commits=%d commitFails=%d\n",
+			st.Leader, st.Term, st.Applied, st.Stats.Elections, st.Stats.Commits, st.Stats.CommitFails)
+		fmt.Printf("heartbeats sent=%d lost=%d kills=%d revives=%d staleMarked=%dB\n",
+			st.Stats.HeartbeatsSent, st.Stats.HeartbeatsLost, st.Stats.NodesKilled,
+			st.Stats.NodesRevived, st.Stats.StaleMarkedByte)
+		for _, n := range st.Nodes {
+			state := "alive"
+			switch {
+			case !n.Up:
+				state = "down"
+			case !n.Alive:
+				state = "dead"
+			case n.Suspect:
+				state = "suspect"
+			}
+			drain := ""
+			if n.Draining {
+				drain = " draining"
+			}
+			fmt.Printf("  node %d: %-7s %-9s term=%d log=%d/%d slices=%d backlog=%dB%s\n",
+				n.ID, state, n.Role, n.Term, n.Commit, n.LogLen, n.SlicesOwned, n.BacklogBytes, drain)
+		}
+		return nil
+	case "kill":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.KillNode(id); err != nil {
+			return err
+		}
+		fmt.Printf("node %d killed (advance time or 'cluster tick' to let detection commit)\n", id)
+		return nil
+	case "revive":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.ReviveNode(id); err != nil {
+			return err
+		}
+		fmt.Printf("node %d revived\n", id)
+		return nil
+	case "drain":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.DrainNode(id); err != nil {
+			return err
+		}
+		fmt.Printf("node %d draining: placement excludes it, data stays readable\n", id)
+		return nil
+	case "undrain":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.UndrainNode(id); err != nil {
+			return err
+		}
+		fmt.Printf("node %d back in placement\n", id)
+		return nil
+	case "tick":
+		rounds := 1
+		if len(rest) > 0 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return err
+			}
+			rounds = n
+		}
+		for i := 0; i < rounds; i++ {
+			s.lake.Clock().Advance(time.Millisecond)
+			cl.Tick()
+		}
+		v := cl.CurrentView()
+		fmt.Printf("ticked %d round(s): leader=%d term=%d now=%v\n", rounds, v.Leader, v.Term, s.lake.Clock().Now())
+		return nil
+	case "rebalance":
+		budget := 2 * time.Second
+		if len(rest) > 0 {
+			d, err := time.ParseDuration(rest[0])
+			if err != nil {
+				return err
+			}
+			budget = d
+		}
+		rep := cl.RunRebalance(budget)
+		fmt.Printf("rebalance: %d round(s), %dB re-replicated in %v, complete=%v (%d log(s), %dB stale left)\n",
+			rep.Rounds, rep.RepairedBytes, rep.Elapsed, rep.Complete, rep.RemainingLogs, rep.RemainingStale)
+		return nil
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q (status|kill|revive|drain|undrain|tick|rebalance)", sub)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"streamlake"
+	"streamlake/internal/cluster"
 	"streamlake/internal/plog"
 	"streamlake/internal/resil"
 	"streamlake/internal/sim"
@@ -67,6 +68,21 @@ type Config struct {
 	// coalesced device write), so the loss/duplication invariants and the
 	// replay digest are checked over the batched flush path.
 	GroupCommit bool
+	// Nodes runs the lake as a multi-node cluster of this size. Set
+	// (or implied by Failover/SplitBrain, which default it to 5) it adds
+	// the cluster-plane invariants: every acked produce is in the
+	// replicated metadata log, committed logs agree across nodes, and at
+	// most one leader wins any term.
+	Nodes int
+	// Failover lets the scheduler kill and revive whole nodes — at most
+	// a minority down at once, with a thumb on the scale toward killing
+	// the current metadata leader.
+	Failover bool
+	// SplitBrain lets the scheduler cut the metadata plane into a
+	// minority holding the current leader and a majority that must
+	// re-elect; acks may only come from the majority side while the
+	// split stands.
+	SplitBrain bool
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
+	}
+	if (c.Failover || c.SplitBrain) && c.Nodes <= 1 {
+		c.Nodes = 5
 	}
 	return c
 }
@@ -108,6 +127,11 @@ type Report struct {
 	GroupCommits int64         // coalesced slice commits (GroupCommit runs)
 	CacheHits    int64         // read-cache hits across both tiers at run end
 	ReadP99      time.Duration // plog read latency p99 at run end
+	NodeKills    int           // whole-node kills (Failover runs)
+	Elections    int64         // metadata-leader elections (clustered runs)
+	MetaCommits  int64         // metadata-log commits (clustered runs)
+	RebalancedB  int64         // bytes re-replicated by the settle rebalance
+	RebalanceOK  bool          // settle rebalance restored full redundancy
 	Digest       uint64        // FNV-1a over the run's observable outcome
 	Violations   []string      // empty on a clean run
 }
@@ -135,6 +159,12 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 		PLogCapacity:   1 << 20,
 		DisableHedging: !cfg.Hedging,
 		CacheMB:        cfg.CacheMB,
+		Nodes:          cfg.Nodes,
+	}
+	if cfg.Nodes > 1 {
+		// Give every node at least two disks so a dead node's share can
+		// re-replicate onto its survivors' domains.
+		lakeCfg.SSDDisks = 2 * cfg.Nodes
 	}
 	if cfg.GroupCommit {
 		lakeCfg.GroupCommitSlices = 4
@@ -176,6 +206,7 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 		h.readSweep(4)
 	}
 	h.drainAndCheck()
+	h.clusterCheck()
 	return h.report(), nil
 }
 
@@ -217,7 +248,21 @@ type harness struct {
 	tableMade bool
 	tableRows int64 // rows whose insert was acked
 	coherence int   // cache-coherence probes executed
+
+	// Cluster-mode state.
+	nodeKills     []int // nodes currently dead, oldest first
+	nodeKillCount int
+	split         *splitState
+	reb           cluster.RebalanceReport
 }
+
+// splitState is one standing metadata-plane partition.
+type splitState struct {
+	minority map[int]bool
+	links    [][2]string
+}
+
+func (h *harness) clustered() *cluster.Cluster { return h.lake.Cluster() }
 
 func (h *harness) violate(format string, args ...any) {
 	h.violations = append(h.violations, fmt.Sprintf(format, args...))
@@ -232,6 +277,21 @@ func (h *harness) ctx() *resil.Ctx {
 
 // step runs one weighted scheduler event.
 func (h *harness) step(i int) {
+	// Cluster-mode draws are gated on their flags, so legacy schedules
+	// (and their digests) are untouched; the trailing Tick keeps the
+	// detector and election timers current with whatever virtual time the
+	// event consumed.
+	if cl := h.clustered(); cl != nil {
+		defer cl.Tick()
+	}
+	if h.cfg.Failover && h.rng.Intn(12) == 0 {
+		h.failoverEvent()
+		return
+	}
+	if h.cfg.SplitBrain && h.rng.Intn(20) == 0 {
+		h.splitBrainEvent()
+		return
+	}
 	if h.cfg.Mixed && h.rng.Intn(5) == 0 {
 		// One event in five goes to the lakehouse side of the house. The
 		// extra RNG draw happens only on Mixed runs, so non-mixed
@@ -270,6 +330,85 @@ func (h *harness) step(i int) {
 		// become meaningful, tiering/repair timestamps move.
 		h.lake.Clock().Advance(time.Duration(1+h.rng.Intn(5000)) * time.Microsecond)
 	}
+}
+
+// failoverEvent kills or revives a whole node. At most a minority is
+// ever down at once (a majority loss makes zero-loss unprovable — there
+// is no quorum to ack against), and half the kills aim straight at the
+// current metadata leader, the paper's hardest failover case.
+func (h *harness) failoverEvent() {
+	cl := h.clustered()
+	n := cl.Nodes()
+	maxDown := (n - 1) / 2
+	if len(h.nodeKills) > 0 && (len(h.nodeKills) >= maxDown || h.rng.Intn(3) == 0) {
+		node := h.nodeKills[0]
+		h.nodeKills = h.nodeKills[1:]
+		cl.ReviveNode(node)
+		return
+	}
+	victim := h.rng.Intn(n)
+	if h.rng.Intn(2) == 0 {
+		if l := cl.Leader(); l >= 0 {
+			victim = l
+		}
+	}
+	for _, k := range h.nodeKills {
+		if k == victim {
+			return
+		}
+	}
+	if err := cl.KillNode(victim); err == nil {
+		h.nodeKills = append(h.nodeKills, victim)
+		h.nodeKillCount++
+	}
+}
+
+// splitBrainEvent cuts the metadata plane in two — the current leader
+// plus enough followers to form a minority on one side, everyone else
+// on the other — or heals a standing split. The data plane (client to
+// worker links) stays connected: appends still land, but acks must wait
+// for a majority-side commit, which is exactly the property the produce
+// check below enforces.
+func (h *harness) splitBrainEvent() {
+	cl := h.clustered()
+	np := h.lake.Net()
+	if h.split != nil {
+		for _, p := range h.split.links {
+			np.Heal(p[0], p[1])
+		}
+		h.split = nil
+		return
+	}
+	if len(h.nodeKills) > 0 {
+		return // one membership experiment at a time
+	}
+	lead := cl.Leader()
+	if lead < 0 {
+		return
+	}
+	n := cl.Nodes()
+	minority := map[int]bool{lead: true}
+	for i := 0; len(minority) < (n-1)/2 && i < n; i++ {
+		if i != lead {
+			minority[i] = true
+		}
+	}
+	var links [][2]string
+	for a := 0; a < n; a++ {
+		if !minority[a] {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if minority[b] {
+				continue
+			}
+			ea, eb := fmt.Sprintf("node/%d", a), fmt.Sprintf("node/%d", b)
+			np.Partition(ea, eb)
+			np.Partition(eb, ea)
+			links = append(links, [2]string{ea, eb}, [2]string{eb, ea})
+		}
+	}
+	h.split = &splitState{minority: minority, links: links}
 }
 
 const mixedTable = "chaos_t"
@@ -415,6 +554,14 @@ func (h *harness) produce() {
 			continue
 		}
 		h.produced++
+		if h.split != nil {
+			// With the metadata plane split, an ack can only have committed
+			// through the majority side's leader — the minority must be
+			// write-dead, whatever its stale leader believes.
+			if l := h.clustered().Leader(); l >= 0 && h.split.minority[l] {
+				h.violate("produce acked while the committing leader %d sits in the minority partition", l)
+			}
+		}
 		m := h.acked[msg.Stream]
 		if m == nil {
 			m = map[int64]string{}
@@ -494,6 +641,16 @@ func (h *harness) diskChurn() {
 // drain measures what survived, not what is currently unreachable.
 func (h *harness) settle() {
 	np := h.lake.Net()
+	// Revive dead nodes before the blanket heal: ReviveNode restores
+	// their worker links itself, and the detector needs their heartbeats
+	// flowing again before membership can converge.
+	if cl := h.clustered(); cl != nil {
+		for _, node := range h.nodeKills {
+			cl.ReviveNode(node)
+		}
+		h.nodeKills = nil
+		h.split = nil // HealAll below removes its links
+	}
 	np.HealAll()
 	np.Clear()
 	for _, k := range h.kills {
@@ -503,6 +660,30 @@ func (h *harness) settle() {
 	}
 	h.kills = nil
 	h.lake.Clock().Advance(50 * time.Millisecond) // breaker cooldowns elapse
+	if cl := h.clustered(); cl != nil {
+		// Converge membership: tick until every node's revival commits
+		// and a leader stands, then re-replicate the dead interval's
+		// stale copies inside a bounded virtual-time budget.
+		for i := 0; i < 512; i++ {
+			v := cl.CurrentView()
+			all := cl.Leader() >= 0
+			for n := 0; n < cl.Nodes(); n++ {
+				if !v.Alive[n] {
+					all = false
+				}
+			}
+			if all {
+				break
+			}
+			h.lake.Clock().Advance(time.Millisecond)
+			cl.Tick()
+		}
+		h.reb = cl.RunRebalance(2 * time.Second)
+		if !h.reb.Complete {
+			h.violate("rebalance left %d degraded logs (%d stale bytes) after its budget",
+				h.reb.RemainingLogs, h.reb.RemainingStale)
+		}
+	}
 	h.lake.RepairUntilRedundant(16)
 	if h.cfg.Corruption {
 		h.lake.ScrubCycle()
@@ -582,6 +763,47 @@ func (h *harness) drainAndCheck() {
 	}
 }
 
+// clusterCheck enforces the cluster-plane invariants after the drain:
+// every acked produce is in the applied metadata log, no term elected
+// two leaders, and every node's committed log agrees with every other's
+// on their common prefix.
+func (h *harness) clusterCheck() {
+	cl := h.clustered()
+	if cl == nil {
+		return
+	}
+	for stream, offs := range h.acked {
+		for off := range offs {
+			if !cl.ProduceCommitted(topic, stream, off, 1) {
+				h.violate("acked produce missing from the metadata log: stream %d offset %d", stream, off)
+			}
+		}
+	}
+	for term, wins := range cl.LeaderCountByTerm() {
+		if wins > 1 {
+			h.violate("term %d elected %d leaders", term, wins)
+		}
+	}
+	n := cl.Nodes()
+	logs := make([][]cluster.Entry, n)
+	for i := 0; i < n; i++ {
+		logs[i] = cl.CommittedLog(i)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			m := len(logs[a])
+			if len(logs[b]) < m {
+				m = len(logs[b])
+			}
+			for i := 0; i < m; i++ {
+				if logs[a][i] != logs[b][i] {
+					h.violate("committed logs diverge at index %d between nodes %d and %d", i, a, b)
+				}
+			}
+		}
+	}
+}
+
 // report snapshots counters and computes the run digest.
 func (h *harness) report() Report {
 	snap := h.lake.Obs().Snapshot()
@@ -613,6 +835,14 @@ func (h *harness) report() Report {
 	if h.cfg.GroupCommit {
 		r.GroupCommits = h.lake.GroupCommitStats().Commits
 	}
+	if cl := h.clustered(); cl != nil {
+		cs := cl.Stats()
+		r.NodeKills = h.nodeKillCount
+		r.Elections = cs.Elections
+		r.MetaCommits = cs.Commits
+		r.RebalancedB = h.reb.RepairedBytes
+		r.RebalanceOK = h.reb.Complete
+	}
 	r.Digest = h.digest(r)
 	return r
 }
@@ -634,6 +864,10 @@ func (h *harness) digest(r Report) uint64 {
 	}
 	if h.cfg.GroupCommit {
 		w("groupCommits=%d;", r.GroupCommits)
+	}
+	if h.cfg.Nodes > 1 {
+		w("nodeKills=%d elections=%d metaCommits=%d rebalanced=%d;",
+			r.NodeKills, r.Elections, r.MetaCommits, r.RebalancedB)
 	}
 	streams := make([]int, 0, len(h.acked))
 	for s := range h.acked {

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"time"
+
+	"streamlake/internal/repair"
+)
+
+// RebalanceReport summarizes one re-replication run.
+type RebalanceReport struct {
+	Rounds         int
+	RepairedBytes  int64
+	Elapsed        time.Duration // virtual time the run consumed
+	RemainingLogs  int           // degraded logs still pending at exit
+	RemainingStale int64         // stale bytes still pending at exit
+	Complete       bool
+}
+
+// RunRebalance drives the attached repair services until every log is
+// fully redundant again or the virtual-time budget runs out — the
+// bounded re-replication the failover drill measures. Each repair pass
+// charges its own reconstruction I/O and backoff to the shared clock;
+// the rebalancer meters that consumption against the budget and ticks
+// the cluster plane between passes so detection and elections keep
+// pace with the time repair burns.
+func (c *Cluster) RunRebalance(budget time.Duration) RebalanceReport {
+	start := c.clock.Now()
+	deadline := start + budget
+	c.mu.Lock()
+	repairs := append([]*repair.Service(nil), c.repairs...)
+	pools := append([]attachedPool(nil), c.pools...)
+	c.mu.Unlock()
+	var rep RebalanceReport
+	pending := func() (int, int64) {
+		logs, bytes := 0, int64(0)
+		for _, mgr := range distinctManagers(pools) {
+			logs += mgr.DegradedCount()
+			bytes += mgr.StaleBytes()
+		}
+		return logs, bytes
+	}
+	for {
+		logs, _ := pending()
+		if logs == 0 {
+			rep.Complete = true
+			break
+		}
+		if len(repairs) == 0 || c.clock.Now() >= deadline || rep.Rounds >= maxRebalanceRounds {
+			break
+		}
+		for _, r := range repairs {
+			pass := r.RunOnce()
+			rep.RepairedBytes += pass.RepairedBytes
+		}
+		rep.Rounds++
+		c.Tick()
+	}
+	rep.RemainingLogs, rep.RemainingStale = pending()
+	rep.Elapsed = c.clock.Now() - start
+	return rep
+}
+
+// maxRebalanceRounds caps pathological no-progress loops (every source
+// unreachable): the budget is virtual time, which a failing pass may
+// barely consume.
+const maxRebalanceRounds = 256

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over node IDs. Each node projects
+// ringVnodes virtual points so placement stays balanced at small node
+// counts, and Place walks clockwise from a key's hash collecting
+// distinct admissible nodes — the preference order the placer feeds to
+// pool.AllocGroupIn. Because the walk skips dead/draining nodes rather
+// than rehashing, a node's death moves only the placements that hashed
+// to it; everything else stays put (the usual consistent-hashing
+// stability argument).
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+func newRing(nodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, nodes*ringVnodes)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64("node-" + strconv.Itoa(n) + "#" + strconv.Itoa(v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// place returns up to want distinct nodes admissible under ok, in ring
+// order starting at key's hash. Fewer than want come back when the
+// admissible set is smaller — the caller degrades placement rather than
+// failing.
+func (r *ring) place(key string, want int, ok func(node int) bool) []int {
+	if len(r.points) == 0 || want <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, want)
+	out := make([]int, 0, want)
+	for i := 0; i < len(r.points) && len(out) < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] || !ok(p.node) {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestRingSpread(t *testing.T) {
+	r := newRing(5)
+	all := func(int) bool { return true }
+	counts := make(map[int]int)
+	for k := 0; k < 1000; k++ {
+		pref := r.place("key-"+strconv.Itoa(k), 3, all)
+		if len(pref) != 3 {
+			t.Fatalf("want 3 nodes, got %v", pref)
+		}
+		seen := make(map[int]bool)
+		for _, n := range pref {
+			if seen[n] {
+				t.Fatalf("duplicate node in %v", pref)
+			}
+			seen[n] = true
+		}
+		counts[pref[0]]++
+	}
+	// Primary placements should spread: no node should own more than
+	// half or fewer than 5% of 1000 keys at 64 vnodes.
+	for n, c := range counts {
+		if c > 500 || c < 50 {
+			t.Fatalf("node %d owns %d/1000 primaries — unbalanced", n, c)
+		}
+	}
+}
+
+func TestRingStabilityOnDeath(t *testing.T) {
+	r := newRing(5)
+	all := func(int) bool { return true }
+	dead := 2
+	without := func(n int) bool { return n != dead }
+	moved := 0
+	for k := 0; k < 1000; k++ {
+		key := "key-" + strconv.Itoa(k)
+		before := r.place(key, 3, all)
+		after := r.place(key, 3, without)
+		if len(after) != 3 {
+			t.Fatalf("want 3 survivors, got %v", after)
+		}
+		for _, n := range after {
+			if n == dead {
+				t.Fatalf("dead node placed: %v", after)
+			}
+		}
+		// Keys that never touched the dead node must not move at all —
+		// the consistent-hashing stability property.
+		touched := false
+		for _, n := range before {
+			if n == dead {
+				touched = true
+			}
+		}
+		if !touched {
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("key %s moved without touching dead node: %v -> %v", key, before, after)
+				}
+			}
+		} else {
+			moved++
+		}
+	}
+	// Only keys whose preference touched the dead node may move; the
+	// exact-equality check above is the real stability property. Vnode
+	// arc imbalance makes the touched fraction vary around 3/5, but a
+	// meaningful share must always survive untouched.
+	if moved > 950 {
+		t.Fatalf("%d/1000 keys moved — ring is not stable", moved)
+	}
+}
+
+func TestRingFewerAdmissibleThanWanted(t *testing.T) {
+	r := newRing(3)
+	only := func(n int) bool { return n == 1 }
+	pref := r.place("k", 3, only)
+	if len(pref) != 1 || pref[0] != 1 {
+		t.Fatalf("want [1], got %v", pref)
+	}
+	if got := r.place("k", 0, only); got != nil {
+		t.Fatalf("want nil for want=0, got %v", got)
+	}
+}

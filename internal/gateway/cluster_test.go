@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streamlake"
+)
+
+// TestClusterEndpointSingleNode: a single-node lake has no cluster
+// plane, and the endpoint says so rather than inventing one.
+func TestClusterEndpointSingleNode(t *testing.T) {
+	e := newEnv(t)
+	resp, body := e.do(t, "GET", "/v1/cluster", "root-token", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-node /v1/cluster: %d", resp.StatusCode)
+	}
+	if body["error"] == "" {
+		t.Fatal("404 without an error envelope")
+	}
+}
+
+// TestClusterEndpoint: a clustered lake reports membership, the
+// leader, and per-node detail; the endpoint is admin-only.
+func TestClusterEndpoint(t *testing.T) {
+	lake, err := streamlake.Open(streamlake.Config{
+		Nodes: 3, SSDDisks: 6, PLogCapacity: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := NewACL()
+	acl.Grant("root-token", "root", PermAdmin)
+	acl.Grant("writer-token", "writer", PermProduce)
+	ts := httptest.NewServer(New(lake, acl))
+	t.Cleanup(ts.Close)
+	e := &env{lake: lake, acl: acl, ts: ts}
+
+	resp, _ := e.do(t, "GET", "/v1/cluster", "writer-token", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("non-admin /v1/cluster: %d", resp.StatusCode)
+	}
+
+	resp, body := e.do(t, "GET", "/v1/cluster", "root-token", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cluster: %d", resp.StatusCode)
+	}
+	leader, ok := body["leader"].(float64)
+	if !ok || leader < 0 {
+		t.Fatalf("no leader in response: %v", body["leader"])
+	}
+	nodes, ok := body["nodes"].([]any)
+	if !ok || len(nodes) != 3 {
+		t.Fatalf("want 3 nodes, got %v", body["nodes"])
+	}
+	roles := map[string]int{}
+	for _, raw := range nodes {
+		n := raw.(map[string]any)
+		if n["alive"] != true {
+			t.Fatalf("fresh cluster has a dead node: %v", n)
+		}
+		roles[n["role"].(string)]++
+	}
+	if roles["leader"] != 1 {
+		t.Fatalf("want exactly one leader, got roles %v", roles)
+	}
+
+	// Kill a follower, let detection commit, and check the endpoint
+	// reflects the committed membership.
+	cl := lake.Cluster()
+	victim := (int(leader) + 1) % 3
+	if err := cl.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		lake.Clock().Advance(2_000_000) // 2ms
+		cl.Tick()
+		if !cl.CurrentView().Alive[victim] {
+			break
+		}
+	}
+	_, body = e.do(t, "GET", "/v1/cluster", "root-token", nil)
+	for _, raw := range body["nodes"].([]any) {
+		n := raw.(map[string]any)
+		if int(n["id"].(float64)) == victim {
+			if n["alive"] == true || n["up"] == true {
+				t.Fatalf("killed node still reported alive: %v", n)
+			}
+		}
+	}
+}

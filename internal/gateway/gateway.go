@@ -12,6 +12,7 @@
 //	GET  /v1/tables/{table}/snapshot        current snapshot summary
 //	POST /v1/sql                            {"query": "select ..."}
 //	GET  /v1/stats                          storage statistics
+//	GET  /v1/cluster                        node membership and consensus state
 //	GET  /metrics                           Prometheus text exposition
 //	GET  /trace/{id}                        one recorded trace as JSON
 //
@@ -136,6 +137,7 @@ func New(lake *streamlake.Lake, acl *ACL) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{table}/snapshot", s.guard(PermQuery, s.snapshot))
 	s.mux.HandleFunc("POST /v1/sql", s.guard(PermQuery, s.sql))
 	s.mux.HandleFunc("GET /v1/stats", s.guard(PermAdmin, s.stats))
+	s.mux.HandleFunc("GET /v1/cluster", s.guard(PermAdmin, s.cluster))
 	s.mux.HandleFunc("GET /metrics", s.guard(PermAdmin, s.metrics))
 	s.mux.HandleFunc("GET /trace/{id}", s.guard(PermAdmin, s.trace))
 	return s
@@ -447,6 +449,40 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request, _ *Principal) {
 		"topics": st.Topics, "stream_objects": st.StreamObjects,
 		"table_files": st.TableFiles, "logical_bytes": st.LogicalBytes,
 		"physical_bytes": st.PhysicalBytes,
+	})
+}
+
+// cluster serves the multi-node membership and consensus snapshot.
+// Single-node lakes (Config.Nodes <= 1) report 404: there is no
+// cluster plane to inspect.
+func (s *Server) cluster(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	cl := s.lake.Cluster()
+	if cl == nil {
+		httpError(w, http.StatusNotFound, "single-node lake: no cluster plane")
+		return
+	}
+	st := cl.Status()
+	nodes := make([]map[string]any, 0, len(st.Nodes))
+	for _, n := range st.Nodes {
+		nodes = append(nodes, map[string]any{
+			"id": n.ID, "up": n.Up, "alive": n.Alive,
+			"suspect": n.Suspect, "draining": n.Draining,
+			"role": n.Role, "term": n.Term,
+			"log_len": n.LogLen, "commit": n.Commit,
+			"slices_owned": n.SlicesOwned, "backlog_bytes": n.BacklogBytes,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"leader": st.Leader, "term": st.Term, "applied": st.Applied,
+		"elections":       st.Stats.Elections,
+		"commits":         st.Stats.Commits,
+		"commit_fails":    st.Stats.CommitFails,
+		"heartbeats_sent": st.Stats.HeartbeatsSent,
+		"heartbeats_lost": st.Stats.HeartbeatsLost,
+		"nodes_killed":    st.Stats.NodesKilled,
+		"nodes_revived":   st.Stats.NodesRevived,
+		"stale_marked":    st.Stats.StaleMarkedByte,
+		"nodes":           nodes,
 	})
 }
 

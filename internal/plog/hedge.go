@@ -50,8 +50,8 @@ func (c HedgeConfig) withDefaults() HedgeConfig {
 
 // HedgeStats counts hedging activity across a manager's logs.
 type HedgeStats struct {
-	Hedged int64 // reads that issued a hedge request
-	Wins   int64 // hedges that beat the primary
+	Hedged int64         // reads that issued a hedge request
+	Wins   int64         // hedges that beat the primary
 	Saved  time.Duration // requester latency saved by winning hedges
 }
 
@@ -135,6 +135,12 @@ func (l *PLog) hedgeLocked(primary int, offset, n int64, primaryCost time.Durati
 		}
 		if l.pool.DiskFailed(s.Disk) {
 			continue // a hedge against a dead disk is a guaranteed loss
+		}
+		if l.pool.DiskAvoided(s.Disk) {
+			// The disk sits on a suspect, dead, or draining node: its
+			// copy may already be stale and the read would ride a link
+			// the failure detector distrusts. Never hedge there.
+			continue
 		}
 		if !verify && l.corruptIn(j, offset, n) >= 0 {
 			// Without verification a corrupt copy would "win" with bytes

@@ -374,7 +374,10 @@ func (l *PLog) Scrub() (ScrubResult, error) {
 	nExt := len(l.extents)
 	l.imu.Unlock()
 	for i, s := range l.slices {
-		if l.stale[i] > 0 || l.pool.DiskFailed(s.Disk) {
+		if l.stale[i] > 0 || l.pool.DiskFailed(s.Disk) || l.pool.DiskAvoided(s.Disk) {
+			// Failed/stale copies are the repair service's problem;
+			// avoided disks sit on suspect or draining nodes, where a
+			// scrub read races the failure detector's verdict.
 			res.SkippedCopies++
 			continue
 		}

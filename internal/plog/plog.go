@@ -631,6 +631,48 @@ func (l *PLog) StaleBytes() int64 {
 	return total
 }
 
+// MarkDiskStale records every placement copy of this log hosted on one
+// of the given disks of p as fully stale — the cluster layer's "node
+// died" edge. The copy stops serving reads immediately (its stored
+// checksums are dropped, so every range of it reads as missing) and
+// enters the repair queue; RepairStale later relocates the slice off
+// the dead disk and rebuilds it from surviving peers. The pool-identity
+// check guards against disk-ID aliasing: a log migrated to another pool
+// numbers its disks in that pool's space, so only logs still placed on
+// p match. Returns the stale bytes newly recorded.
+func (l *PLog) MarkDiskStale(p *pool.Pool, disks map[pool.DiskID]bool) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.destroyed || l.pool != p {
+		return 0
+	}
+	full := l.red.shardSize(int64(len(l.buf)))
+	var added int64
+	marked := false
+	for i, s := range l.slices {
+		if !disks[s.Disk] {
+			continue
+		}
+		if l.stale == nil {
+			l.stale = make(map[int]int64)
+		}
+		if have, ok := l.stale[i]; !ok || have < full {
+			added += full - l.stale[i]
+			l.stale[i] = full
+			marked = true
+		}
+		l.imu.Lock()
+		if i < len(l.copySums) && l.copySums[i] != nil {
+			l.copySums[i] = make(map[int]uint32)
+		}
+		l.imu.Unlock()
+	}
+	if marked {
+		l.invalidateCached()
+	}
+	return added
+}
+
 // FullyRedundant reports whether every placement slice holds its full
 // copy/shard — the repair service's success condition.
 func (l *PLog) FullyRedundant() bool {
@@ -690,15 +732,29 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 		if l.red.Kind == ErasureCode {
 			need = l.red.K
 		}
+		// Prefer sources on trusted disks; only when those cannot cover
+		// the rebuild fall back to avoided (suspect/draining-node) disks,
+		// which still hold good bytes but may vanish mid-repair.
 		sources := make([]pool.SliceID, 0, need)
+		var fallback []pool.SliceID
 		for j, o := range l.slices {
 			if j == i || l.stale[j] > 0 || l.pool.DiskFailed(o.Disk) {
+				continue
+			}
+			if l.pool.DiskAvoided(o.Disk) {
+				fallback = append(fallback, o.ID)
 				continue
 			}
 			sources = append(sources, o.ID)
 			if len(sources) == need {
 				break
 			}
+		}
+		for _, id := range fallback {
+			if len(sources) == need {
+				break
+			}
+			sources = append(sources, id)
 		}
 		if len(sources) < need {
 			return repaired, cost, fmt.Errorf("%w: %d of %d reconstruction sources available",
@@ -762,10 +818,25 @@ type Manager struct {
 	// cache is the shared read-cache slot every log points at; nil
 	// until SetCache attaches one.
 	cache atomic.Pointer[cache.Cache]
+	// placer, when set, replaces the pool's default AllocGroup for new
+	// placement groups (the cluster's consistent-hash placement).
+	placer atomic.Pointer[func(width int) ([]*pool.Slice, error)]
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
 	nextID ID
+}
+
+// SetPlacer installs (or clears, with nil) the placement-group
+// allocator consulted by Create instead of pool.AllocGroup. The cluster
+// layer uses it to route each new log's placement group through the
+// consistent-hash ring so groups spread across node failure domains.
+func (m *Manager) SetPlacer(f func(width int) ([]*pool.Slice, error)) {
+	if f == nil {
+		m.placer.Store(nil)
+		return
+	}
+	m.placer.Store(&f)
 }
 
 // SetCache attaches a two-tier read cache shared by every log of the
@@ -821,7 +892,13 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 	if err := red.validate(); err != nil {
 		return nil, err
 	}
-	slices, err := m.pool.AllocGroup(red.Width())
+	var slices []*pool.Slice
+	var err error
+	if fp := m.placer.Load(); fp != nil {
+		slices, err = (*fp)(red.Width())
+	} else {
+		slices, err = m.pool.AllocGroup(red.Width())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -965,6 +1042,38 @@ func (m *Manager) StaleBytes() int64 {
 		total += l.StaleBytes()
 	}
 	return total
+}
+
+// MarkDisksStale marks every live log's copies on the given disks of p
+// fully stale, in log-ID order for determinism, and returns the total
+// stale bytes recorded — the bulk form of PLog.MarkDiskStale the
+// cluster applies when a committed membership change declares a node
+// dead.
+func (m *Manager) MarkDisksStale(p *pool.Pool, disks map[pool.DiskID]bool) int64 {
+	m.mu.Lock()
+	logs := make([]*PLog, 0, len(m.logs))
+	for _, l := range m.logs {
+		logs = append(logs, l)
+	}
+	m.mu.Unlock()
+	sort.Slice(logs, func(i, j int) bool { return logs[i].id < logs[j].id })
+	var total int64
+	for _, l := range logs {
+		total += l.MarkDiskStale(p, disks)
+	}
+	return total
+}
+
+// StaleByDisk sums the missing redundancy bytes per hosting disk — the
+// per-node re-replication backlog gauge.
+func (m *Manager) StaleByDisk() map[pool.DiskID]int64 {
+	out := make(map[pool.DiskID]int64)
+	for _, l := range m.StaleLogs() {
+		for _, si := range l.Stale() {
+			out[si.Disk] += si.Bytes
+		}
+	}
+	return out
 }
 
 // Pool exposes the storage pool the manager places logs on.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/obs"
@@ -93,12 +94,21 @@ type Pool struct {
 
 	mu            sync.Mutex
 	disks         []*disk
+	domains       []int // failure domain per disk; nil = single-domain pool
 	slices        map[SliceID]*Slice
 	nextSlice     SliceID
 	logicalBytes  int64
 	reconstructed int64
 	hook          FaultHook
 	metrics       poolMetrics
+
+	// avoid vetoes new placements on a disk without failing it (the disk
+	// still serves reads and repairs-in-place). Stored atomically so the
+	// allocator may consult it while holding p.mu and the owner (the
+	// cluster's failure detector) may swap it from any goroutine without
+	// taking pool locks — the hook itself must therefore never call back
+	// into the pool.
+	avoid atomic.Pointer[func(DiskID) bool]
 }
 
 // poolMetrics holds the pool's obs instruments. All fields are nil-safe
@@ -189,6 +199,92 @@ func (p *Pool) SetObs(reg *obs.Registry) {
 	})
 }
 
+// SetDomains assigns each disk to a failure domain (a cluster node, a
+// rack). AllocGroup then spreads a placement group across as many
+// domains as possible — replicas and EC shards of one group never share
+// a domain while enough domains exist — and Relocate refuses targets in
+// the domains of the group's surviving copies. A nil assignment (the
+// default) keeps the pool single-domain: allocation order is then
+// byte-identical to the pre-domain allocator, so existing seeded runs
+// replay unchanged.
+func (p *Pool) SetDomains(domainOf []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if domainOf == nil {
+		p.domains = nil
+		return
+	}
+	p.domains = make([]int, len(p.disks))
+	for i := range p.domains {
+		if i < len(domainOf) {
+			p.domains[i] = domainOf[i]
+		}
+	}
+}
+
+func (p *Pool) domainOfLocked(id DiskID) int {
+	if p.domains == nil || int(id) < 0 || int(id) >= len(p.domains) {
+		return -1
+	}
+	return p.domains[id]
+}
+
+// DomainOf reports a disk's failure domain, or -1 when the pool is
+// single-domain.
+func (p *Pool) DomainOf(id DiskID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.domainOfLocked(id)
+}
+
+// DomainDisks lists the disks assigned to one failure domain, in disk
+// order.
+func (p *Pool) DomainDisks(domain int) []DiskID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []DiskID
+	for _, d := range p.disks {
+		if p.domainOfLocked(d.id) == domain {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// DomainSlices counts the slices currently hosted in each failure
+// domain (the "slices owned" gauge for per-node observability).
+func (p *Pool) DomainSlices() map[int]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]int)
+	for _, d := range p.disks {
+		out[p.domainOfLocked(d.id)] += len(d.slices)
+	}
+	return out
+}
+
+// SetAvoid installs (or clears, with nil) the placement veto consulted
+// on every allocation. A vetoed disk takes no new slices while any
+// non-vetoed disk can serve; if every candidate is vetoed the allocator
+// falls back to ignoring the veto rather than failing, so draining a
+// whole pool never bricks allocation. The hook runs under the pool
+// lock and must not call back into the pool.
+func (p *Pool) SetAvoid(f func(DiskID) bool) {
+	if f == nil {
+		p.avoid.Store(nil)
+		return
+	}
+	p.avoid.Store(&f)
+}
+
+// DiskAvoided reports whether the placement veto currently excludes a
+// disk — read paths (hedging, scrub, repair sources) use it to skip
+// copies on suspect or draining nodes.
+func (p *Pool) DiskAvoided(id DiskID) bool {
+	fp := p.avoid.Load()
+	return fp != nil && (*fp)(id)
+}
+
 // SliceSize returns the allocation granularity.
 func (p *Pool) SliceSize() int64 { return p.sliceSize }
 
@@ -213,15 +309,47 @@ func (p *Pool) Alloc(exclude map[DiskID]bool) (*Slice, error) {
 }
 
 func (p *Pool) allocLocked(exclude map[DiskID]bool) (*Slice, error) {
-	var best *disk
-	for _, d := range p.disks {
-		if d.failed || exclude[d.id] {
-			continue
+	return p.allocOnLocked(p.pickLocked(exclude, nil))
+}
+
+// pickLocked selects the least-used healthy disk outside exclude.
+// Vetoed disks (SetAvoid) are skipped unless no other candidate exists.
+// When domainUsed is non-nil the primary sort key becomes "fewest
+// group-mates already placed in this disk's domain", which spreads a
+// placement group across failure domains; ties fall through to the
+// least-used rule, so a nil domainUsed (or a single-domain pool, where
+// every count is equal) reproduces the legacy allocator exactly.
+func (p *Pool) pickLocked(exclude map[DiskID]bool, domainUsed map[int]int) *disk {
+	var avoid func(DiskID) bool
+	if fp := p.avoid.Load(); fp != nil {
+		avoid = *fp
+	}
+	for pass := 0; pass < 2; pass++ {
+		var best *disk
+		bestDom := 0
+		for _, d := range p.disks {
+			if d.failed || exclude[d.id] {
+				continue
+			}
+			if pass == 0 && avoid != nil && avoid(d.id) {
+				continue
+			}
+			du := 0
+			if domainUsed != nil {
+				du = domainUsed[p.domainOfLocked(d.id)]
+			}
+			if best == nil || du < bestDom || (du == bestDom && d.dev.Used() < best.dev.Used()) {
+				best, bestDom = d, du
+			}
 		}
-		if best == nil || d.dev.Used() < best.dev.Used() {
-			best = d
+		if best != nil || avoid == nil {
+			return best
 		}
 	}
+	return nil
+}
+
+func (p *Pool) allocOnLocked(best *disk) (*Slice, error) {
 	if best == nil {
 		return nil, ErrNoSpace
 	}
@@ -251,9 +379,13 @@ func (p *Pool) AllocGroup(n int) ([]*Slice, error) {
 		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnough, n, healthy)
 	}
 	exclude := make(map[DiskID]bool, n)
+	var domainUsed map[int]int
+	if p.domains != nil {
+		domainUsed = make(map[int]int)
+	}
 	out := make([]*Slice, 0, n)
 	for i := 0; i < n; i++ {
-		s, err := p.allocLocked(exclude)
+		s, err := p.allocOnLocked(p.pickLocked(exclude, domainUsed))
 		if err != nil {
 			for _, prev := range out {
 				p.freeLocked(prev.ID)
@@ -261,9 +393,76 @@ func (p *Pool) AllocGroup(n int) ([]*Slice, error) {
 			return nil, err
 		}
 		exclude[s.Disk] = true
+		if domainUsed != nil {
+			domainUsed[p.domainOfLocked(s.Disk)]++
+		}
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// AllocGroupIn allocates n slices, steering the i-th toward preferred
+// failure domain pref[i] (the cluster's consistent-hash placement
+// order). A preferred domain with no allocatable disk — failed, full,
+// or vetoed — falls back to the regular domain-spread pick, so
+// placement degrades gracefully as nodes die instead of failing.
+func (p *Pool) AllocGroupIn(pref []int, n int) ([]*Slice, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	healthy := 0
+	for _, d := range p.disks {
+		if !d.failed {
+			healthy++
+		}
+	}
+	if healthy < n {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnough, n, healthy)
+	}
+	exclude := make(map[DiskID]bool, n)
+	domainUsed := make(map[int]int)
+	out := make([]*Slice, 0, n)
+	for i := 0; i < n; i++ {
+		var best *disk
+		if i < len(pref) {
+			best = p.pickInDomainLocked(pref[i], exclude)
+		}
+		if best == nil {
+			best = p.pickLocked(exclude, domainUsed)
+		}
+		s, err := p.allocOnLocked(best)
+		if err != nil {
+			for _, prev := range out {
+				p.freeLocked(prev.ID)
+			}
+			return nil, err
+		}
+		exclude[s.Disk] = true
+		domainUsed[p.domainOfLocked(s.Disk)]++
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// pickInDomainLocked selects the least-used healthy, non-vetoed disk of
+// one failure domain, or nil when the domain has no candidate.
+func (p *Pool) pickInDomainLocked(domain int, exclude map[DiskID]bool) *disk {
+	var avoid func(DiskID) bool
+	if fp := p.avoid.Load(); fp != nil {
+		avoid = *fp
+	}
+	var best *disk
+	for _, d := range p.disks {
+		if d.failed || exclude[d.id] || p.domainOfLocked(d.id) != domain {
+			continue
+		}
+		if avoid != nil && avoid(d.id) {
+			continue
+		}
+		if best == nil || d.dev.Used() < best.dev.Used() {
+			best = d
+		}
+	}
+	return best
 }
 
 // Retain increments a slice's reference count (snapshot/clone support:
@@ -498,6 +697,20 @@ func (p *Pool) Relocate(id SliceID, exclude map[DiskID]bool) (DiskID, error) {
 	ex[s.Disk] = true
 	for d := range exclude {
 		ex[d] = true
+	}
+	// Domain-aware pools also exclude every domain-mate of an excluded
+	// disk: a slice relocated off a dead node must not land on a node
+	// that already hosts one of the group's surviving copies.
+	if p.domains != nil {
+		doms := make(map[int]bool, len(ex))
+		for d := range ex {
+			doms[p.domainOfLocked(d)] = true
+		}
+		for _, dd := range p.disks {
+			if doms[p.domainOfLocked(dd.id)] {
+				ex[dd.id] = true
+			}
+		}
 	}
 	target, err := p.allocLocked(ex)
 	if err != nil {

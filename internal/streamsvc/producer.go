@@ -281,6 +281,37 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 			// failures; surface them without burning the breaker.
 			return 0, aerr, true
 		}
+		// Cluster commit gate: the append is durable, but in clustered
+		// mode it must also commit to the replicated metadata log before
+		// the client may be acknowledged. A quorum failure is retryable —
+		// the re-sent batch lands in the dedup window (same seq, same
+		// base) and the commit re-proposes idempotently, so failover
+		// neither loses the acked write nor duplicates it. A minority
+		// partition can never pass this gate, which is what "the minority
+		// side serves no new writes" means operationally.
+		if gate := p.svc.commitGate(); gate != nil {
+			gc, gerr := gate.CommitProduce(topic, idx, base, len(batch))
+			cost += gc
+			if sp != nil {
+				g := sp.Child("cluster.commit")
+				g.SetAttr("stream", strconv.Itoa(idx))
+				if gerr != nil {
+					g.SetAttr("outcome", "no-quorum")
+				}
+				g.End(gc)
+				sp.Advance(gc)
+			}
+			if derr := rc.Charge(gc); derr != nil {
+				m.deadlines.Inc()
+				if br != nil {
+					br.Success(vnow())
+				}
+				return base, derr, true
+			}
+			if gerr != nil {
+				return 0, fmt.Errorf("streamsvc: commit %s/%d: %w", topic, idx, gerr), false
+			}
+		}
 		if !on {
 			return base, nil, true
 		}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamlake/internal/bus"
@@ -40,6 +42,14 @@ type Worker struct {
 	mu       sync.Mutex
 	streams  map[string]bool // "topic/idx" keys currently assigned
 	appended int64
+	down     bool // cluster verdict: the worker's node is dead or draining
+}
+
+// Down reports whether the worker is marked down by the cluster plane.
+func (w *Worker) Down() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down
 }
 
 // ID returns the worker's index.
@@ -90,6 +100,37 @@ type Service struct {
 	resilCfg ResilienceConfig
 	resilOn  bool
 	breakers map[string]*resil.Breaker
+
+	// gate, when set, must commit every durable append to the cluster's
+	// replicated metadata log before the producer acks (see
+	// Producer.sendOne). Swapped atomically so the produce hot path
+	// reads it without s.mu.
+	gate atomic.Pointer[CommitGate]
+}
+
+// CommitGate is the cluster's produce-commit hook: called after a batch
+// is durably appended and before the client is acknowledged. An error
+// means the metadata quorum is unavailable — the producer must not ack
+// and retries instead (the stream object's dedup window absorbs the
+// re-append).
+type CommitGate interface {
+	CommitProduce(topic string, stream int, base int64, count int) (time.Duration, error)
+}
+
+// SetCommitGate installs (or clears, with nil) the produce commit gate.
+func (s *Service) SetCommitGate(g CommitGate) {
+	if g == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&g)
+}
+
+func (s *Service) commitGate() CommitGate {
+	if gp := s.gate.Load(); gp != nil {
+		return *gp
+	}
+	return nil
 }
 
 // svcMetrics is the streaming service's obs instrument set; wired once
@@ -386,6 +427,75 @@ func (s *Service) FailWorker(id int) (int, error) {
 	return len(orphans), nil
 }
 
+// SetWorkerDown flips one worker's cluster-liveness verdict and
+// redistributes stream ownership over the up workers by hash — the
+// metadata-only failover the dispatcher runs when the cluster commits a
+// node dead (down=true) or back alive (down=false). Unlike FailWorker
+// the worker object survives, so a revived node's worker resumes with
+// its breaker history and bus wiring intact. It returns how many stream
+// assignments moved and the modelled remap cost.
+func (s *Service) SetWorkerDown(id int, down bool) (moved int, cost time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.workers) {
+		return 0, 0
+	}
+	w := s.workers[id]
+	w.mu.Lock()
+	changed := w.down != down
+	w.down = down
+	w.mu.Unlock()
+	if !changed {
+		return 0, 0
+	}
+	// Up-worker set in ID order; with every worker down, ownership is
+	// left untouched (no ack can succeed anyway — links are dead).
+	up := make([]*Worker, 0, len(s.workers))
+	for _, cand := range s.workers {
+		cand.mu.Lock()
+		ok := !cand.down
+		cand.mu.Unlock()
+		if ok {
+			up = append(up, cand)
+		}
+	}
+	if len(up) == 0 {
+		return 0, 0
+	}
+	old := make(map[string]int)
+	for _, cand := range s.workers {
+		cand.mu.Lock()
+		for k := range cand.streams {
+			old[k] = cand.id
+		}
+		cand.streams = map[string]bool{}
+		cand.mu.Unlock()
+	}
+	names := make([]string, 0, len(s.topics))
+	for name := range s.topics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.topics[name]
+		for i := range ts.streams {
+			k := streamKey(name, i)
+			target := up[int(hashString(k)%uint64(len(up)))]
+			target.mu.Lock()
+			target.streams[k] = true
+			target.mu.Unlock()
+			if prev, ok := old[k]; !ok || prev != target.id {
+				moved++
+				c, _ := s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", target.id)))
+				cost += c
+			}
+		}
+	}
+	s.topology++
+	s.recordTopologyLocked()
+	return moved, cost
+}
+
 // TopologyVersion returns the dispatcher's topology version.
 func (s *Service) TopologyVersion() int64 {
 	s.mu.Lock()
@@ -393,16 +503,26 @@ func (s *Service) TopologyVersion() int64 {
 	return s.topology
 }
 
-// ownerOf returns the worker serving a stream.
+// ownerOf returns the worker serving a stream, skipping workers the
+// cluster has marked down; with no up owner it falls back to the first
+// up worker, then to worker 0 (whose dead links will fail the send —
+// the correct outcome when the whole fleet is down).
 func (s *Service) ownerOf(topic string, idx int) *Worker {
 	key := streamKey(topic, idx)
+	var firstUp *Worker
 	for _, w := range s.workers {
 		w.mu.Lock()
-		ok := w.streams[key]
+		ok := w.streams[key] && !w.down
+		if firstUp == nil && !w.down {
+			firstUp = w
+		}
 		w.mu.Unlock()
 		if ok {
 			return w
 		}
+	}
+	if firstUp != nil {
+		return firstUp
 	}
 	return s.workers[0]
 }

@@ -45,6 +45,15 @@ go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical|Tes
 # (hit rate ≥ 0.5, warm p99 ≥ 5x under cold, ~zero warm plan bytes).
 go test -race -count=1 ./internal/cache/
 go test -count=1 -short -run 'TestMixedWorkloadCacheCoherence' ./internal/chaos/
+# Cluster gate: the membership/consensus plane under the race detector,
+# plus the seeded failover chaos smoke — node kills (leader included)
+# and split-brain metadata partitions with zero acked-write loss, every
+# ack present in the replicated log, at most one leader per term, and
+# the scripted leader+storage-node drill inside its virtual-time
+# ceilings (detect <=80ms, producer gap <=120ms, rebalance <=2s). The
+# benchsnap smoke above enforces the same ceilings on every snapshot.
+go test -race -count=1 ./internal/cluster/
+go test -count=1 -run 'TestClusterFailoverChaos|TestClusterSplitBrainChaos|TestClusterFailoverDrill|TestClusterRebalanceMovesBytes' ./internal/chaos/
 # Short fuzz smoke over the codec boundaries: a few seconds of input
 # generation against the decoders that parse untrusted bytes.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"streamlake/internal/cache"
+	"streamlake/internal/cluster"
 	"streamlake/internal/colfile"
 	"streamlake/internal/convert"
 	"streamlake/internal/faults"
@@ -155,6 +156,15 @@ type Config struct {
 	// Off by default: the stats encoding changes when enabled, so replay
 	// digests are comparable only between runs with the same setting.
 	ZoneMaps bool
+	// Nodes turns on the multi-node cluster plane with this many nodes:
+	// disks partition into per-node failure domains, placement spreads
+	// copies across nodes via consistent hashing, a heartbeat failure
+	// detector and Raft-lite replicated metadata log run over the network
+	// fault plane, and every produce ack waits for a majority metadata
+	// commit. 0 or 1 (the default) keeps the single-node legacy behavior
+	// byte-identical; replay digests are comparable only between runs
+	// with the same setting.
+	Nodes int
 	// CacheMB sizes the two-tier (DRAM + SCM) read cache in megabytes;
 	// 0 (the default) disables it, leaving every read on the device
 	// path. The DRAM tier gets 1/8 of the budget, the SCM tier the
@@ -186,9 +196,10 @@ type Lake struct {
 	inj     *faults.Injector
 	rep     *repair.Service
 	scrub   *scrub.Service
-	reg     *obs.Registry // nil when observability is disabled
-	tracer  *obs.Tracer   // nil when observability is disabled
-	rcache  *cache.Cache  // nil when Config.CacheMB is 0
+	reg     *obs.Registry    // nil when observability is disabled
+	tracer  *obs.Tracer      // nil when observability is disabled
+	rcache  *cache.Cache     // nil when Config.CacheMB is 0
+	clus    *cluster.Cluster // nil when Config.Nodes <= 1
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -267,6 +278,37 @@ func Open(cfg Config) (*Lake, error) {
 		Rate:         cfg.ScrubRate,
 		Repair:       true,
 	})
+	if cfg.Nodes > 1 {
+		cl := cluster.New(cluster.Config{Nodes: cfg.Nodes, Seed: cfg.Seed}, clock, inj.Net())
+		cl.AttachPool(ssd, logs)
+		cl.AttachPool(hdd, logs) // shares the SSD manager's logs (tiering migrates them)
+		cl.AttachRepair(l.rep)
+		workers := cfg.Workers
+		nodes := cfg.Nodes
+		net := inj.Net()
+		// A killed node's process is gone before any detection: its
+		// workers' client links partition immediately, and heal on revival.
+		cl.OnKill(func(node int, up bool) {
+			for w := node % nodes; w < workers; w += nodes {
+				ep := fmt.Sprintf("worker/%d", w)
+				if up {
+					net.Heal("client", ep)
+					net.Heal(ep, "client")
+				} else {
+					net.Partition("client", ep)
+					net.Partition(ep, "client")
+				}
+			}
+		})
+		// Committed membership changes reassign the node's stream workers.
+		cl.OnMembership(func(node int, serving bool) {
+			for w := node % nodes; w < workers; w += nodes {
+				svc.SetWorkerDown(w, !serving)
+			}
+		})
+		svc.SetCommitGate(cl)
+		l.clus = cl
+	}
 	if !cfg.DisableObservability {
 		l.reg = obs.NewRegistry(clock)
 		l.tracer = obs.NewTracer(clock)
@@ -281,6 +323,14 @@ func Open(cfg Config) (*Lake, error) {
 		l.scrub.SetObs(l.reg)
 		if l.rcache != nil {
 			l.rcache.SetObs(l.reg)
+		}
+		if l.clus != nil {
+			l.clus.SetObs(l.reg)
+		}
+	}
+	if l.clus != nil {
+		if err := l.clus.Bootstrap(); err != nil {
+			return nil, err
 		}
 	}
 	return l, nil
@@ -310,8 +360,17 @@ func (l *Lake) Tracer() *obs.Tracer { return l.tracer }
 // Clock exposes the lake's virtual clock (experiments advance it).
 func (l *Lake) Clock() *sim.Clock { return l.clock }
 
-// CreateTopic declares a message topic.
-func (l *Lake) CreateTopic(cfg TopicConfig) error { return l.svc.CreateTopic(cfg) }
+// CreateTopic declares a message topic. On a clustered lake the
+// definition replicates through the metadata log first — a minority
+// partition cannot create topics.
+func (l *Lake) CreateTopic(cfg TopicConfig) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMeta("topic/" + cfg.Name); err != nil {
+			return fmt.Errorf("streamlake: replicate topic %q: %w", cfg.Name, err)
+		}
+	}
+	return l.svc.CreateTopic(cfg)
+}
 
 // DeleteTopic removes a topic and its stream objects.
 func (l *Lake) DeleteTopic(name string) error { return l.svc.DeleteTopic(name) }
@@ -347,8 +406,14 @@ func (l *Lake) Playback(table string, snap Snapshot, topic string) (int64, time.
 	return convert.Playback(tbl, snap, l.Producer(""), topic)
 }
 
-// CreateTable registers a lakehouse table.
+// CreateTable registers a lakehouse table, replicating the definition
+// through the metadata log on a clustered lake.
 func (l *Lake) CreateTable(meta TableMeta) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMeta("table/" + meta.Name); err != nil {
+			return fmt.Errorf("streamlake: replicate table %q: %w", meta.Name, err)
+		}
+	}
 	_, err := l.lh.CreateTable(meta)
 	return err
 }
@@ -550,6 +615,10 @@ func (l *Lake) RunTiering() ([]tiering.Migration, time.Duration) {
 func (l *Lake) ReplicateOffsite() (int64, time.Duration) {
 	return l.repl.Replicate(l.tiers)
 }
+
+// Cluster exposes the multi-node cluster plane; nil when Config.Nodes
+// left the lake single-node.
+func (l *Lake) Cluster() *cluster.Cluster { return l.clus }
 
 // Faults exposes the fault injector attached to the lake's storage
 // pools: disk kill/revive, transient error rates, latency degradation.
