@@ -42,6 +42,8 @@ func TestClusterFailoverChaos(t *testing.T) {
 	if rep.MetaCommits == 0 {
 		t.Fatal("no metadata commits")
 	}
+	t.Logf("failover chaos: acked=%d kills=%d elections=%d metaCommits=%d",
+		rep.Produced, rep.NodeKills, rep.Elections, rep.MetaCommits)
 }
 
 // TestClusterSplitBrainChaos: metadata-plane splits put the leader in a
@@ -67,6 +69,7 @@ func TestClusterSplitBrainChaos(t *testing.T) {
 	if rep.Elections == 0 {
 		t.Fatal("no elections — no split ever isolated the leader")
 	}
+	t.Logf("split-brain chaos: acked=%d elections=%d", rep.Produced, rep.Elections)
 }
 
 // TestClusterChaosReplayIsBitIdentical: the full cluster fault mix is
@@ -377,6 +380,8 @@ func TestClusterRebalanceMovesBytes(t *testing.T) {
 	if got != 600 {
 		t.Fatalf("drained %d of 600 messages after losing %d node(s)", got, killed)
 	}
+	t.Logf("rebalance: staleMarked=%dB repaired=%dB elapsed=%v",
+		cl.Stats().StaleMarkedByte, reb.RepairedBytes, reb.Elapsed)
 }
 
 // TestClusterFailoverDrill: the scripted leader-plus-storage-node kill,
@@ -409,4 +414,6 @@ func TestClusterFailoverDrill(t *testing.T) {
 	if other.digest == res.digest {
 		t.Fatal("different seeds produced identical drills")
 	}
+	t.Logf("drill: acked=%d detect=%v unavail=%v rebalance=%v",
+		res.acked, res.detect, res.unavail, res.rebalance)
 }

@@ -354,8 +354,10 @@ func (c *Cluster) KillNode(node int) error {
 // ReviveNode restarts a killed node: disks revive (their copies are
 // still stale until repair catches them up), heartbeats resume, and the
 // leader proposes the node alive once it hears from it. The node's
-// metadata log and term survive the restart — they are its durable
-// state.
+// metadata log, term, and votedFor survive the restart — they are its
+// durable state. votedFor in particular MUST persist: a node that voted
+// in term T, died, and revived with votedFor reset could vote again in
+// T, electing two leaders for one term.
 func (c *Cluster) ReviveNode(node int) error {
 	now := c.clock.Now()
 	c.mu.Lock()
@@ -370,7 +372,6 @@ func (c *Cluster) ReviveNode(node int) error {
 	}
 	n.up = true
 	n.role = Follower
-	n.votedFor = -1
 	n.lastLeaderBeat = now
 	n.lastElection = now
 	for i := range n.lastHeard {
@@ -613,7 +614,10 @@ func (c *Cluster) boundaryLocked(t time.Duration, effects *[]func()) {
 				c.proposeLocked("member", data, effects)
 			}
 		}
-		if !c.alive[j] && c.nodes[j].up && heardAgo <= c.cfg.SuspectAfter {
+		// Revival rides on detector evidence alone (a recent heartbeat),
+		// never ground-truth process liveness — same discipline as the
+		// suspect/dead verdicts.
+		if !c.alive[j] && heardAgo <= c.cfg.SuspectAfter {
 			data := strconv.Itoa(j) + sep + "alive"
 			if !c.pendingLocked(lead, "member", data) {
 				c.proposeLocked("member", data, effects)

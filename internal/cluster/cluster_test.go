@@ -263,6 +263,72 @@ func TestMetaReplication(t *testing.T) {
 	}
 }
 
+// TestVotedForSurvivesKillRevive pins the vote's durability: votedFor is
+// part of a node's durable state (alongside term and log). A node that
+// voted in term T, died, and revived with votedFor reset could vote
+// again in T — two leaders for one term, divergent committed logs.
+func TestVotedForSurvivesKillRevive(t *testing.T) {
+	c, _, _ := newTestCluster(t, 5, 42)
+	// Bootstrap's election left a majority of followers with votedFor
+	// recorded — pick one.
+	c.mu.Lock()
+	voter, want := -1, -1
+	for _, n := range c.nodes {
+		if n.role != Leader && n.votedFor != -1 {
+			voter, want = n.id, n.votedFor
+			break
+		}
+	}
+	c.mu.Unlock()
+	if voter < 0 {
+		t.Fatal("no follower recorded a vote after bootstrap")
+	}
+	if err := c.KillNode(voter); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := c.ReviveNode(voter); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	c.mu.Lock()
+	got := c.nodes[voter].votedFor
+	c.mu.Unlock()
+	if got != want {
+		t.Fatalf("votedFor not durable across kill/revive: got %d, want %d", got, want)
+	}
+}
+
+func TestMetaTombstoneReplicatesDeletion(t *testing.T) {
+	c, _, _ := newTestCluster(t, 3, 5)
+	if _, err := c.ProposeMeta("topic/events"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.ProposeMetaDelete("topic/events"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if c.MetaCommitted("topic/events") {
+		t.Fatal("tombstone did not clear the committed key")
+	}
+	// Deleting an absent key is idempotent and appends nothing.
+	before := c.Applied()
+	if cost, err := c.ProposeMetaDelete("topic/events"); err != nil || cost != 0 {
+		t.Fatalf("redundant delete: cost=%v err=%v", cost, err)
+	}
+	if c.Applied() != before {
+		t.Fatal("redundant delete appended a log entry")
+	}
+	// Recreating the same name must replicate again: the tombstone
+	// cleared the dedup map, so the second create is a fresh commit.
+	if _, err := c.ProposeMeta("topic/events"); err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if !c.MetaCommitted("topic/events") {
+		t.Fatal("recreate did not apply")
+	}
+	if c.Applied() <= before {
+		t.Fatal("recreate skipped replication (stale dedup)")
+	}
+}
+
 func TestDrainCommitsAndExcludesPlacement(t *testing.T) {
 	c, _, _ := newTestCluster(t, 5, 21)
 	target := (c.Leader() + 2) % 5

@@ -135,8 +135,11 @@ func (c *Cluster) runElectionLocked(i *nodeState, t time.Duration) {
 			j.role = Follower
 		}
 		if j.term > i.term {
-			// The cluster moved on without this candidate.
+			// The cluster moved on without this candidate. Entering the
+			// newer term means its self-vote is void there: clear votedFor
+			// so it can grant the newer term's candidate.
 			i.term = j.term
+			i.votedFor = -1
 			i.role = Follower
 			return
 		}
@@ -170,6 +173,11 @@ func (c *Cluster) runElectionLocked(i *nodeState, t time.Duration) {
 			continue
 		}
 		if i.term >= j.term {
+			if i.term > j.term {
+				// Term increase voids any vote cast in the older term; a
+				// same-term vote (for this winner or a loser) stands.
+				j.votedFor = -1
+			}
 			j.term = i.term
 			j.role = Follower
 			j.lastLeaderBeat = t
@@ -203,15 +211,22 @@ func (c *Cluster) proposeLocked(kind, data string, effects *[]func()) (time.Dura
 			continue
 		}
 		if j.term > lead.term {
-			// Term fence: the peer has seen a newer leader. Step down;
-			// the conflicting tail (including this entry) will be
-			// truncated by the newer leader's reconcile.
+			// Term fence: the peer has seen a newer leader. Step down
+			// (clearing votedFor — the adopted term is one this node never
+			// voted in); the conflicting tail (including this entry) will
+			// be truncated by the newer leader's reconcile.
 			lead.term = j.term
+			lead.votedFor = -1
 			lead.role = Follower
 			c.stats.CommitFails++
 			return cost, ErrNoQuorum
 		}
-		j.term = lead.term
+		if lead.term > j.term {
+			// Same rule on the follower side: adopting a higher term voids
+			// any vote the follower cast in its old term.
+			j.term = lead.term
+			j.votedFor = -1
+		}
 		c.reconcileLocked(lead, j)
 		d2, err := c.net.Deliver(nodeEndpoint(j.id), nodeEndpoint(lead.id), ackBytes)
 		if err != nil {
@@ -308,11 +323,21 @@ func (c *Cluster) applyLocked(e Entry, effects *[]func()) {
 			*effects = append(*effects, func() { c.membershipChanged(n, serving) })
 		}
 	case "meta":
-		c.meta[e.Data] = true
+		if key, ok := strings.CutPrefix(e.Data, metaTombstone); ok {
+			delete(c.meta, key)
+		} else {
+			c.meta[e.Data] = true
+		}
 	}
 }
 
 const sep = "\x1f"
+
+// metaTombstone prefixes a replicated meta record that clears a
+// previously committed key — deletions travel through the same log as
+// creations, so a delete-then-recreate replicates both legs and a
+// minority partition can do neither.
+const metaTombstone = "del" + sep
 
 func produceKey(topic string, stream int, base int64, count int) string {
 	return topic + sep + strconv.Itoa(stream) + sep +
@@ -360,6 +385,23 @@ func (c *Cluster) ProposeMeta(data string) (time.Duration, error) {
 		return 0, nil
 	}
 	cost, err := c.proposeLocked("meta", data, &effects)
+	c.mu.Unlock()
+	c.runEffects(effects)
+	return cost, err
+}
+
+// ProposeMetaDelete replicates a tombstone clearing a previously
+// committed metadata record (topic deletion, table drop). A key that was
+// never committed — or whose tombstone already applied — returns
+// immediately, keeping the call idempotent without bloating the log.
+func (c *Cluster) ProposeMetaDelete(data string) (time.Duration, error) {
+	var effects []func()
+	c.mu.Lock()
+	if !c.meta[data] {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	cost, err := c.proposeLocked("meta", metaTombstone+data, &effects)
 	c.mu.Unlock()
 	c.runEffects(effects)
 	return cost, err

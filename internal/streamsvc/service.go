@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,11 @@ type Service struct {
 	workers  []*Worker
 	topology int64 // topology version, bumped on every change
 	txnSeq   int64
+
+	// displaced remembers the home worker of every stream moved off a
+	// down worker, so SetWorkerDown's revival leg returns exactly those
+	// streams and touches nothing else.
+	displaced map[string]int
 
 	// commitMu is the transaction visibility latch: Txn.Commit holds it
 	// exclusively while appending so Poll (shared) observes either all
@@ -191,10 +197,11 @@ func New(clock *sim.Clock, store *streamobj.Store, workerCount int) *Service {
 		workerCount = 1
 	}
 	s := &Service{
-		clock:  clock,
-		store:  store,
-		meta:   kv.Open(kv.Options{Device: sim.NewDeviceOf("dispatcher-kv", sim.SCM)}),
-		topics: make(map[string]*topicState),
+		clock:     clock,
+		store:     store,
+		meta:      kv.Open(kv.Options{Device: sim.NewDeviceOf("dispatcher-kv", sim.SCM)}),
+		topics:    make(map[string]*topicState),
+		displaced: make(map[string]int),
 	}
 	for i := 0; i < workerCount; i++ {
 		s.workers = append(s.workers, newWorker(i))
@@ -275,6 +282,11 @@ func (s *Service) DeleteTopic(name string) error {
 			}
 		}
 		w.mu.Unlock()
+	}
+	for k := range s.displaced {
+		if len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '/' {
+			delete(s.displaced, k)
+		}
 	}
 	s.topology++
 	s.recordTopologyLocked()
@@ -367,6 +379,9 @@ func (s *Service) SetWorkerCount(n int) (moved int, cost time.Duration) {
 			workers[i].bus.SetNet(s.netHook, workerEndpoint(i))
 		}
 	}
+	// The fleet is rebuilt from scratch (fresh down flags, hash-based
+	// baseline): displaced-stream bookkeeping restarts with it.
+	s.displaced = make(map[string]int)
 	for name, ts := range s.topics {
 		for i := range ts.streams {
 			k := streamKey(name, i)
@@ -408,6 +423,13 @@ func (s *Service) FailWorker(id int) (int, error) {
 	}
 	dead := s.workers[id]
 	s.workers = append(s.workers[:id:id], s.workers[id+1:]...)
+	// The crashed worker never comes back (unlike SetWorkerDown): streams
+	// displaced off it have no home to return to.
+	for k, home := range s.displaced {
+		if home == dead.id {
+			delete(s.displaced, k)
+		}
+	}
 	dead.mu.Lock()
 	orphans := make([]string, 0, len(dead.streams))
 	for k := range dead.streams {
@@ -427,13 +449,16 @@ func (s *Service) FailWorker(id int) (int, error) {
 	return len(orphans), nil
 }
 
-// SetWorkerDown flips one worker's cluster-liveness verdict and
-// redistributes stream ownership over the up workers by hash — the
+// SetWorkerDown flips one worker's cluster-liveness verdict — the
 // metadata-only failover the dispatcher runs when the cluster commits a
 // node dead (down=true) or back alive (down=false). Unlike FailWorker
 // the worker object survives, so a revived node's worker resumes with
-// its breaker history and bus wiring intact. It returns how many stream
-// assignments moved and the modelled remap cost.
+// its breaker history and bus wiring intact. Reassignment is minimal:
+// marking a worker down moves only ITS streams, spread over the up
+// workers by rendezvous hashing, and marking it back up returns exactly
+// the streams displaced off it — streams on unaffected workers never
+// churn. It returns how many stream assignments moved and the modelled
+// remap cost.
 func (s *Service) SetWorkerDown(id int, down bool) (moved int, cost time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,52 +473,87 @@ func (s *Service) SetWorkerDown(id int, down bool) (moved int, cost time.Duratio
 	if !changed {
 		return 0, 0
 	}
-	// Up-worker set in ID order; with every worker down, ownership is
-	// left untouched (no ack can succeed anyway — links are dead).
-	up := make([]*Worker, 0, len(s.workers))
-	for _, cand := range s.workers {
-		cand.mu.Lock()
-		ok := !cand.down
-		cand.mu.Unlock()
-		if ok {
-			up = append(up, cand)
+	if down {
+		// Up-worker set in ID order; with every worker down, ownership is
+		// left untouched (no ack can succeed anyway — links are dead).
+		up := make([]*Worker, 0, len(s.workers))
+		for _, cand := range s.workers {
+			cand.mu.Lock()
+			ok := !cand.down
+			cand.mu.Unlock()
+			if ok {
+				up = append(up, cand)
+			}
 		}
-	}
-	if len(up) == 0 {
-		return 0, 0
-	}
-	old := make(map[string]int)
-	for _, cand := range s.workers {
-		cand.mu.Lock()
-		for k := range cand.streams {
-			old[k] = cand.id
+		if len(up) == 0 {
+			return 0, 0
 		}
-		cand.streams = map[string]bool{}
-		cand.mu.Unlock()
-	}
-	names := make([]string, 0, len(s.topics))
-	for name := range s.topics {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		ts := s.topics[name]
-		for i := range ts.streams {
-			k := streamKey(name, i)
-			target := up[int(hashString(k)%uint64(len(up)))]
+		w.mu.Lock()
+		keys := make([]string, 0, len(w.streams))
+		for k := range w.streams {
+			keys = append(keys, k)
+		}
+		w.streams = map[string]bool{}
+		w.mu.Unlock()
+		sort.Strings(keys)
+		for _, k := range keys {
+			target := rendezvousPick(k, up)
 			target.mu.Lock()
 			target.streams[k] = true
 			target.mu.Unlock()
-			if prev, ok := old[k]; !ok || prev != target.id {
-				moved++
-				c, _ := s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", target.id)))
-				cost += c
+			// A stream hopping across a second down event keeps its
+			// original home, so it returns there on that node's revival.
+			if _, ok := s.displaced[k]; !ok {
+				s.displaced[k] = id
 			}
+			moved++
+			c, _ := s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", target.id)))
+			cost += c
+		}
+	} else {
+		keys := make([]string, 0, len(s.displaced))
+		for k, home := range s.displaced {
+			if home == id {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			delete(s.displaced, k)
+			for _, cand := range s.workers {
+				if cand == w {
+					continue
+				}
+				cand.mu.Lock()
+				delete(cand.streams, k)
+				cand.mu.Unlock()
+			}
+			w.mu.Lock()
+			w.streams[k] = true
+			w.mu.Unlock()
+			moved++
+			c, _ := s.meta.Put([]byte("assign/"+k), []byte(fmt.Sprintf("%d", id)))
+			cost += c
 		}
 	}
 	s.topology++
 	s.recordTopologyLocked()
 	return moved, cost
+}
+
+// rendezvousPick chooses a stream's owner among the up workers by
+// highest-random-weight (rendezvous) hashing: each (stream, worker) pair
+// scores independently, so removing a worker from the up set moves only
+// that worker's streams — never a reshuffle among the survivors.
+func rendezvousPick(key string, up []*Worker) *Worker {
+	best := up[0]
+	bestScore := hashString(key + "\x00" + strconv.Itoa(best.id))
+	for _, w := range up[1:] {
+		if score := hashString(key + "\x00" + strconv.Itoa(w.id)); score > bestScore {
+			best, bestScore = w, score
+		}
+	}
+	return best
 }
 
 // TopologyVersion returns the dispatcher's topology version.

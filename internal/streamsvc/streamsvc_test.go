@@ -441,3 +441,60 @@ func TestWorkerFailover(t *testing.T) {
 		t.Fatal("failed the last worker")
 	}
 }
+
+// snapshotAssignments maps every assigned stream key to its owner.
+func snapshotAssignments(s *Service) map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for k := range w.streams {
+			out[k] = w.id
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// TestSetWorkerDownMinimalChurn pins the failover reassignment contract:
+// marking one worker down moves only that worker's streams (rendezvous
+// over the survivors), and marking it back up returns exactly those
+// streams home — streams on unaffected workers never churn.
+func TestSetWorkerDownMinimalChurn(t *testing.T) {
+	s := newService(t, 4)
+	if err := s.CreateTopic(TopicConfig{Name: "churn", StreamNum: 16}); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotAssignments(s)
+	moved, _ := s.SetWorkerDown(1, true)
+	after := snapshotAssignments(s)
+	displaced := 0
+	for k, owner := range before {
+		if owner == 1 {
+			displaced++
+			if after[k] == 1 {
+				t.Fatalf("stream %s left on the down worker", k)
+			}
+			continue
+		}
+		if after[k] != owner {
+			t.Fatalf("stream %s churned %d -> %d though worker %d stayed up",
+				k, owner, after[k], owner)
+		}
+	}
+	if moved != displaced {
+		t.Fatalf("down moved %d streams, want exactly the down worker's %d", moved, displaced)
+	}
+	// Revival: the displaced streams — and only they — return home.
+	moved, _ = s.SetWorkerDown(1, false)
+	if moved != displaced {
+		t.Fatalf("revive moved %d streams, want %d", moved, displaced)
+	}
+	restored := snapshotAssignments(s)
+	for k, owner := range before {
+		if restored[k] != owner {
+			t.Fatalf("stream %s not restored: %d, want %d", k, restored[k], owner)
+		}
+	}
+}

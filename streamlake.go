@@ -372,8 +372,18 @@ func (l *Lake) CreateTopic(cfg TopicConfig) error {
 	return l.svc.CreateTopic(cfg)
 }
 
-// DeleteTopic removes a topic and its stream objects.
-func (l *Lake) DeleteTopic(name string) error { return l.svc.DeleteTopic(name) }
+// DeleteTopic removes a topic and its stream objects. On a clustered
+// lake the deletion replicates through the metadata log first — the
+// mirror of CreateTopic, so a minority partition can neither create nor
+// delete, and a later CreateTopic of the same name replicates again.
+func (l *Lake) DeleteTopic(name string) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMetaDelete("topic/" + name); err != nil {
+			return fmt.Errorf("streamlake: replicate topic delete %q: %w", name, err)
+		}
+	}
+	return l.svc.DeleteTopic(name)
+}
 
 // Producer returns a producer handle (empty id = fresh identity).
 func (l *Lake) Producer(id string) *Producer { return l.svc.Producer(id) }
@@ -443,20 +453,39 @@ func (l *Lake) Update(table, column string, lo, hi *Value, set func(Row) Row) (i
 	return n, err
 }
 
-// DropTableSoft unregisters a table, keeping its data restorable.
+// DropTableSoft unregisters a table, keeping its data restorable. Like
+// CreateTable, the catalog change replicates through the metadata log on
+// a clustered lake before taking local effect.
 func (l *Lake) DropTableSoft(table string) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMetaDelete("table/" + table); err != nil {
+			return fmt.Errorf("streamlake: replicate table drop %q: %w", table, err)
+		}
+	}
 	_, err := l.lh.DropSoft(table)
 	return err
 }
 
-// RestoreTable re-registers a soft-dropped table.
+// RestoreTable re-registers a soft-dropped table, re-replicating the
+// registration on a clustered lake.
 func (l *Lake) RestoreTable(table string) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMeta("table/" + table); err != nil {
+			return fmt.Errorf("streamlake: replicate table restore %q: %w", table, err)
+		}
+	}
 	_, err := l.lh.Restore(table)
 	return err
 }
 
-// DropTableHard removes a table's data, metadata and catalog entry.
+// DropTableHard removes a table's data, metadata and catalog entry; the
+// deletion replicates through the metadata log on a clustered lake.
 func (l *Lake) DropTableHard(table string) error {
+	if l.clus != nil {
+		if _, err := l.clus.ProposeMetaDelete("table/" + table); err != nil {
+			return fmt.Errorf("streamlake: replicate table drop %q: %w", table, err)
+		}
+	}
 	_, err := l.lh.DropHard(table)
 	return err
 }

@@ -244,3 +244,56 @@ func TestTieringAndReplicationIntegration(t *testing.T) {
 		t.Fatalf("replication shipped nothing: %d %v", n, rcost)
 	}
 }
+
+// TestClusteredMetadataLifecycle pins the symmetric replication of
+// creates AND deletes through the metadata log: a deleted topic's key is
+// tombstoned (so a minority partition can neither create nor delete),
+// and a recreate under the same name replicates again instead of hitting
+// the stale dedup entry.
+func TestClusteredMetadataLifecycle(t *testing.T) {
+	l, err := Open(Config{Nodes: 3, SSDDisks: 6, PLogCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateTopic(TopicConfig{Name: "lifecycle", StreamNum: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !l.clus.MetaCommitted("topic/lifecycle") {
+		t.Fatal("create did not replicate")
+	}
+	if err := l.DeleteTopic("lifecycle"); err != nil {
+		t.Fatal(err)
+	}
+	if l.clus.MetaCommitted("topic/lifecycle") {
+		t.Fatal("delete did not tombstone the replicated key")
+	}
+	applied := l.clus.Applied()
+	if err := l.CreateTopic(TopicConfig{Name: "lifecycle", StreamNum: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !l.clus.MetaCommitted("topic/lifecycle") || l.clus.Applied() <= applied {
+		t.Fatal("recreate after delete skipped replication")
+	}
+	// Table drops and restores replicate the same way.
+	if err := l.CreateTable(TableMeta{Name: "tbl", Schema: logSchema}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DropTableSoft("tbl"); err != nil {
+		t.Fatal(err)
+	}
+	if l.clus.MetaCommitted("table/tbl") {
+		t.Fatal("soft drop did not tombstone the replicated key")
+	}
+	if err := l.RestoreTable("tbl"); err != nil {
+		t.Fatal(err)
+	}
+	if !l.clus.MetaCommitted("table/tbl") {
+		t.Fatal("restore did not re-replicate the registration")
+	}
+	if err := l.DropTableHard("tbl"); err != nil {
+		t.Fatal(err)
+	}
+	if l.clus.MetaCommitted("table/tbl") {
+		t.Fatal("hard drop did not tombstone the replicated key")
+	}
+}
