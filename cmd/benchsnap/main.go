@@ -26,6 +26,7 @@ import (
 	"streamlake/internal/pool"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
+	"streamlake/internal/workload/mtraffic"
 )
 
 type snapshot struct {
@@ -40,6 +41,27 @@ type snapshot struct {
 	Cache      cacheBench         `json:"cache"`
 	Speed      speedBench         `json:"speed"`
 	Cluster    clusterBench       `json:"cluster"`
+	Tenant     tenantBench        `json:"tenant"`
+}
+
+// tenantBench is the noisy-neighbor isolation leg: the same open-loop
+// two-tenant workload (a small in-quota victim and a tenant offering
+// ~25x the link bandwidth in 128 KiB bursts) runs three ways — victim
+// alone for the solo baseline, both tenants with the QoS plane
+// enforcing the noisy tenant's quotas, and both tenants on an
+// unisolated control lake that models the shared-queue contention. The
+// leg is self-enforcing: run() fails unless quota isolation holds the
+// victim's produce p99 within 2x its solo baseline while the control
+// run collapses past that bound.
+type tenantBench struct {
+	SoloP99Ns      int64   `json:"solo_p99_ns"`
+	IsolatedP99Ns  int64   `json:"isolated_p99_ns"`
+	ControlP99Ns   int64   `json:"control_p99_ns"`
+	IsolatedRatio  float64 `json:"isolated_ratio"` // isolated / solo (ceiling 2.0)
+	ControlRatio   float64 `json:"control_ratio"`  // control / solo (must blow the ceiling)
+	VictimAcked    int64   `json:"victim_acked"`
+	NoisyAcked     int64   `json:"noisy_acked"`
+	NoisyThrottled int64   `json:"noisy_throttled"`
 }
 
 // clusterBench is the failover leg: a 5-node cluster loses its metadata
@@ -266,6 +288,11 @@ func run(smoke bool, out string) error {
 		return err
 	}
 	result.Cluster = clb
+	tb, err := tenantLeg(smoke)
+	if err != nil {
+		return err
+	}
+	result.Tenant = tb
 
 	if out == "" {
 		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
@@ -286,7 +313,94 @@ func run(smoke bool, out string) error {
 	fmt.Printf("benchsnap: cluster leg detect=%.1fms gap=%.1fms rebalance=%.1fms (%dB, complete=%v)\n",
 		float64(clb.FailoverDetectNs)/1e6, float64(clb.ProducerGapNs)/1e6,
 		float64(clb.RebalanceNs)/1e6, clb.RebalancedBytes, clb.RebalanceDone)
+	fmt.Printf("benchsnap: tenant leg victim p99 solo=%.2fms isolated=%.2fms (%.2fx) control=%.2fms (%.1fx), noisy throttled %d/%d\n",
+		float64(tb.SoloP99Ns)/1e6, float64(tb.IsolatedP99Ns)/1e6, tb.IsolatedRatio,
+		float64(tb.ControlP99Ns)/1e6, tb.ControlRatio, tb.NoisyThrottled, tb.NoisyThrottled+tb.NoisyAcked)
 	return nil
+}
+
+// tenantLeg runs the noisy-neighbor drill and enforces the isolation
+// ceiling. All three runs share one seed and the same open-loop
+// arrival schedules, so the only variable is whether the QoS plane
+// stands between the tenants.
+func tenantLeg(smoke bool) (tenantBench, error) {
+	events := 8000
+	if smoke {
+		events = 2000
+	}
+	// The victim is a paced, in-quota tenant: 512 B values every 400 µs.
+	// The noisy tenant offers 128 KiB values every ~10 µs — about 12.8
+	// GB/s against a ~5.4 GB/s modelled link — so without quotas it owns
+	// every shared queue it touches.
+	victim := mtraffic.TenantSpec{Name: "victim", Producers: 64, ValueBytes: 512, MeanGap: 400 * time.Microsecond}
+	noisy := mtraffic.TenantSpec{Name: "noisy", Producers: 2000, ValueBytes: 128 << 10, MeanGap: 10 * time.Microsecond, DiurnalAmp: 0.5}
+	victimCfg := streamlake.TenantConfig{Name: "victim", Weight: 4}
+	noisyCfg := streamlake.TenantConfig{Name: "noisy", Weight: 1, Priority: 1, BandwidthBps: 2 << 20}
+
+	run := func(cfg streamlake.Config, ev int, specs ...mtraffic.TenantSpec) (mtraffic.Result, error) {
+		cfg.Seed = 7
+		lake, err := streamlake.Open(cfg)
+		if err != nil {
+			return mtraffic.Result{}, err
+		}
+		if err := lake.CreateTopic(streamlake.TopicConfig{Name: "mt", StreamNum: 4}); err != nil {
+			return mtraffic.Result{}, err
+		}
+		return mtraffic.Run(lake, mtraffic.Config{Topic: "mt", Seed: 7, Events: ev, Tenants: specs})
+	}
+	solo, err := run(streamlake.Config{Tenants: []streamlake.TenantConfig{victimCfg}}, events/8, victim)
+	if err != nil {
+		return tenantBench{}, fmt.Errorf("tenant leg solo: %w", err)
+	}
+	iso, err := run(streamlake.Config{Tenants: []streamlake.TenantConfig{victimCfg, noisyCfg}}, events, victim, noisy)
+	if err != nil {
+		return tenantBench{}, fmt.Errorf("tenant leg isolated: %w", err)
+	}
+	ctl, err := run(streamlake.Config{ModelContention: true}, events, victim, noisy)
+	if err != nil {
+		return tenantBench{}, fmt.Errorf("tenant leg control: %w", err)
+	}
+
+	soloV, _ := solo.Tenant("victim")
+	isoV, _ := iso.Tenant("victim")
+	isoN, _ := iso.Tenant("noisy")
+	ctlV, _ := ctl.Tenant("victim")
+	tb := tenantBench{
+		SoloP99Ns:      soloV.P99.Nanoseconds(),
+		IsolatedP99Ns:  isoV.P99.Nanoseconds(),
+		ControlP99Ns:   ctlV.P99.Nanoseconds(),
+		VictimAcked:    isoV.Acked,
+		NoisyAcked:     isoN.Acked,
+		NoisyThrottled: isoN.Throttled,
+	}
+	if tb.SoloP99Ns > 0 {
+		tb.IsolatedRatio = float64(tb.IsolatedP99Ns) / float64(tb.SoloP99Ns)
+		tb.ControlRatio = float64(tb.ControlP99Ns) / float64(tb.SoloP99Ns)
+	}
+
+	// The isolation contract. Quota admission must be doing real work
+	// (the noisy tenant saturates and throttles), the in-quota victim
+	// must never be denied, its p99 must hold within 2x solo, and the
+	// unisolated control must actually show the collapse the QoS plane
+	// prevents — otherwise the leg proves nothing.
+	if soloV.Acked == 0 || soloV.Acked != soloV.Offered {
+		return tb, fmt.Errorf("tenant leg: degenerate solo baseline: %+v", soloV)
+	}
+	if isoV.Acked != isoV.Offered {
+		return tb, fmt.Errorf("tenant leg: in-quota victim denied %d of %d sends", isoV.Offered-isoV.Acked, isoV.Offered)
+	}
+	if isoN.Throttled == 0 {
+		return tb, fmt.Errorf("tenant leg: noisy tenant never hit its quota: %+v", isoN)
+	}
+	if tb.IsolatedRatio > 2 {
+		return tb, fmt.Errorf("tenant leg: victim p99 %.2fx solo under isolation, ceiling 2x (solo=%dns isolated=%dns)",
+			tb.IsolatedRatio, tb.SoloP99Ns, tb.IsolatedP99Ns)
+	}
+	if tb.ControlRatio <= 2 {
+		return tb, fmt.Errorf("tenant leg: control run held victim p99 at %.2fx solo — contention model shows no collapse to isolate against",
+			tb.ControlRatio)
+	}
+	return tb, nil
 }
 
 // clusterLeg runs the scripted failover drill: healthy traffic, kill

@@ -52,6 +52,9 @@
 //	cluster drain <node> | undrain <node>
 //	cluster tick [n]                  (n heartbeat rounds of virtual time)
 //	cluster rebalance [budget]        (re-replicate off dead nodes, e.g. 2s)
+//	tenant status                     (per-tenant quotas + admission counters; -qos)
+//	tenant set <name> [weight=N] [priority=N] [capacity=BYTES] [iops=N] [bw=BPS]
+//	tenant produce <tenant> <topic> <key> <value>  (send under a tenant identity)
 //	help
 package main
 
@@ -75,6 +78,7 @@ func main() {
 	groupCommit := flag.Int("group-commit", 0, "coalesce this many slice flushes per device commit (0/1 disables)")
 	zoneMaps := flag.Bool("zonemaps", false, "record zone maps + bloom filters at insert time for scan pruning")
 	nodes := flag.Int("nodes", 0, "run a multi-node cluster of this size (0/1 single-node)")
+	qos := flag.Bool("qos", false, "enable the tenant QoS plane ('tenant set' registers tenants at runtime)")
 	flag.Parse()
 
 	cfg := streamlake.Config{
@@ -82,6 +86,7 @@ func main() {
 		GroupCommitSlices: *groupCommit,
 		ZoneMaps:          *zoneMaps,
 		Nodes:             *nodes,
+		TenantQoS:         *qos,
 	}
 	if *nodes > 1 {
 		// Every copy needs its own failure domain, and losing a node must
@@ -122,9 +127,10 @@ func main() {
 }
 
 type shell struct {
-	lake      *streamlake.Lake
-	prod      *streamlake.Producer
-	lastChaos *chaos.Report
+	lake        *streamlake.Lake
+	prod        *streamlake.Producer
+	tenantProds map[string]*streamlake.Producer
+	lastChaos   *chaos.Report
 }
 
 // producer returns the shell's long-lived producer. A fresh handle per
@@ -154,6 +160,8 @@ func (s *shell) exec(line string) error {
 		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
 		fmt.Println("cluster:  status | kill <node> | revive <node> | drain <node> | undrain <node> |")
 		fmt.Println("          tick [n] | rebalance [budget]   (start with -nodes N)")
+		fmt.Println("tenant:   status | set <name> [weight=N] [priority=N] [capacity=BYTES] [iops=N] [bw=BPS] |")
+		fmt.Println("          produce <tenant> <topic> <key> <value>   (start with -qos)")
 		fmt.Println("advance:  advance <duration> (virtual time, e.g. 30ms)")
 		return nil
 	case "create-topic":
@@ -336,6 +344,8 @@ func (s *shell) exec(line string) error {
 		return s.chaos(rest)
 	case "cluster":
 		return s.cluster(rest)
+	case "tenant":
+		return s.tenant(rest)
 	case "advance":
 		// The shell's requests are instantaneous in virtual time, so
 		// nothing else moves the clock: without this, a tripped breaker's
@@ -782,6 +792,97 @@ func (s *shell) cluster(rest []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown cluster subcommand %q (status|kill|revive|drain|undrain|tick|rebalance)", sub)
+	}
+}
+
+// tenant drives the QoS plane: register or update per-tenant contracts,
+// inspect quotas and admission counters, and produce under a tenant
+// identity so throttling and shedding can be provoked by hand. Requires
+// the shell to have been started with -qos.
+func (s *shell) tenant(rest []string) error {
+	reg := s.lake.Tenants()
+	if reg == nil {
+		return fmt.Errorf("tenant plane is off (restart with -qos)")
+	}
+	sub := "status"
+	if len(rest) > 0 {
+		sub = rest[0]
+		rest = rest[1:]
+	}
+	switch sub {
+	case "status":
+		sts := reg.Status()
+		if len(sts) == 0 {
+			fmt.Println("no tenants registered (try: tenant set <name> ...)")
+			return nil
+		}
+		for _, st := range sts {
+			fmt.Printf("tenant %s: weight=%d priority=%d capacity=%dB iops=%d bw=%dB/s\n",
+				st.Name, st.Weight, st.Priority, st.CapacityBytes, st.IOPS, st.BandwidthBps)
+			fmt.Printf("  admitted=%d (%d ops, %dB) throttled=%d capacityRejects=%d shed=%d\n",
+				st.Admitted, st.AdmittedOps, st.AdmittedBytes, st.Throttled, st.CapacityRejects, st.Shed)
+			fmt.Printf("  stored=%dB refunded=%dops/%dB wfqDelay=%v\n",
+				st.StoredBytes, st.RefundedOps, st.RefundedBytes, st.WFQDelay)
+		}
+		return nil
+	case "set":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: tenant set <name> [weight=N] [priority=N] [capacity=BYTES] [iops=N] [bw=BPS]")
+		}
+		cfg := streamlake.TenantConfig{Name: rest[0]}
+		if prev, ok := reg.Get(rest[0]); ok {
+			cfg = prev // update: unmentioned knobs keep their values
+		}
+		for _, kv := range rest[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("expected key=value, got %q", kv)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("%s: %w", k, err)
+			}
+			switch k {
+			case "weight":
+				cfg.Weight = int(n)
+			case "priority":
+				cfg.Priority = int(n)
+			case "capacity":
+				cfg.CapacityBytes = n
+			case "iops":
+				cfg.IOPS = n
+			case "bw":
+				cfg.BandwidthBps = n
+			default:
+				return fmt.Errorf("unknown knob %q (weight|priority|capacity|iops|bw)", k)
+			}
+		}
+		if err := s.lake.SetTenant(cfg); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s: weight=%d priority=%d capacity=%dB iops=%d bw=%dB/s (0 = unlimited)\n",
+			cfg.Name, cfg.Weight, cfg.Priority, cfg.CapacityBytes, cfg.IOPS, cfg.BandwidthBps)
+		return nil
+	case "produce":
+		if len(rest) < 4 {
+			return fmt.Errorf("usage: tenant produce <tenant> <topic> <key> <value>")
+		}
+		if s.tenantProds == nil {
+			s.tenantProds = map[string]*streamlake.Producer{}
+		}
+		p := s.tenantProds[rest[0]]
+		if p == nil {
+			p = s.lake.TenantProducer("lakectl/"+rest[0], rest[0])
+			s.tenantProds[rest[0]] = p
+		}
+		msg, cost, err := p.Send(rest[1], []byte(rest[2]), []byte(strings.Join(rest[3:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offset=%d stream=%d latency=%v tenant=%s\n", msg.Offset, msg.Stream, cost, rest[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown tenant subcommand %q (status|set|produce)", sub)
 	}
 }
 

@@ -65,6 +65,13 @@ type NetHook interface {
 	Deliver(from, to string, n int64) (time.Duration, error)
 }
 
+// QoS imposes tenant-aware scheduling delay on delivered sends.
+// tenant.Sched implements it: weighted-fair queuing within each priority
+// class. The class is the int value of the send's Priority.
+type QoS interface {
+	Delay(tenant string, class int, n int64) time.Duration
+}
+
 // Stats reports bus activity. Sends/Bytes count delivered messages
 // only; a dropped or partitioned send lands in Drops/DroppedBytes and
 // never touches the aggregation-batch accounting.
@@ -79,6 +86,12 @@ type Stats struct {
 	Drops        int64         // sends failed by the network fault plane
 	DroppedBytes int64
 	NetDelay     time.Duration // injected delay on delivered messages
+
+	// Per-class breakdown of QueueDelay (priority queuing plus any QoS
+	// scheduling delay); the three always sum to QueueDelay.
+	QueueDelayHigh   time.Duration
+	QueueDelayNormal time.Duration
+	QueueDelayLow    time.Duration
 }
 
 // Bus is one node's view of the data exchange fabric.
@@ -93,6 +106,7 @@ type Bus struct {
 	metrics     busMetrics
 	net         NetHook // consulted on every send when attached
 	local       string  // this bus's endpoint name on the fault plane
+	qos         QoS     // tenant-aware scheduler, nil = no tenant plane
 }
 
 // busMetrics is the bus's obs instrument set, labelled by path so RDMA
@@ -164,6 +178,16 @@ func (b *Bus) SetNet(h NetHook, local string) {
 	b.mu.Unlock()
 }
 
+// SetQoS attaches a tenant-aware scheduler. Every subsequent tenant-
+// tagged send pays its weighted-fair queuing delay on top of the
+// priority model. A nil QoS (the default) keeps the legacy path
+// byte-identical.
+func (b *Bus) SetQoS(q QoS) {
+	b.mu.Lock()
+	b.qos = q
+	b.mu.Unlock()
+}
+
 // Send models transferring n bytes at the given priority and returns the
 // modelled latency the sender observes. It is the fault-blind legacy
 // path (equivalent to SendLink from this bus's own endpoint to an
@@ -183,7 +207,7 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 	if err != nil {
 		return b.failSend(n, delay)
 	}
-	return b.deliver(n, prio, delay)
+	return b.deliver(n, prio, delay, "")
 }
 
 // SendLink models transferring n bytes on the directed link from→to at
@@ -194,6 +218,14 @@ func (b *Bus) Send(n int64, prio Priority) time.Duration {
 // message must never fill a batch slot or double-charge the batch's
 // deferred fixed cost when it is retried.
 func (b *Bus) SendLink(from, to string, n int64, prio Priority) (time.Duration, error) {
+	return b.SendLinkT(from, to, n, prio, "")
+}
+
+// SendLinkT is SendLink with a tenant identity attached: the attached
+// QoS scheduler (when any) charges the send its weighted-fair queuing
+// delay within the priority class. The empty tenant is the system
+// identity and is never QoS-delayed.
+func (b *Bus) SendLinkT(from, to string, n int64, prio Priority, tenant string) (time.Duration, error) {
 	b.mu.Lock()
 	hook := b.net
 	b.mu.Unlock()
@@ -205,7 +237,7 @@ func (b *Bus) SendLink(from, to string, n int64, prio Priority) (time.Duration, 
 	if err != nil {
 		return b.failSend(n, delay), err
 	}
-	return b.deliver(n, prio, delay), nil
+	return b.deliver(n, prio, delay, tenant), nil
 }
 
 // failSend accounts an undelivered message: the sender burns the
@@ -220,8 +252,9 @@ func (b *Bus) failSend(n int64, delay time.Duration) time.Duration {
 }
 
 // deliver charges a delivered message: transfer cost, aggregation-batch
-// fixed-cost amortization, priority queuing, and any injected delay.
-func (b *Bus) deliver(n int64, prio Priority, delay time.Duration) time.Duration {
+// fixed-cost amortization, priority queuing, tenant QoS scheduling, and
+// any injected delay.
+func (b *Bus) deliver(n int64, prio Priority, delay time.Duration, tenant string) time.Duration {
 	spec := b.link.Spec()
 	fixed := spec.WriteLatency
 	transfer := b.link.Write(n) - fixed // bandwidth term only
@@ -253,13 +286,29 @@ func (b *Bus) deliver(n int64, prio Priority, delay time.Duration) time.Duration
 
 	// Priority scheduling: lower-priority traffic queues behind the
 	// notional in-flight high-priority bytes.
+	var queued time.Duration
 	if prio != High && b.outstanding > 0 {
 		q := time.Duration(float64(b.outstanding) / float64(spec.WriteBandwidth) * float64(time.Second))
 		if prio == Low {
 			q *= 2
 		}
-		cost += q
-		b.stats.QueueDelay += q
+		queued += q
+	}
+	// Tenant QoS: weighted-fair queuing within the priority class.
+	if b.qos != nil {
+		queued += b.qos.Delay(tenant, int(prio), n)
+	}
+	if queued > 0 {
+		cost += queued
+		b.stats.QueueDelay += queued
+		switch prio {
+		case High:
+			b.stats.QueueDelayHigh += queued
+		case Low:
+			b.stats.QueueDelayLow += queued
+		default:
+			b.stats.QueueDelayNormal += queued
+		}
 	}
 	if prio == High {
 		// High-priority bytes decay as they complete; model a window of

@@ -243,3 +243,63 @@ func TestSendWithoutHookUnchanged(t *testing.T) {
 		}
 	}
 }
+
+func TestQueueDelayPerPriorityBreakdown(t *testing.T) {
+	b := New(Config{Path: RDMA})
+	// Establish outstanding high-priority bytes, then queue Normal and
+	// Low sends behind them.
+	b.Send(1<<20, High)
+	b.Send(1<<10, Normal)
+	b.Send(1<<20, High)
+	b.Send(1<<10, Low)
+	st := b.Stats()
+	if st.QueueDelayNormal <= 0 || st.QueueDelayLow <= 0 {
+		t.Fatalf("missing per-class delay: %+v", st)
+	}
+	if st.QueueDelayHigh != 0 {
+		t.Fatalf("High never queues in the priority model: %+v", st)
+	}
+	// Low pays 2x the per-byte penalty of Normal for the same backlog.
+	if st.QueueDelayLow != 2*st.QueueDelayNormal {
+		t.Fatalf("Low = %v, want 2x Normal %v", st.QueueDelayLow, st.QueueDelayNormal)
+	}
+	if sum := st.QueueDelayHigh + st.QueueDelayNormal + st.QueueDelayLow; sum != st.QueueDelay {
+		t.Fatalf("breakdown sum %v != cumulative %v", sum, st.QueueDelay)
+	}
+}
+
+type fixedQoS struct{ d time.Duration }
+
+func (f fixedQoS) Delay(tenant string, class int, n int64) time.Duration {
+	if tenant == "" {
+		return 0
+	}
+	return f.d
+}
+
+func TestSendLinkTChargesQoSDelay(t *testing.T) {
+	b := New(Config{Path: RDMA})
+	base, err := b.SendLinkT("a", "b", 1024, Normal, "")
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	b.SetQoS(fixedQoS{d: 3 * time.Millisecond})
+	tagged, err := b.SendLinkT("a", "b", 1024, Normal, "tenantA")
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if tagged != base+3*time.Millisecond {
+		t.Fatalf("qos delay not charged: base %v tagged %v", base, tagged)
+	}
+	system, err := b.SendLinkT("a", "b", 1024, Normal, "")
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if system != base {
+		t.Fatalf("system identity delayed: %v vs %v", system, base)
+	}
+	st := b.Stats()
+	if st.QueueDelayNormal != 3*time.Millisecond || st.QueueDelay != 3*time.Millisecond {
+		t.Fatalf("qos delay not attributed to Normal class: %+v", st)
+	}
+}

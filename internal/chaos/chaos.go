@@ -25,6 +25,7 @@ import (
 	"streamlake/internal/plog"
 	"streamlake/internal/resil"
 	"streamlake/internal/sim"
+	"streamlake/internal/tenant"
 )
 
 // Config parameterizes one chaos run. The zero value is usable; Seed
@@ -68,6 +69,14 @@ type Config struct {
 	// coalesced device write), so the loss/duplication invariants and the
 	// replay digest are checked over the batched flush path.
 	GroupCommit bool
+	// NoisyNeighbor runs the lake with the tenant QoS plane on and
+	// interleaves two tenants with the fault schedule: "steady", a
+	// protected in-quota tenant, and "noisy", a lower-priority tenant
+	// that bursts large values far past its bandwidth quota. The
+	// standard invariants extend over both: an acked tenant write is
+	// never lost, a throttled or shed one creates no obligations, and
+	// the run replays bit-identically.
+	NoisyNeighbor bool
 	// Nodes runs the lake as a multi-node cluster of this size. Set
 	// (or implied by Failover/SplitBrain, which default it to 5) it adds
 	// the cluster-plane invariants: every acked produce is in the
@@ -127,6 +136,11 @@ type Report struct {
 	GroupCommits int64         // coalesced slice commits (GroupCommit runs)
 	CacheHits    int64         // read-cache hits across both tiers at run end
 	ReadP99      time.Duration // plog read latency p99 at run end
+	NoisyAcked   int64         // noisy-tenant sends acked (NoisyNeighbor runs)
+	NoisyLimited int64         // noisy-tenant sends throttled by quota
+	NoisyShed    int64         // noisy-tenant sends shed under overload
+	SteadyAcked  int64         // steady-tenant sends acked
+	SteadyDenied int64         // steady-tenant sends throttled or shed (should stay rare)
 	NodeKills    int           // whole-node kills (Failover runs)
 	Elections    int64         // metadata-leader elections (clustered runs)
 	MetaCommits  int64         // metadata-log commits (clustered runs)
@@ -169,6 +183,12 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 	if cfg.GroupCommit {
 		lakeCfg.GroupCommitSlices = 4
 	}
+	if cfg.NoisyNeighbor {
+		lakeCfg.Tenants = []streamlake.TenantConfig{
+			{Name: "steady", Weight: 4, Priority: 0},
+			{Name: "noisy", Weight: 1, Priority: 1, IOPS: 200, BandwidthBps: 256 << 10, CapacityBytes: 64 << 20},
+		}
+	}
 	lake, err := streamlake.Open(lakeCfg)
 	if err != nil {
 		return Report{}, err
@@ -189,6 +209,10 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 		last:  map[int]int64{},
 	}
 	h.prod = lake.Producer("chaos-producer")
+	if cfg.NoisyNeighbor {
+		h.prodSteady = lake.TenantProducer("chaos-steady", "steady")
+		h.prodNoisy = lake.TenantProducer("chaos-noisy", "noisy")
+	}
 	h.cons = lake.Consumer("chaos-group")
 	if err := h.cons.Subscribe(topic); err != nil {
 		return Report{}, err
@@ -226,11 +250,13 @@ func RunWithReplay(cfg Config) (Report, bool, error) {
 }
 
 type harness struct {
-	cfg  Config
-	lake *streamlake.Lake
-	rng  *sim.RNG
-	prod *streamlake.Producer
-	cons *streamlake.Consumer
+	cfg        Config
+	lake       *streamlake.Lake
+	rng        *sim.RNG
+	prod       *streamlake.Producer
+	prodSteady *streamlake.Producer
+	prodNoisy  *streamlake.Producer
+	cons       *streamlake.Consumer
 
 	acked      map[int]map[int64]string // stream → offset → key
 	last       map[int]int64            // stream → last consumed offset (monotonicity)
@@ -243,6 +269,13 @@ type harness struct {
 	corrupted  int
 	partitions [][2]string
 	violations []string
+
+	// NoisyNeighbor state.
+	noisyAcked     int64
+	noisyThrottled int64
+	noisyShed      int64
+	steadyAcked    int64
+	steadyDenied   int64
 
 	// Mixed-workload state.
 	tableMade bool
@@ -297,6 +330,13 @@ func (h *harness) step(i int) {
 		// extra RNG draw happens only on Mixed runs, so non-mixed
 		// schedules (and their digests) are untouched.
 		h.mixedEvent()
+		return
+	}
+	if h.cfg.NoisyNeighbor && h.rng.Intn(3) == 0 {
+		// One event in three goes to the tenant pair. Like the Mixed
+		// gate, the draw only happens when the mode is on, so legacy
+		// schedules and digests are byte-identical with Tenants empty.
+		h.tenantEvent()
 		return
 	}
 	switch r := h.rng.Intn(100); {
@@ -553,24 +593,76 @@ func (h *harness) produce() {
 			// write creates obligations.
 			continue
 		}
-		h.produced++
-		if h.split != nil {
-			// With the metadata plane split, an ack can only have committed
-			// through the majority side's leader — the minority must be
-			// write-dead, whatever its stale leader believes.
-			if l := h.clustered().Leader(); l >= 0 && h.split.minority[l] {
-				h.violate("produce acked while the committing leader %d sits in the minority partition", l)
+		h.recordAck(msg, key)
+	}
+}
+
+// recordAck registers one acked produce with the loss/duplication
+// bookkeeping the final drain checks against, shared by the system
+// producer and the tenant producers.
+func (h *harness) recordAck(msg streamlake.Message, key string) {
+	h.produced++
+	if h.split != nil {
+		// With the metadata plane split, an ack can only have committed
+		// through the majority side's leader — the minority must be
+		// write-dead, whatever its stale leader believes.
+		if l := h.clustered().Leader(); l >= 0 && h.split.minority[l] {
+			h.violate("produce acked while the committing leader %d sits in the minority partition", l)
+		}
+	}
+	m := h.acked[msg.Stream]
+	if m == nil {
+		m = map[int64]string{}
+		h.acked[msg.Stream] = m
+	}
+	if prev, dup := m[msg.Offset]; dup {
+		h.violate("stream %d offset %d acked twice (%s then %s)", msg.Stream, msg.Offset, prev, key)
+	}
+	m[msg.Offset] = key
+}
+
+// tenantEvent runs one multi-tenant event: a noisy burst of large
+// values that blows through its bandwidth quota, a steady in-quota
+// send, or a pause that lets the noisy tenant's bucket refill. Acked
+// tenant writes join the same obligation maps as system writes — the
+// zero-loss drain covers them too.
+func (h *harness) tenantEvent() {
+	switch r := h.rng.Intn(10); {
+	case r < 5:
+		// Noisy burst: several large values back to back. Most must be
+		// throttled once the 1s bandwidth burst is spent; whatever acks
+		// creates the same obligations as any other write.
+		n := 2 + h.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			h.eventSeq++
+			key := fmt.Sprintf("nk%06d", h.eventSeq)
+			val := bytes.Repeat([]byte{'n'}, 4096+h.rng.Intn(4096))
+			msg, _, err := h.prodNoisy.SendCtx(topic, []byte(key), val, h.ctx())
+			switch {
+			case err == nil:
+				h.noisyAcked++
+				h.recordAck(msg, key)
+			case errors.Is(err, tenant.ErrShed):
+				h.noisyShed++
+			case errors.Is(err, tenant.ErrOverQuota):
+				h.noisyThrottled++
 			}
 		}
-		m := h.acked[msg.Stream]
-		if m == nil {
-			m = map[int64]string{}
-			h.acked[msg.Stream] = m
+	case r < 9:
+		// Steady tenant: small paced sends well inside its contract.
+		h.eventSeq++
+		key := fmt.Sprintf("sk%06d", h.eventSeq)
+		msg, _, err := h.prodSteady.SendCtx(topic, []byte(key), []byte("sv"+key), h.ctx())
+		switch {
+		case err == nil:
+			h.steadyAcked++
+			h.recordAck(msg, key)
+		case errors.Is(err, tenant.ErrShed), errors.Is(err, tenant.ErrOverQuota):
+			h.steadyDenied++
 		}
-		if prev, dup := m[msg.Offset]; dup {
-			h.violate("stream %d offset %d acked twice (%s then %s)", msg.Stream, msg.Offset, prev, key)
-		}
-		m[msg.Offset] = key
+	default:
+		// Idle: quota buckets refill, breaker cooldowns elapse.
+		h.lake.Clock().Advance(time.Duration(1+h.rng.Intn(2000)) * time.Microsecond)
 	}
 }
 
@@ -835,6 +927,13 @@ func (h *harness) report() Report {
 	if h.cfg.GroupCommit {
 		r.GroupCommits = h.lake.GroupCommitStats().Commits
 	}
+	if h.cfg.NoisyNeighbor {
+		r.NoisyAcked = h.noisyAcked
+		r.NoisyLimited = h.noisyThrottled
+		r.NoisyShed = h.noisyShed
+		r.SteadyAcked = h.steadyAcked
+		r.SteadyDenied = h.steadyDenied
+	}
 	if cl := h.clustered(); cl != nil {
 		cs := cl.Stats()
 		r.NodeKills = h.nodeKillCount
@@ -864,6 +963,10 @@ func (h *harness) digest(r Report) uint64 {
 	}
 	if h.cfg.GroupCommit {
 		w("groupCommits=%d;", r.GroupCommits)
+	}
+	if h.cfg.NoisyNeighbor {
+		w("noisyAcked=%d noisyLimited=%d noisyShed=%d steadyAcked=%d steadyDenied=%d;",
+			r.NoisyAcked, r.NoisyLimited, r.NoisyShed, r.SteadyAcked, r.SteadyDenied)
 	}
 	if h.cfg.Nodes > 1 {
 		w("nodeKills=%d elections=%d metaCommits=%d rebalanced=%d;",

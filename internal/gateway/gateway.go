@@ -41,6 +41,7 @@ import (
 	"streamlake/internal/obs"
 	"streamlake/internal/resil"
 	"streamlake/internal/streamsvc"
+	"streamlake/internal/tenant"
 )
 
 // Request-size limits: a single unauthenticated-sized request must not
@@ -67,8 +68,11 @@ const (
 )
 
 // Principal is an authenticated identity with its granted permissions.
+// Tenant binds the principal to a tenant's QoS contract; empty means the
+// principal's own name is used when the lake's tenant plane is on.
 type Principal struct {
 	Name        string
+	Tenant      string
 	Permissions map[Permission]bool
 }
 
@@ -89,6 +93,16 @@ func (a *ACL) Grant(token, name string, perms ...Permission) {
 	}
 	a.mu.Lock()
 	a.tokens[token] = p
+	a.mu.Unlock()
+}
+
+// GrantTenant registers a token for a principal bound to a tenant: the
+// tenant's quotas, fair share, and shed priority govern the principal's
+// produce traffic when the lake's tenant plane is on.
+func (a *ACL) GrantTenant(token, name, ten string, perms ...Permission) {
+	a.Grant(token, name, perms...)
+	a.mu.Lock()
+	a.tokens[token].Tenant = ten
 	a.mu.Unlock()
 }
 
@@ -138,6 +152,7 @@ func New(lake *streamlake.Lake, acl *ACL) *Server {
 	s.mux.HandleFunc("POST /v1/sql", s.guard(PermQuery, s.sql))
 	s.mux.HandleFunc("GET /v1/stats", s.guard(PermAdmin, s.stats))
 	s.mux.HandleFunc("GET /v1/cluster", s.guard(PermAdmin, s.cluster))
+	s.mux.HandleFunc("GET /v1/tenants", s.guard(PermAdmin, s.tenants))
 	s.mux.HandleFunc("GET /metrics", s.guard(PermAdmin, s.metrics))
 	s.mux.HandleFunc("GET /trace/{id}", s.guard(PermAdmin, s.trace))
 	return s
@@ -264,6 +279,45 @@ func (s *Server) overloaded(w http.ResponseWriter, err error) bool {
 	return true
 }
 
+// tenantOf resolves the tenant identity a principal's produce traffic
+// runs under. With the tenant plane off everything is the system
+// identity. With it on, the principal's bound tenant (or its own name)
+// must be registered — an unknown tenant is an authentication failure
+// (401, already written when ok=false): the token maps to no contract.
+func (s *Server) tenantOf(w http.ResponseWriter, p *Principal) (string, bool) {
+	reg := s.lake.Tenants()
+	if reg == nil {
+		return "", true
+	}
+	ten := p.Tenant
+	if ten == "" {
+		ten = p.Name
+	}
+	if !reg.Known(ten) {
+		httpError(w, http.StatusUnauthorized,
+			fmt.Sprintf("principal %s: unknown tenant %q", p.Name, ten))
+		return "", false
+	}
+	return ten, true
+}
+
+// quotaLimited maps tenant admission rejections — quota exceeded, shed
+// under overload — to 429 + Retry-After. Returns false for every other
+// error so the caller applies its own mapping.
+func quotaLimited(w http.ResponseWriter, err error) bool {
+	var qe *tenant.QuotaError
+	if !errors.As(err, &qe) {
+		return false
+	}
+	secs := (int64(qe.RetryAfter) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	httpError(w, http.StatusTooManyRequests, err.Error())
+	return true
+}
+
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -318,14 +372,20 @@ func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 	if !ok {
 		return
 	}
+	ten, ok := s.tenantOf(w, p)
+	if !ok {
+		return
+	}
 	// One long-lived producer per principal: its sequence numbers drive
 	// the stream objects' idempotent dedup, so it must not be recreated
-	// per request.
+	// per request. Keyed by name and tenant so a rebound principal gets
+	// a fresh producer under its new contract.
 	s.mu.Lock()
-	producer, ok := s.producers[p.Name]
+	pkey := p.Name + "\x00" + ten
+	producer, ok := s.producers[pkey]
 	if !ok {
-		producer = s.lake.Producer("gw/" + p.Name)
-		s.producers[p.Name] = producer
+		producer = s.lake.TenantProducer("gw/"+p.Name, ten)
+		s.producers[pkey] = producer
 	}
 	s.mu.Unlock()
 	// ?trace=1 records the request's span tree; nil tracer (observability
@@ -337,7 +397,12 @@ func (s *Server) produce(w http.ResponseWriter, r *http.Request, p *Principal) {
 	}
 	msg, cost, err := producer.SendSpanCtx(topic, []byte(req.Key), value, sp, rc)
 	if err != nil {
-		if !s.overloaded(w, err) {
+		switch {
+		case quotaLimited(w, err):
+		case errors.Is(err, tenant.ErrUnknown):
+			httpError(w, http.StatusUnauthorized, err.Error())
+		case s.overloaded(w, err):
+		default:
 			httpError(w, http.StatusNotFound, err.Error())
 		}
 		return
@@ -484,6 +549,35 @@ func (s *Server) cluster(w http.ResponseWriter, r *http.Request, _ *Principal) {
 		"stale_marked":    st.Stats.StaleMarkedByte,
 		"nodes":           nodes,
 	})
+}
+
+// tenants serves every tenant's QoS contract and admission counters.
+// Lakes without a tenant plane report 404.
+func (s *Server) tenants(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	reg := s.lake.Tenants()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, "tenant plane is off")
+		return
+	}
+	out := make([]map[string]any, 0)
+	for _, st := range reg.Status() {
+		out = append(out, map[string]any{
+			"name": st.Name, "weight": st.Weight, "priority": st.Priority,
+			"capacity_bytes": st.CapacityBytes, "iops": st.IOPS,
+			"bandwidth_bps":    st.BandwidthBps,
+			"admitted":         st.Admitted,
+			"admitted_ops":     st.AdmittedOps,
+			"admitted_bytes":   st.AdmittedBytes,
+			"throttled":        st.Throttled,
+			"capacity_rejects": st.CapacityRejects,
+			"shed":             st.Shed,
+			"refunded_ops":     st.RefundedOps,
+			"refunded_bytes":   st.RefundedBytes,
+			"stored_bytes":     st.StoredBytes,
+			"wfq_delay_ns":     int64(st.WFQDelay),
+		})
+	}
+	writeJSON(w, map[string]any{"tenants": out})
 }
 
 // metrics serves the Prometheus text exposition of every layer's

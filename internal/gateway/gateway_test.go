@@ -20,7 +20,17 @@ type env struct {
 
 func newEnv(t *testing.T) *env {
 	t.Helper()
-	lake, err := streamlake.Open(streamlake.Config{PLogCapacity: 1 << 20})
+	// The principals double as registered tenants (unlimited, most
+	// protected priority — behavior identical to a tenant-less lake),
+	// plus two probes: "meter", whose 2 KB/s bandwidth quota any
+	// non-trivial produce blows immediately, and "bronze", a sheddable
+	// lower-priority tier. "ghost-token" authenticates to a tenant the
+	// registry does not know.
+	lake, err := streamlake.Open(streamlake.Config{PLogCapacity: 1 << 20, Tenants: []streamlake.TenantConfig{
+		{Name: "root"}, {Name: "writer"}, {Name: "reader"},
+		{Name: "meter", BandwidthBps: 2048},
+		{Name: "bronze", Priority: 1},
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,6 +38,9 @@ func newEnv(t *testing.T) *env {
 	acl.Grant("root-token", "root", PermAdmin)
 	acl.Grant("writer-token", "writer", PermProduce)
 	acl.Grant("reader-token", "reader", PermConsume, PermQuery)
+	acl.GrantTenant("meter-token", "meter", "meter", PermProduce)
+	acl.GrantTenant("bronze-token", "bronze", "bronze", PermProduce)
+	acl.GrantTenant("ghost-token", "ghost", "ghost", PermProduce)
 	ts := httptest.NewServer(New(lake, acl))
 	t.Cleanup(ts.Close)
 	return &env{lake: lake, acl: acl, ts: ts}

@@ -19,6 +19,10 @@ func TestErrorEnvelope(t *testing.T) {
 	e.lake.CreateTopic(streamlake.TopicConfig{Name: "t", StreamNum: 1})
 	big := strings.Repeat("x", MaxProduceBody+1024)
 
+	// 3 KiB decoded: comfortably past the "meter" tenant's 2 KB/s
+	// bandwidth quota (one second of burst), so its produce 429s.
+	overQuota := strings.Repeat("eHh4", 1024)
+
 	cases := []struct {
 		name   string
 		method string
@@ -26,17 +30,23 @@ func TestErrorEnvelope(t *testing.T) {
 		token  string
 		body   any
 		code   int
+		retry  bool // Retry-After header must be present
 	}{
-		{"no token", "GET", "/v1/stats", "", nil, http.StatusUnauthorized},
-		{"wrong permission", "POST", "/v1/sql", "writer-token", map[string]string{"query": "select 1"}, http.StatusForbidden},
-		{"unknown route", "GET", "/v1/nonexistent", "root-token", nil, http.StatusNotFound},
-		{"method not allowed", "DELETE", "/v1/topics", "root-token", nil, http.StatusMethodNotAllowed},
-		{"unknown topic", "POST", "/v1/topics/ghost/messages", "writer-token", map[string]string{"key": "k", "value": "dg=="}, http.StatusNotFound},
-		{"bad json", "POST", "/v1/sql", "reader-token", "not json at all", http.StatusBadRequest},
-		{"bad sql", "POST", "/v1/sql", "reader-token", map[string]string{"query": "drop everything"}, http.StatusBadRequest},
-		{"oversized produce", "POST", "/v1/topics/t/messages", "writer-token", map[string]string{"key": "k", "value": big}, http.StatusRequestEntityTooLarge},
-		{"bad trace id", "GET", "/trace/xyz", "root-token", nil, http.StatusBadRequest},
-		{"missing trace", "GET", "/trace/999999", "root-token", nil, http.StatusNotFound},
+		{"no token", "GET", "/v1/stats", "", nil, http.StatusUnauthorized, false},
+		{"wrong permission", "POST", "/v1/sql", "writer-token", map[string]string{"query": "select 1"}, http.StatusForbidden, false},
+		{"unknown route", "GET", "/v1/nonexistent", "root-token", nil, http.StatusNotFound, false},
+		{"method not allowed", "DELETE", "/v1/topics", "root-token", nil, http.StatusMethodNotAllowed, false},
+		{"unknown topic", "POST", "/v1/topics/ghost/messages", "writer-token", map[string]string{"key": "k", "value": "dg=="}, http.StatusNotFound, false},
+		{"bad json", "POST", "/v1/sql", "reader-token", "not json at all", http.StatusBadRequest, false},
+		{"bad sql", "POST", "/v1/sql", "reader-token", map[string]string{"query": "drop everything"}, http.StatusBadRequest, false},
+		{"oversized produce", "POST", "/v1/topics/t/messages", "writer-token", map[string]string{"key": "k", "value": big}, http.StatusRequestEntityTooLarge, false},
+		{"bad trace id", "GET", "/trace/xyz", "root-token", nil, http.StatusBadRequest, false},
+		{"missing trace", "GET", "/trace/999999", "root-token", nil, http.StatusNotFound, false},
+		{"unknown tenant", "POST", "/v1/topics/t/messages", "ghost-token",
+			map[string]string{"key": "k", "value": "dg=="}, http.StatusUnauthorized, false},
+		{"quota exceeded", "POST", "/v1/topics/t/messages", "meter-token",
+			map[string]string{"key": "k", "value": overQuota}, http.StatusTooManyRequests, true},
+		{"tenants endpoint needs admin", "GET", "/v1/tenants", "writer-token", nil, http.StatusForbidden, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,6 +60,15 @@ func TestErrorEnvelope(t *testing.T) {
 			msg, ok := body["error"].(string)
 			if !ok || msg == "" {
 				t.Fatalf("body = %v, want non-empty error envelope", body)
+			}
+			ra := resp.Header.Get("Retry-After")
+			if tc.retry {
+				secs, err := strconv.Atoi(ra)
+				if err != nil || secs < 1 {
+					t.Fatalf("Retry-After = %q, want whole seconds >= 1", ra)
+				}
+			} else if ra != "" {
+				t.Fatalf("unexpected Retry-After %q on %s", ra, tc.name)
 			}
 		})
 	}

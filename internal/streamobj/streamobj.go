@@ -32,6 +32,7 @@ import (
 	"streamlake/internal/resil"
 	"streamlake/internal/shard"
 	"streamlake/internal/sim"
+	"streamlake/internal/tenant"
 )
 
 // SliceRecords is the paper's fixed slice capacity: up to 256 records.
@@ -108,6 +109,21 @@ type Store struct {
 	// until its target count is buffered and folded into one coalesced
 	// PLog commit. Atomic so flush paths read it without the store lock.
 	gc atomic.Pointer[plog.GroupCommitter]
+
+	// tenants is the optional multi-tenancy plane: capacity quotas are
+	// charged at durable append, and poolQoS imposes weighted-fair
+	// admission delay at the pool (slice-flush) entry point. Both nil on
+	// the legacy single-tenant path.
+	tenants atomic.Pointer[tenant.Registry]
+	poolQoS atomic.Pointer[tenant.Sched]
+}
+
+// SetTenants attaches the tenant registry: capacity charging at durable
+// append and weighted-fair pool admission at slice flush. Call at
+// wiring time.
+func (s *Store) SetTenants(reg *tenant.Registry) {
+	s.tenants.Store(reg)
+	s.poolQoS.Store(tenant.NewSched(s.clock, reg, sim.Spec(sim.NVMeSSD).WriteBandwidth))
 }
 
 // EnableGroupCommit installs a group-commit coordinator folding up to
@@ -265,6 +281,12 @@ type Object struct {
 	lastRefill    time.Duration
 	appended      int64
 	bytesAppended int64
+	// Per-tenant byte accounting (lazily allocated, only with a tenant
+	// registry attached): pending counts journal-durable bytes awaiting
+	// pool admission at slice flush; stored counts capacity-charged
+	// bytes, credited back on reclamation.
+	tenantPending map[string]int64
+	tenantStored  map[string]int64
 }
 
 // ID returns the object's identifier.
@@ -319,6 +341,19 @@ func (o *Object) AppendSpan(records []Record, producerID string, seq int64, sp *
 // resolves the ambiguous timeout with a duplicate ack instead of a
 // duplicate append.
 func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *obs.Span, rc *resil.Ctx) (int64, time.Duration, error) {
+	base, cost, _, err := o.AppendTenantCtx(records, producerID, seq, "", sp, rc)
+	return base, cost, err
+}
+
+// AppendTenantCtx is AppendCtx with a tenant identity: the batch's
+// durable bytes are charged against the tenant's capacity quota (rolled
+// back if the object-level throttle then rejects), and the flushed bytes
+// later pay weighted-fair pool admission. The appended return reports
+// whether records were actually buffered this call — false for a dedup
+// re-ack, which the producer uses to refund a fresh admission charge
+// that did no work. The system identity "" bypasses all tenant
+// accounting.
+func (o *Object) AppendTenantCtx(records []Record, producerID string, seq int64, ten string, sp *obs.Span, rc *resil.Ctx) (int64, time.Duration, bool, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if e, ok := o.producerSeq[producerID]; ok && producerID != "" && seq <= e.seq {
@@ -327,15 +362,33 @@ func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *o
 			sp.SetAttr("dedup", "hit")
 		}
 		if seq == e.seq {
-			return e.base, 0, nil // retried batch: re-ack its original base
+			return e.base, 0, false, nil // retried batch: re-ack its original base
 		}
-		return o.nextOffset, 0, nil // older duplicate: long since durable
+		return o.nextOffset, 0, false, nil // older duplicate: long since durable
 	}
 	if err := rc.Check(); err != nil {
-		return 0, 0, err // out of time before any work: nothing appended
+		return 0, 0, false, err // out of time before any work: nothing appended
+	}
+	var batchBytes int64
+	for i := range records {
+		batchBytes += records[i].encodedSize()
+	}
+	// Capacity is charged before the object-level throttle and rolled
+	// back if the throttle rejects, so a rejected batch consumes neither.
+	// The dedup window above already ruled the batch new, so a retried
+	// batch can never be capacity-charged twice.
+	reg := o.store.tenants.Load()
+	tenanted := reg != nil && ten != ""
+	if tenanted {
+		if err := reg.ChargeCapacity(ten, batchBytes); err != nil {
+			return 0, 0, false, err
+		}
 	}
 	if err := o.takeTokens(len(records)); err != nil {
-		return 0, 0, err
+		if tenanted {
+			reg.CreditCapacity(ten, batchBytes)
+		}
+		return 0, 0, false, err
 	}
 	base := o.nextOffset
 	now := o.store.clock.Now()
@@ -367,8 +420,14 @@ func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *o
 		o.producerSeq[producerID] = dedupEntry{seq: seq, base: base}
 	}
 	o.appended += int64(len(records))
-	for i := range records {
-		o.bytesAppended += records[i].encodedSize()
+	o.bytesAppended += batchBytes
+	if tenanted {
+		if o.tenantPending == nil {
+			o.tenantPending = make(map[string]int64)
+			o.tenantStored = make(map[string]int64)
+		}
+		o.tenantPending[ten] += batchBytes
+		o.tenantStored[ten] += batchBytes
 	}
 	o.store.metrics.ackLat.Observe(cost)
 	// Persist full slices into PLogs, after the whole batch is journaled
@@ -396,7 +455,76 @@ func (o *Object) AppendCtx(records []Record, producerID string, seq int64, sp *o
 		}
 	}
 	derr := rc.Charge(cost)
-	return base, cost, derr
+	return base, cost, true, derr
+}
+
+// poolAdmitLocked drains pending per-tenant bytes through the pool's
+// weighted-fair admission scheduler as flushed bytes enter the SSD
+// pool, returning the scheduling delay to fold into the flush cost.
+// Draining walks tenants in sorted-name order so replays are
+// bit-identical. A no-op without a tenant plane.
+func (o *Object) poolAdmitLocked(flushed int64) time.Duration {
+	sched := o.store.poolQoS.Load()
+	if sched == nil || flushed <= 0 || len(o.tenantPending) == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(o.tenantPending))
+	for n := range o.tenantPending {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total time.Duration
+	rem := flushed
+	for _, name := range names {
+		if rem <= 0 {
+			break
+		}
+		take := o.tenantPending[name]
+		if take > rem {
+			take = rem
+		}
+		total += sched.Delay(name, 1, take) // class 1 = Normal
+
+		rem -= take
+		if o.tenantPending[name] -= take; o.tenantPending[name] <= 0 {
+			delete(o.tenantPending, name)
+		}
+	}
+	return total
+}
+
+// creditReclaimLocked returns reclaimed bytes to tenant capacity
+// quotas, proportionally to each tenant's stored share (slices mix
+// tenants, so per-slice attribution is not tracked). Sorted-name order
+// keeps replays bit-identical.
+func (o *Object) creditReclaimLocked(freed int64) {
+	reg := o.store.tenants.Load()
+	if reg == nil || freed <= 0 || len(o.tenantStored) == 0 {
+		return
+	}
+	var total int64
+	names := make([]string, 0, len(o.tenantStored))
+	for n, v := range o.tenantStored {
+		names = append(names, n)
+		total += v
+	}
+	if total == 0 {
+		return
+	}
+	if freed > total {
+		freed = total
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		credit := freed * o.tenantStored[name] / total
+		if credit <= 0 {
+			continue
+		}
+		reg.CreditCapacity(name, credit)
+		if o.tenantStored[name] -= credit; o.tenantStored[name] <= 0 {
+			delete(o.tenantStored, name)
+		}
+	}
 }
 
 // CanAppend reports whether the quota currently admits n more records,
@@ -532,6 +660,7 @@ func (o *Object) flushChunkLocked(n int, sp *obs.Span) (time.Duration, error) {
 	if len(o.buf) == 0 {
 		o.buf = nil
 	}
+	cost += o.poolAdmitLocked(encoded)
 	return cost, nil
 }
 
@@ -609,6 +738,11 @@ func (o *Object) flushBatchLocked(counts []int, sp *obs.Span) (time.Duration, er
 	if len(o.buf) == 0 {
 		o.buf = nil
 	}
+	var flushedTotal int64
+	for _, e := range encoded {
+		flushedTotal += e
+	}
+	cost += o.poolAdmitLocked(flushedTotal)
 	return cost, nil
 }
 
@@ -784,6 +918,7 @@ func (o *Object) ReclaimThrough(offset int64) (int64, error) {
 		}
 		o.slices = kept
 	}
+	o.creditReclaimLocked(freed)
 	return freed, nil
 }
 

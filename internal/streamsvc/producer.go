@@ -20,8 +20,9 @@ import (
 // Producers are idempotent: every (producer, stream) batch carries a
 // sequence number the stream object deduplicates on.
 type Producer struct {
-	svc *Service
-	id  string
+	svc    *Service
+	id     string
+	tenant string // tenant identity carried on every batch; "" = system
 
 	mu  sync.Mutex
 	seq map[string]int64
@@ -42,6 +43,19 @@ func (s *Service) Producer(id string) *Producer {
 	}
 	return &Producer{svc: s, id: id, seq: make(map[string]int64)}
 }
+
+// TenantProducer is Producer bound to a tenant identity: every batch is
+// admitted against the tenant's quotas before fan-out and carries the
+// tenant through bus scheduling, storage accounting, spans, and load
+// shedding. An empty tenant is the system identity (plain Producer).
+func (s *Service) TenantProducer(id, ten string) *Producer {
+	p := s.Producer(id)
+	p.tenant = ten
+	return p
+}
+
+// Tenant returns the producer's tenant identity ("" = system).
+func (p *Producer) Tenant() string { return p.tenant }
 
 // Send publishes one key-value message, returning the stored message and
 // the modelled end-to-end produce latency (bus transfer to the stream
@@ -116,6 +130,26 @@ func (p *Producer) sendBatch(sp *obs.Span, topic string, recs []streamobj.Record
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topic)
 	}
+	// Tenant admission: the whole client batch is charged against the
+	// tenant's IOPS and bandwidth buckets exactly once, before fan-out —
+	// internal per-stream retries below never re-admit, so a retried
+	// batch can't be double-charged.
+	if reg := p.svc.Tenants(); reg != nil && p.tenant != "" {
+		var total int64
+		for _, r := range recs {
+			total += int64(len(r.Key) + len(r.Value))
+		}
+		now := p.svc.clock.Now()
+		if rc != nil {
+			now = rc.Now()
+		}
+		if err := reg.Admit(p.tenant, now, len(recs), total); err != nil {
+			return nil, 0, err
+		}
+		if sp != nil {
+			sp.SetAttr("tenant", p.tenant)
+		}
+	}
 	// Group records by target stream.
 	byStream := make(map[int][]streamobj.Record)
 	for _, r := range recs {
@@ -182,8 +216,14 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 	if on {
 		br = p.svc.breakerFor(ep)
 	}
+	reg := p.svc.Tenants()
 	m := p.svc.metrics
 	var cost time.Duration
+	// appendedThisCall: a real (non-dedup) append happened under this
+	// batch's admission; refunded: the admission was already refunded. A
+	// dedup re-ack refunds the admission exactly once, and only when no
+	// attempt of THIS call did the work (otherwise the charge stands).
+	var appendedThisCall, refunded bool
 	if err := rc.Check(); err != nil {
 		m.deadlines.Inc()
 		return 0, 0, err
@@ -209,6 +249,20 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 	// be returned as-is (success, shed, deadline, application error);
 	// final=false is a transient transport failure worth retrying.
 	attemptOnce := func(attempt int) (base int64, err error, final bool) {
+		// Admission control under overload: when the endpoint's breaker
+		// has left Closed, lowest-priority tenant traffic is shed first —
+		// a deliberate 429 before any bytes move, so shed load never
+		// reaches storage and can never be acked-then-lost.
+		if br != nil && reg != nil && p.tenant != "" && br.State() != resil.Closed && reg.ShouldShed(p.tenant) {
+			m.sheds.Inc()
+			if sp != nil {
+				e := sp.Child("tenant.shed")
+				e.SetAttr("endpoint", ep)
+				e.SetAttr("tenant", p.tenant)
+				e.End(0)
+			}
+			return 0, reg.Shed(p.tenant, br.RetryAfter(vnow())), true
+		}
 		if br != nil {
 			if aerr := br.Allow(vnow()); aerr != nil {
 				m.sheds.Inc()
@@ -224,7 +278,7 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 		var busCost time.Duration
 		var serr error
 		if on {
-			busCost, serr = w.bus.SendLink("client", ep, bytes, bus.Normal)
+			busCost, serr = w.bus.SendLinkT("client", ep, bytes, bus.Normal, p.tenant)
 		} else {
 			busCost = w.bus.Send(bytes, bus.Normal)
 		}
@@ -257,12 +311,21 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 				osp.SetAttr("attempt", strconv.Itoa(attempt))
 			}
 		}
-		base, c, aerr := obj.AppendCtx(batch, p.id, seq, osp, rc)
+		base, c, appended, aerr := obj.AppendTenantCtx(batch, p.id, seq, p.tenant, osp, rc)
 		if osp != nil {
 			osp.End(c)
 			sp.Advance(c)
 		}
 		cost += c
+		if appended {
+			appendedThisCall = true
+		} else if aerr == nil && !appendedThisCall && !refunded && reg != nil && p.tenant != "" {
+			// Dedup re-ack of a batch some EARLIER producer incarnation
+			// appended: this call's fresh admission did no work — hand
+			// the tokens back so the retried batch nets one charge.
+			refunded = true
+			reg.Refund(p.tenant, len(batch), bytes)
+		}
 		if aerr != nil {
 			if errors.Is(aerr, resil.ErrDeadlineExceeded) {
 				// Ambiguous timeout: the append may have landed durably
@@ -319,7 +382,7 @@ func (p *Producer) sendOne(sp *obs.Span, topic string, idx int, batch []streamob
 		// A lost ack leaves the append durable but the client unsure —
 		// the retry resends and the dedup window answers with the
 		// original base offset.
-		ackCost, ackErr := w.bus.SendLink(ep, "client", cfg.AckBytes, bus.High)
+		ackCost, ackErr := w.bus.SendLinkT(ep, "client", cfg.AckBytes, bus.High, p.tenant)
 		cost += ackCost
 		if sp != nil {
 			sp.Advance(ackCost)

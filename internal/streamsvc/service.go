@@ -17,6 +17,7 @@ import (
 	"streamlake/internal/resil"
 	"streamlake/internal/sim"
 	"streamlake/internal/streamobj"
+	"streamlake/internal/tenant"
 )
 
 // Errors returned by the streaming service.
@@ -112,6 +113,50 @@ type Service struct {
 	// Producer.sendOne). Swapped atomically so the produce hot path
 	// reads it without s.mu.
 	gate atomic.Pointer[CommitGate]
+
+	// tenants is the optional multi-tenancy plane (nil = legacy path);
+	// qosWire attaches the per-worker bus scheduler so rescaled fleets
+	// (SetWorkerCount) inherit it.
+	tenants *tenant.Registry
+	qosWire func(*Worker)
+}
+
+// SetTenants attaches the tenant registry and gives every worker bus a
+// weighted-fair scheduler over its link bandwidth. Workers created by
+// later rescales inherit the wiring. Call at wiring time.
+func (s *Service) SetTenants(reg *tenant.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants = reg
+	s.qosWire = func(w *Worker) {
+		w.bus.SetQoS(tenant.NewSched(s.clock, reg, w.bus.Link().Spec().WriteBandwidth))
+	}
+	for _, w := range s.workers {
+		s.qosWire(w)
+	}
+}
+
+// SetContention attaches the unisolated shared-queue contention model
+// to every worker bus — the control baseline for the noisy-neighbor
+// experiment: all tenants share one backlog per priority class, so a
+// heavy sender's queue delays everyone behind it.
+func (s *Service) SetContention() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qosWire = func(w *Worker) {
+		w.bus.SetQoS(tenant.NewSched(s.clock, nil, w.bus.Link().Spec().WriteBandwidth))
+	}
+	for _, w := range s.workers {
+		s.qosWire(w)
+	}
+}
+
+// Tenants returns the attached tenant registry (nil on the legacy
+// single-tenant path).
+func (s *Service) Tenants() *tenant.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants
 }
 
 // CommitGate is the cluster's produce-commit hook: called after a batch
@@ -377,6 +422,9 @@ func (s *Service) SetWorkerCount(n int) (moved int, cost time.Duration) {
 		workers[i].bus.SetObs(s.reg)
 		if s.netHook != nil {
 			workers[i].bus.SetNet(s.netHook, workerEndpoint(i))
+		}
+		if s.qosWire != nil {
+			s.qosWire(workers[i])
 		}
 	}
 	// The fleet is rebuilt from scratch (fresh down flags, hash-based

@@ -1,0 +1,139 @@
+package mtraffic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"streamlake"
+)
+
+func newLake(t *testing.T, tenants ...streamlake.TenantConfig) *streamlake.Lake {
+	t.Helper()
+	lake, err := streamlake.Open(streamlake.Config{Seed: 11, Tenants: tenants})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := lake.CreateTopic(streamlake.TopicConfig{Name: "mt", StreamNum: 4}); err != nil {
+		t.Fatalf("topic: %v", err)
+	}
+	return lake
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Topic: "mt",
+		Seed:  42,
+		Tenants: []TenantSpec{
+			{Name: "a", MeanGap: 200 * time.Microsecond, DiurnalAmp: 0.8},
+			{Name: "b", MeanGap: time.Millisecond, ValueBytes: 64},
+		},
+	}
+	run := func() Result {
+		lake := newLake(t,
+			streamlake.TenantConfig{Name: "a"},
+			streamlake.TenantConfig{Name: "b"},
+		)
+		res, err := Run(lake, cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", first, second)
+	}
+	if first.Elapsed <= 0 {
+		t.Fatal("schedule consumed no virtual time")
+	}
+	var offered int64
+	for _, tr := range first.Tenants {
+		offered += tr.Offered
+		if tr.Offered != tr.Acked+tr.Throttled+tr.Shed+tr.Failed {
+			t.Fatalf("tenant %s outcomes do not partition offered: %+v", tr.Name, tr)
+		}
+	}
+	if offered != int64(first.Events) {
+		t.Fatalf("offered %d != events %d", offered, first.Events)
+	}
+}
+
+func TestQuotaOutcomesClassified(t *testing.T) {
+	// "hog" offers ~13 MB/s against a 64 KB/s bandwidth quota, so most
+	// of its open-loop arrivals must classify as Throttled; "free" has
+	// no quotas and must ack everything.
+	lake := newLake(t,
+		streamlake.TenantConfig{Name: "hog", BandwidthBps: 64 << 10},
+		streamlake.TenantConfig{Name: "free"},
+	)
+	res, err := Run(lake, Config{
+		Topic: "mt",
+		Seed:  7,
+		Tenants: []TenantSpec{
+			{Name: "hog", MeanGap: 300 * time.Microsecond, ValueBytes: 4096},
+			{Name: "free", MeanGap: time.Millisecond, ValueBytes: 256},
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	hog, _ := res.Tenant("hog")
+	free, _ := res.Tenant("free")
+	if hog.Throttled == 0 {
+		t.Fatalf("over-quota tenant never throttled: %+v", hog)
+	}
+	if hog.Acked == 0 {
+		t.Fatalf("throttled tenant should still land its in-quota share: %+v", hog)
+	}
+	if free.Throttled != 0 || free.Shed != 0 || free.Failed != 0 || free.Acked != free.Offered {
+		t.Fatalf("unlimited tenant saw rejections: %+v", free)
+	}
+	if free.P99 < free.P50 || free.Max < free.P99 {
+		t.Fatalf("quantiles out of order: %+v", free)
+	}
+}
+
+func TestSkewedSpecsShapeOfferedLoad(t *testing.T) {
+	specs := SkewedSpecs("t", 4, 300*time.Microsecond, 1.2)
+	lake := newLake(t,
+		streamlake.TenantConfig{Name: "t0"},
+		streamlake.TenantConfig{Name: "t1"},
+		streamlake.TenantConfig{Name: "t2"},
+		streamlake.TenantConfig{Name: "t3"},
+	)
+	res, err := Run(lake, Config{Topic: "mt", Seed: 3, Events: 1500, Tenants: specs})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	head, _ := res.Tenant("t0")
+	tail, _ := res.Tenant("t3")
+	if head.Offered <= 2*tail.Offered {
+		t.Fatalf("zipf head %d not dominating tail %d", head.Offered, tail.Offered)
+	}
+}
+
+func TestDiurnalBurstsModulateArrivals(t *testing.T) {
+	// With a strong diurnal swing, the same mean gap must pack more
+	// arrivals into the cycle's peak half than a flat schedule would —
+	// observable as a different (shorter or longer) elapsed time for the
+	// same event count and seed.
+	run := func(amp float64) Result {
+		lake := newLake(t, streamlake.TenantConfig{Name: "a"})
+		res, err := Run(lake, Config{
+			Topic:         "mt",
+			Seed:          9,
+			Events:        500,
+			DiurnalPeriod: 50 * time.Millisecond,
+			Tenants:       []TenantSpec{{Name: "a", MeanGap: 500 * time.Microsecond, DiurnalAmp: amp, ValueBytes: 64}},
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	flat, bursty := run(0), run(0.9)
+	if flat.Elapsed == bursty.Elapsed {
+		t.Fatal("diurnal modulation had no effect on the arrival schedule")
+	}
+}

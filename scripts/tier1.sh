@@ -31,6 +31,10 @@ go test ./internal/bench/
 # the run if group commit stops halving slice-flush device writes, scan
 # allocs/op rise above the pinned ceiling (≥30% under the pre-zero-copy
 # baseline), or zone maps stop cutting selective-query files-read 5x.
+# The tenant leg is the noisy-neighbor isolation gate: a tenant
+# saturating its quota must leave the in-quota victim's produce p99
+# within 2x its solo baseline while the unisolated control run blows
+# that ceiling, or the snapshot fails.
 sh scripts/bench.sh --smoke
 # Chaos smoke: one seeded drill through the full fault mix (drops,
 # delays, partitions, disk kills, corruption) asserting the core
@@ -38,6 +42,14 @@ sh scripts/bench.sh --smoke
 # offsets, bit-identical replay — plus the group-commit drill (batched
 # slice flushes under disk kills, replayed bit-identically).
 go test -count=1 -run 'TestChaosInvariantsHold|TestChaosReplayIsBitIdentical|TestGroupCommitChaos' ./internal/chaos/
+# Tenant gate: the QoS plane (quota buckets, WFQ scheduler) and the
+# open-loop multi-tenant generator under the race detector, plus the
+# noisy-neighbor chaos smoke — quota throttling and overload shedding
+# interleaved with the fault schedule, the protected tenant never
+# denied, zero acked-write loss across both tenants, bit-identical
+# replay with the quota decisions in the digest.
+go test -race -count=1 ./internal/tenant/ ./internal/workload/mtraffic/
+go test -count=1 -run 'TestNoisyNeighborChaos' ./internal/chaos/
 # Cache gate: the two-tier read cache under the race detector, plus the
 # mixed chaos workload (produce + scan + scrub + tiering + cache) that
 # asserts bit-identical replay and cached-read ≡ device-read. The

@@ -38,6 +38,7 @@ import (
 	"streamlake/internal/streamobj"
 	"streamlake/internal/streamsvc"
 	"streamlake/internal/tableobj"
+	"streamlake/internal/tenant"
 	"streamlake/internal/tiering"
 )
 
@@ -86,6 +87,11 @@ type (
 	CorruptionEvent = plog.CorruptionEvent
 	// PoolStats is a storage pool accounting snapshot.
 	PoolStats = pool.Stats
+	// TenantConfig is one tenant's QoS contract: weight, shed priority,
+	// and capacity/IOPS/bandwidth quotas.
+	TenantConfig = tenant.Config
+	// TenantStatus is one tenant's contract plus its admission counters.
+	TenantStatus = tenant.Status
 )
 
 // Value constructors, re-exported.
@@ -171,6 +177,22 @@ type Config struct {
 	// rest. Extent reads fill it only after checksum verification, and
 	// repair/scrub/migration/DML events invalidate affected entries.
 	CacheMB int
+	// Tenants declares the lake's tenants and their QoS contracts,
+	// turning on the multi-tenancy plane: per-tenant quota admission,
+	// weighted-fair scheduling on the worker buses and at pool
+	// admission, and priority-ordered load shedding under overload.
+	// Empty (the default) keeps the legacy single-tenant path
+	// byte-identical, including all chaos replay digests.
+	Tenants []TenantConfig
+	// TenantQoS forces the tenant plane on even with an empty Tenants
+	// list (tenants are then added at runtime via SetTenant / lakectl).
+	TenantQoS bool
+	// ModelContention attaches the unisolated shared-queue contention
+	// model to the worker buses WITHOUT tenant isolation — the control
+	// baseline for the noisy-neighbor experiment, where one tenant's
+	// backlog delays everyone in its priority class. Mutually exclusive
+	// with Tenants/TenantQoS (isolation wins when both are set).
+	ModelContention bool
 	// Seed drives all randomized components deterministically.
 	Seed uint64
 }
@@ -200,6 +222,7 @@ type Lake struct {
 	tracer  *obs.Tracer      // nil when observability is disabled
 	rcache  *cache.Cache     // nil when Config.CacheMB is 0
 	clus    *cluster.Cluster // nil when Config.Nodes <= 1
+	tenants *tenant.Registry // nil when the tenant plane is off
 
 	tierSizes map[plog.ID]int64 // per-log size at the last tiering pass
 }
@@ -269,6 +292,21 @@ func Open(cfg Config) (*Lake, error) {
 	if !cfg.DisableResilience {
 		svc.SetResilience(streamsvc.ResilienceConfig{Seed: int64(cfg.Seed)})
 	}
+	// Multi-tenancy plane: quota admission at the producer, weighted-fair
+	// scheduling on the worker buses and at pool admission, capacity
+	// charging at durable append. Off (nil registry) unless configured,
+	// keeping the legacy path byte-identical.
+	if len(cfg.Tenants) > 0 || cfg.TenantQoS {
+		reg, err := tenant.NewRegistry(cfg.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		l.tenants = reg
+		svc.SetTenants(reg)
+		store.SetTenants(reg)
+	} else if cfg.ModelContention {
+		svc.SetContention()
+	}
 	if !cfg.DisableHedging {
 		logs.SetHedge(plog.HedgeConfig{Enabled: true, Quantile: cfg.HedgeQuantile})
 	}
@@ -326,6 +364,9 @@ func Open(cfg Config) (*Lake, error) {
 		}
 		if l.clus != nil {
 			l.clus.SetObs(l.reg)
+		}
+		if l.tenants != nil {
+			l.tenants.SetObs(l.reg)
 		}
 	}
 	if l.clus != nil {
@@ -387,6 +428,24 @@ func (l *Lake) DeleteTopic(name string) error {
 
 // Producer returns a producer handle (empty id = fresh identity).
 func (l *Lake) Producer(id string) *Producer { return l.svc.Producer(id) }
+
+// TenantProducer returns a producer bound to a tenant identity: batches
+// are admitted against the tenant's quotas and carry the tenant through
+// scheduling, storage accounting, and spans.
+func (l *Lake) TenantProducer(id, ten string) *Producer { return l.svc.TenantProducer(id, ten) }
+
+// Tenants exposes the tenant registry; nil when the tenant plane is off.
+func (l *Lake) Tenants() *tenant.Registry { return l.tenants }
+
+// SetTenant adds or updates a tenant's QoS contract at runtime. It
+// fails when the tenant plane is off (configure Tenants or TenantQoS at
+// Open).
+func (l *Lake) SetTenant(cfg TenantConfig) error {
+	if l.tenants == nil {
+		return fmt.Errorf("streamlake: tenant plane is off (set Config.Tenants or TenantQoS)")
+	}
+	return l.tenants.Set(cfg)
+}
 
 // Consumer returns a consumer handle in the given group.
 func (l *Lake) Consumer(group string) *Consumer { return l.svc.Consumer(group) }
