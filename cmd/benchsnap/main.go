@@ -41,7 +41,28 @@ type snapshot struct {
 	Cache      cacheBench         `json:"cache"`
 	Speed      speedBench         `json:"speed"`
 	Cluster    clusterBench       `json:"cluster"`
+	Join       joinBench          `json:"join"`
 	Tenant     tenantBench        `json:"tenant"`
+}
+
+// joinBench is the elastic-membership leg: a 5-node cluster takes a
+// runtime node join mid-workload, and the snapshot records how long
+// producers gapped around the membership commit, how many bytes the
+// arc migration scheduled against its (1/(N+1))·(1+slack) bound, and
+// whether re-replication of the relocated copies finished in budget.
+// Self-enforcing like the other legs — run() fails when a ceiling is
+// blown, so tier1's benchsnap smoke doubles as the elastic-membership
+// regression gate.
+type joinBench struct {
+	Nodes         int   `json:"nodes"` // before the join
+	AckedWrites   int64 `json:"acked_writes"`
+	JoinGapNs     int64 `json:"join_gap_ns"` // propose -> first post-commit ack
+	MovedBytes    int64 `json:"moved_bytes"` // bytes the arc migration scheduled
+	MovedSlices   int   `json:"moved_slices"`
+	BoundBytes    int64 `json:"bound_bytes"`    // (live/(N+1))·(1+slack) at join time
+	SkippedSlices int   `json:"skipped_slices"` // candidates the bound turned away
+	RebalanceNs   int64 `json:"rebalance_ns"`   // re-replication elapsed virtual time
+	RebalanceDone bool  `json:"rebalance_complete"`
 }
 
 // tenantBench is the noisy-neighbor isolation leg: the same open-loop
@@ -288,6 +309,11 @@ func run(smoke bool, out string) error {
 		return err
 	}
 	result.Cluster = clb
+	jb, err := joinLeg(smoke)
+	if err != nil {
+		return err
+	}
+	result.Join = jb
 	tb, err := tenantLeg(smoke)
 	if err != nil {
 		return err
@@ -313,6 +339,9 @@ func run(smoke bool, out string) error {
 	fmt.Printf("benchsnap: cluster leg detect=%.1fms gap=%.1fms rebalance=%.1fms (%dB, complete=%v)\n",
 		float64(clb.FailoverDetectNs)/1e6, float64(clb.ProducerGapNs)/1e6,
 		float64(clb.RebalanceNs)/1e6, clb.RebalancedBytes, clb.RebalanceDone)
+	fmt.Printf("benchsnap: join leg gap=%.1fms moved=%dB/%d slices (bound %dB, skipped %d) rebalance=%.1fms complete=%v\n",
+		float64(jb.JoinGapNs)/1e6, jb.MovedBytes, jb.MovedSlices, jb.BoundBytes, jb.SkippedSlices,
+		float64(jb.RebalanceNs)/1e6, jb.RebalanceDone)
 	fmt.Printf("benchsnap: tenant leg victim p99 solo=%.2fms isolated=%.2fms (%.2fx) control=%.2fms (%.1fx), noisy throttled %d/%d\n",
 		float64(tb.SoloP99Ns)/1e6, float64(tb.IsolatedP99Ns)/1e6, tb.IsolatedRatio,
 		float64(tb.ControlP99Ns)/1e6, tb.ControlRatio, tb.NoisyThrottled, tb.NoisyThrottled+tb.NoisyAcked)
@@ -495,6 +524,101 @@ func clusterLeg(smoke bool) (clusterBench, error) {
 		return cb, fmt.Errorf("cluster leg: rebalance took %dns, ceiling %dns", cb.RebalanceNs, ceiling)
 	}
 	return cb, nil
+}
+
+// joinLeg runs the elastic-membership drill: bulk traffic flushes
+// durable slices on a 5-node cluster, a sixth node joins mid-workload
+// through the replicated metadata log, and the leg enforces the three
+// elastic ceilings — producer gap around the join, bytes moved against
+// the (1/(N+1))·(1+slack) bound, and re-replication inside its budget.
+func joinLeg(smoke bool) (joinBench, error) {
+	warm := 1400
+	if smoke {
+		warm = 700
+	}
+	lake, err := streamlake.Open(streamlake.Config{
+		Nodes:        5,
+		Workers:      5,
+		SSDDisks:     10,
+		Seed:         7,
+		PLogCapacity: 1 << 20,
+	})
+	if err != nil {
+		return joinBench{}, err
+	}
+	cl := lake.Cluster()
+	jb := joinBench{Nodes: 5}
+	if err := lake.CreateTopic(streamlake.TopicConfig{Name: "joinbench", StreamNum: 2}); err != nil {
+		return jb, err
+	}
+	prod := lake.Producer("joinbench")
+	payload := strings.Repeat("j", 512)
+	send := func(i int) bool {
+		_, _, err := prod.Send("joinbench", []byte(fmt.Sprintf("k%06d", i)), []byte(payload))
+		if err == nil {
+			jb.AckedWrites++
+		}
+		return err == nil
+	}
+	// Bulk phase: 512 B payloads flush real durable slices, so the join
+	// has live bytes to migrate — a join that moves nothing proves
+	// nothing about the bound.
+	for i := 0; i < warm; i++ {
+		if !send(i) {
+			return jb, fmt.Errorf("join leg: healthy send %d failed", i)
+		}
+		if i%32 == 0 {
+			lake.Clock().Advance(time.Millisecond)
+			cl.Tick()
+		}
+	}
+	joinAt := lake.Clock().Now()
+	if err := cl.ProposeJoin(5); err != nil {
+		return jb, fmt.Errorf("join leg: propose: %w", err)
+	}
+	rep := cl.LastJoin()
+	jb.MovedBytes = rep.MovedBytes
+	jb.MovedSlices = rep.MovedSlices
+	jb.BoundBytes = rep.BoundBytes
+	jb.SkippedSlices = rep.Skipped
+	recovered := false
+	for i := 0; i < 400 && !recovered; i++ {
+		if send(warm + i) {
+			// A zero gap is a legitimate (and ideal) outcome: the
+			// membership commit never stalled the producer at all.
+			jb.JoinGapNs = int64(lake.Clock().Now() - joinAt)
+			recovered = true
+			break
+		}
+		lake.Clock().Advance(time.Millisecond)
+		cl.Tick()
+	}
+	if !recovered {
+		return jb, fmt.Errorf("join leg: producers never recovered after the join")
+	}
+	reb := cl.RunRebalance(2 * time.Second)
+	jb.RebalanceNs = int64(reb.Elapsed)
+	jb.RebalanceDone = reb.Complete
+
+	// The ceilings. The join must actually migrate data, stay inside the
+	// movement bound, keep the producer gap under the elastic ceiling,
+	// and re-replicate the relocated copies inside the budget.
+	if jb.MovedBytes == 0 {
+		return jb, fmt.Errorf("join leg: join migrated nothing — bulk phase left no live bytes")
+	}
+	if jb.MovedBytes > jb.BoundBytes {
+		return jb, fmt.Errorf("join leg: moved %dB over the %dB bound", jb.MovedBytes, jb.BoundBytes)
+	}
+	if ceiling := (120 * time.Millisecond).Nanoseconds(); jb.JoinGapNs > ceiling {
+		return jb, fmt.Errorf("join leg: producer gap %dns, ceiling %dns", jb.JoinGapNs, ceiling)
+	}
+	if !jb.RebalanceDone {
+		return jb, fmt.Errorf("join leg: re-replication incomplete after %dns", jb.RebalanceNs)
+	}
+	if ceiling := (2 * time.Second).Nanoseconds(); jb.RebalanceNs > ceiling {
+		return jb, fmt.Errorf("join leg: re-replication took %dns, ceiling %dns", jb.RebalanceNs, ceiling)
+	}
+	return jb, nil
 }
 
 // cacheLeg runs the read-cache benchmark against its own lake so the

@@ -50,6 +50,7 @@
 //	cluster status                    (per-node membership, roles, backlog; -nodes N)
 //	cluster kill <node> | revive <node>
 //	cluster drain <node> | undrain <node>
+//	cluster join <node> | remove <node>   (runtime grow/shrink via the metadata log)
 //	cluster tick [n]                  (n heartbeat rounds of virtual time)
 //	cluster rebalance [budget]        (re-replicate off dead nodes, e.g. 2s)
 //	tenant status                     (per-tenant quotas + admission counters; -qos)
@@ -159,6 +160,7 @@ func (s *shell) exec(line string) error {
 		fmt.Println("cache:    status | flush (two-tier read cache)")
 		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
 		fmt.Println("cluster:  status | kill <node> | revive <node> | drain <node> | undrain <node> |")
+		fmt.Println("          join <node> | remove <node> |")
 		fmt.Println("          tick [n] | rebalance [budget]   (start with -nodes N)")
 		fmt.Println("tenant:   status | set <name> [weight=N] [priority=N] [capacity=BYTES] [iops=N] [bw=BPS] |")
 		fmt.Println("          produce <tenant> <topic> <key> <value>   (start with -qos)")
@@ -703,9 +705,19 @@ func (s *shell) cluster(rest []string) error {
 		fmt.Printf("heartbeats sent=%d lost=%d kills=%d revives=%d staleMarked=%dB\n",
 			st.Stats.HeartbeatsSent, st.Stats.HeartbeatsLost, st.Stats.NodesKilled,
 			st.Stats.NodesRevived, st.Stats.StaleMarkedByte)
+		if st.Stats.Joins > 0 || st.Stats.Removes > 0 {
+			fmt.Printf("membership: joins=%d removes=%d joinMoved=%dB evacuated=%dB\n",
+				st.Stats.Joins, st.Stats.Removes, st.Stats.JoinMovedBytes, st.Stats.EvacuatedBytes)
+		}
 		for _, n := range st.Nodes {
 			state := "alive"
 			switch {
+			case n.Removed:
+				state = "removed"
+			case n.Joining:
+				state = "joining"
+			case n.Leaving:
+				state = "leaving"
 			case !n.Up:
 				state = "down"
 			case !n.Alive:
@@ -714,12 +726,34 @@ func (s *shell) cluster(rest []string) error {
 				state = "suspect"
 			}
 			drain := ""
-			if n.Draining {
+			if n.Draining && !n.Leaving {
 				drain = " draining"
 			}
 			fmt.Printf("  node %d: %-7s %-9s term=%d log=%d/%d slices=%d backlog=%dB%s\n",
 				n.ID, state, n.Role, n.Term, n.Commit, n.LogLen, n.SlicesOwned, n.BacklogBytes, drain)
 		}
+		return nil
+	case "join":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.ProposeJoin(id); err != nil {
+			return err
+		}
+		rep := cl.LastJoin()
+		fmt.Printf("node %d joined: %d slice(s) relocating, %dB of re-replication scheduled (bound %dB, %d deferred)\n",
+			rep.Node, rep.MovedSlices, rep.MovedBytes, rep.BoundBytes, rep.Skipped)
+		return nil
+	case "remove":
+		id, err := nodeArg()
+		if err != nil {
+			return err
+		}
+		if err := cl.ProposeRemove(id); err != nil {
+			return err
+		}
+		fmt.Printf("node %d removed: slices evacuated, tombstone committed (id is never reused)\n", id)
 		return nil
 	case "kill":
 		id, err := nodeArg()
@@ -791,7 +825,7 @@ func (s *shell) cluster(rest []string) error {
 			rep.Rounds, rep.RepairedBytes, rep.Elapsed, rep.Complete, rep.RemainingLogs, rep.RemainingStale)
 		return nil
 	default:
-		return fmt.Errorf("unknown cluster subcommand %q (status|kill|revive|drain|undrain|tick|rebalance)", sub)
+		return fmt.Errorf("unknown cluster subcommand %q (status|kill|revive|drain|undrain|join|remove|tick|rebalance)", sub)
 	}
 }
 

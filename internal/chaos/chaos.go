@@ -92,6 +92,15 @@ type Config struct {
 	// re-elect; acks may only come from the majority side while the
 	// split stands.
 	SplitBrain bool
+	// Elastic lets the scheduler grow and shrink the cluster at runtime,
+	// up to nine nodes: joins go learner → catch-up → committed config
+	// entry, removals go drain → relocate → committed tombstone, both
+	// through the same replicated-log path lakectl uses. Every
+	// successful join is checked against the movement bound the
+	// rebalance planner promised — at most (1/(N+1))·(1+slack) of the
+	// live bytes. Composes with Failover and SplitBrain for the
+	// join-under-fire drill; implies Nodes=5 when Nodes is unset.
+	Elastic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +119,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
 	}
-	if (c.Failover || c.SplitBrain) && c.Nodes <= 1 {
+	if (c.Failover || c.SplitBrain || c.Elastic) && c.Nodes <= 1 {
 		c.Nodes = 5
 	}
 	return c
@@ -146,6 +155,10 @@ type Report struct {
 	MetaCommits  int64         // metadata-log commits (clustered runs)
 	RebalancedB  int64         // bytes re-replicated by the settle rebalance
 	RebalanceOK  bool          // settle rebalance restored full redundancy
+	Joins        int           // committed runtime node joins (Elastic runs)
+	Removes      int           // committed runtime node removals (Elastic runs)
+	JoinMovedB   int64         // live bytes join rebalances scheduled to move
+	EvacuatedB   int64         // live bytes relocated off leaving nodes
 	Digest       uint64        // FNV-1a over the run's observable outcome
 	Violations   []string      // empty on a clean run
 }
@@ -325,6 +338,10 @@ func (h *harness) step(i int) {
 		h.splitBrainEvent()
 		return
 	}
+	if h.cfg.Elastic && h.rng.Intn(10) == 0 {
+		h.elasticEvent()
+		return
+	}
 	if h.cfg.Mixed && h.rng.Intn(5) == 0 {
 		// One event in five goes to the lakehouse side of the house. The
 		// extra RNG draw happens only on Mixed runs, so non-mixed
@@ -379,7 +396,10 @@ func (h *harness) step(i int) {
 func (h *harness) failoverEvent() {
 	cl := h.clustered()
 	n := cl.Nodes()
-	maxDown := (n - 1) / 2
+	// The down budget counts against the quorum denominator, not the
+	// node-ID space: after elastic removals, tombstoned IDs still occupy
+	// slots but hold no votes. Voters() == Nodes() on static clusters.
+	maxDown := (cl.Voters() - 1) / 2
 	if len(h.nodeKills) > 0 && (len(h.nodeKills) >= maxDown || h.rng.Intn(3) == 0) {
 		node := h.nodeKills[0]
 		h.nodeKills = h.nodeKills[1:]
@@ -426,10 +446,22 @@ func (h *harness) splitBrainEvent() {
 	if lead < 0 {
 		return
 	}
+	// Size the minority against the voter set, not the node-ID space:
+	// with tombstoned or still-joining IDs in the count, an ID-based
+	// "minority" could accidentally hold a voter quorum and legally ack.
+	// On static clusters every node is a voter, so the set (and the
+	// digest) is unchanged.
 	n := cl.Nodes()
+	v := cl.CurrentView()
+	voters := 0
+	for i := 0; i < n; i++ {
+		if !v.Removed[i] && !v.Joining[i] {
+			voters++
+		}
+	}
 	minority := map[int]bool{lead: true}
-	for i := 0; len(minority) < (n-1)/2 && i < n; i++ {
-		if i != lead {
+	for i := 0; len(minority) < (voters-1)/2 && i < n; i++ {
+		if i != lead && !v.Removed[i] && !v.Joining[i] {
 			minority[i] = true
 		}
 	}
@@ -449,6 +481,62 @@ func (h *harness) splitBrainEvent() {
 		}
 	}
 	h.split = &splitState{minority: minority, links: links}
+}
+
+// elasticEvent grows or shrinks the cluster at runtime, through the
+// same ProposeJoin/ProposeRemove paths lakectl drives. A join admits
+// node Nodes() as a learner, catches it up from the leader's log, and
+// commits the promotion; the movement bound the rebalance planner
+// promised — (1/(N+1))·(1+slack) of the live bytes — is checked on
+// every success. A removal drains the newest runtime-joined node and
+// commits its tombstone; founding members are never removed, so the
+// birth quorum always survives the schedule. Failures under standing
+// faults (no leader, partitioned joiner, thin quorum) are legitimate:
+// later events or settle retry the half-done change.
+func (h *harness) elasticEvent() {
+	cl := h.clustered()
+	switch r := h.rng.Intn(10); {
+	case r < 5:
+		n := cl.Nodes()
+		if n >= 9 {
+			return
+		}
+		if err := cl.ProposeJoin(n); err != nil {
+			return
+		}
+		rep := cl.LastJoin()
+		if rep.MovedBytes > rep.BoundBytes {
+			h.violate("join of node %d scheduled %d bytes to move, bound %d",
+				rep.Node, rep.MovedBytes, rep.BoundBytes)
+		}
+	case r < 7:
+		v := cl.CurrentView()
+		victim := -1
+		for i := cl.Nodes() - 1; i >= h.cfg.Nodes; i-- {
+			if v.Removed[i] || v.Joining[i] || v.Leaving[i] || h.nodeDown(i) {
+				continue
+			}
+			victim = i
+			break
+		}
+		if victim < 0 {
+			return
+		}
+		cl.ProposeRemove(victim)
+	default:
+		// Let the membership plane breathe: heartbeats flow, learner
+		// promotions and drains make progress between pushes.
+		h.lake.Clock().Advance(time.Duration(1+h.rng.Intn(3000)) * time.Microsecond)
+	}
+}
+
+func (h *harness) nodeDown(node int) bool {
+	for _, k := range h.nodeKills {
+		if k == node {
+			return true
+		}
+	}
+	return false
 }
 
 const mixedTable = "chaos_t"
@@ -760,7 +848,9 @@ func (h *harness) settle() {
 			v := cl.CurrentView()
 			all := cl.Leader() >= 0
 			for n := 0; n < cl.Nodes(); n++ {
-				if !v.Alive[n] {
+				// Tombstoned nodes never come back; their Alive=false is
+				// the converged state, not a pending revival.
+				if !v.Alive[n] && !v.Removed[n] {
 					all = false
 				}
 			}
@@ -769,6 +859,9 @@ func (h *harness) settle() {
 			}
 			h.lake.Clock().Advance(time.Millisecond)
 			cl.Tick()
+		}
+		if h.cfg.Elastic {
+			h.settleMembership(cl)
 		}
 		h.reb = cl.RunRebalance(2 * time.Second)
 		if !h.reb.Complete {
@@ -779,6 +872,55 @@ func (h *harness) settle() {
 	h.lake.RepairUntilRedundant(16)
 	if h.cfg.Corruption {
 		h.lake.ScrubCycle()
+	}
+}
+
+// settleMembership finishes every membership change the fault schedule
+// interrupted: limbo learners whose join entry never committed, and
+// drained nodes whose tombstone didn't. Both proposals are resumable —
+// ProposeJoin retries the catch-up and promotion for an existing
+// learner, ProposeRemove skips straight to the tombstone once the leave
+// is committed — so with faults healed they converge in a few ticks.
+// A change still pending after the budget is an invariant failure: the
+// protocol promised every proposed change eventually commits or aborts
+// cleanly.
+func (h *harness) settleMembership(cl *cluster.Cluster) {
+	for i := 0; i < 128; i++ {
+		v := cl.CurrentView()
+		pending := -1
+		leaving := false
+		for n := 0; n < cl.Nodes(); n++ {
+			if v.Joining[n] || v.Leaving[n] {
+				pending, leaving = n, v.Leaving[n]
+				break
+			}
+		}
+		if pending < 0 {
+			return
+		}
+		var err error
+		if leaving {
+			err = cl.ProposeRemove(pending)
+		} else if err = cl.ProposeJoin(pending); err == nil {
+			rep := cl.LastJoin()
+			if rep.MovedBytes > rep.BoundBytes {
+				h.violate("join of node %d scheduled %d bytes to move, bound %d",
+					rep.Node, rep.MovedBytes, rep.BoundBytes)
+			}
+		}
+		if err != nil {
+			h.lake.Clock().Advance(time.Millisecond)
+			cl.Tick()
+		}
+	}
+	v := cl.CurrentView()
+	for n := 0; n < cl.Nodes(); n++ {
+		if v.Joining[n] {
+			h.violate("settle could not commit the join of node %d", n)
+		}
+		if v.Leaving[n] {
+			h.violate("settle could not commit the removal of node %d", n)
+		}
 	}
 }
 
@@ -941,6 +1083,12 @@ func (h *harness) report() Report {
 		r.MetaCommits = cs.Commits
 		r.RebalancedB = h.reb.RepairedBytes
 		r.RebalanceOK = h.reb.Complete
+		if h.cfg.Elastic {
+			r.Joins = int(cs.Joins)
+			r.Removes = int(cs.Removes)
+			r.JoinMovedB = cs.JoinMovedBytes
+			r.EvacuatedB = cs.EvacuatedBytes
+		}
 	}
 	r.Digest = h.digest(r)
 	return r
@@ -971,6 +1119,10 @@ func (h *harness) digest(r Report) uint64 {
 	if h.cfg.Nodes > 1 {
 		w("nodeKills=%d elections=%d metaCommits=%d rebalanced=%d;",
 			r.NodeKills, r.Elections, r.MetaCommits, r.RebalancedB)
+	}
+	if h.cfg.Elastic {
+		w("joins=%d removes=%d joinMoved=%d evacuated=%d;",
+			r.Joins, r.Removes, r.JoinMovedB, r.EvacuatedB)
 	}
 	streams := make([]int, 0, len(h.acked))
 	for s := range h.acked {

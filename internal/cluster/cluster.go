@@ -42,8 +42,10 @@ import (
 // Config shapes the cluster's detector and election timers. All
 // durations are virtual time.
 type Config struct {
-	// Nodes is the cluster size. Disk i of every attached pool belongs
-	// to node i % Nodes.
+	// Nodes is the birth cluster size. Disk i of every attached pool
+	// initially belongs to node i % Nodes; after runtime joins the
+	// view's disk→node table is the only truth (new disks belong to the
+	// node that joined with them, not to i % birth-N).
 	Nodes int
 	// Seed derives every per-node RNG (election-timeout jitter).
 	Seed uint64
@@ -59,6 +61,11 @@ type Config struct {
 	// each node adds seeded jitter in [0, ElectionTimeout) so timers
 	// stay staggered (default 5ms).
 	ElectionTimeout time.Duration
+	// MoveSlack bounds data movement on a join: growing N→N+1 may move
+	// at most (1/(N+1))·(1+MoveSlack) of the live bytes (default 0.5).
+	// Consistent hashing keeps the expected movement at 1/(N+1); the
+	// slack absorbs sampling variance at small N.
+	MoveSlack float64
 }
 
 func (c *Config) applyDefaults() {
@@ -77,14 +84,19 @@ func (c *Config) applyDefaults() {
 	if c.ElectionTimeout <= 0 {
 		c.ElectionTimeout = 5 * time.Millisecond
 	}
+	if c.MoveSlack <= 0 {
+		c.MoveSlack = 0.5
+	}
 }
 
 // nodeState is one node's cluster-visible state: process liveness, the
 // failure detector's receive timestamps, and its metadata-log
 // participant state.
 type nodeState struct {
-	id int
-	up bool // process alive (KillNode/ReviveNode toggle this)
+	id      int
+	up      bool // process alive (KillNode/ReviveNode toggle this)
+	learner bool // catching up; replicated to but not counted for quorum
+	removed bool // tombstoned by a committed remove; never returns
 
 	lastHeard []time.Duration // [sender] when a heartbeat last arrived
 
@@ -100,14 +112,22 @@ type nodeState struct {
 
 // View is the lock-free liveness snapshot the pool avoid-hooks read on
 // every allocation and hedged read. Alive is the committed membership;
-// Suspect is the detector's pre-commit verdict.
+// Suspect is the detector's pre-commit verdict. Version increments on
+// every membership or topology change, and DiskNode is the
+// view-versioned disk→node assignment (per pool name) that replaces the
+// static i%N rule once clusters grow or shrink at runtime.
 type View struct {
-	Nodes    int
+	Nodes    int // current node-ID space (birth nodes + joins, tombstones included)
 	Alive    []bool
 	Suspect  []bool
 	Draining []bool
-	Leader   int // -1 when no live leader
+	Joining  []bool // learner admitted, promotion not yet committed
+	Leaving  []bool // leave committed, tombstone not yet committed
+	Removed  []bool // tombstoned
+	Leader   int    // -1 when no live leader
 	Term     int64
+	Version  int64
+	DiskNode map[string][]int // pool name → disk index → owning node
 }
 
 // Stats counts cluster-plane activity.
@@ -120,11 +140,27 @@ type Stats struct {
 	NodesKilled     int64
 	NodesRevived    int64
 	StaleMarkedByte int64 // bytes marked stale by committed death verdicts
+	Joins           int64 // committed node joins
+	Removes         int64 // committed node removals
+	JoinMovedBytes  int64 // live bytes scheduled to move by join arc migration
+	EvacuatedBytes  int64 // live bytes relocated off leaving nodes
 }
 
 type attachedPool struct {
-	p   *pool.Pool
-	mgr *plog.Manager // nil for pools without a plog manager (HDD tier shares the SSD manager's logs)
+	p        *pool.Pool
+	mgr      *plog.Manager // nil for pools without a plog manager (HDD tier shares the SSD manager's logs)
+	diskNode []int         // disk index → owning node (the view-versioned table)
+	perNode  int           // disks contributed per joining node
+}
+
+// placementRec remembers one placement-group decision so join-time arc
+// migration can recompute where the ring now wants each group without a
+// ground-truth side channel: the key is the same one the placer hashed.
+type placementRec struct {
+	p      *pool.Pool
+	mgr    *plog.Manager
+	key    string
+	slices []pool.SliceID
 }
 
 // Cluster is the membership, placement, and metadata-consensus plane
@@ -134,22 +170,28 @@ type Cluster struct {
 	clock *sim.Clock
 	net   *faults.NetPlane
 
-	mu       sync.Mutex
-	nodes    []*nodeState
-	alive    []bool // committed membership
-	draining []bool
-	lastTick time.Duration
-	applied  int
-	produced map[string]bool
-	meta     map[string]bool
-	termWins map[int64]int
-	placeSeq map[string]uint64
-	pools    []attachedPool
-	repairs  []*repair.Service
-	ringT    *ring
-	stats    Stats
-	onKill   func(node int, up bool)
-	onMember func(node int, serving bool)
+	mu          sync.Mutex
+	nodes       []*nodeState
+	alive       []bool // committed membership
+	draining    []bool
+	joining     []bool // learner exists, join entry not yet applied
+	leaving     []bool // leave entry applied, remove entry not yet
+	removed     []bool // remove tombstone applied
+	lastTick    time.Duration
+	applied     int
+	produced    map[string]bool
+	meta        map[string]bool
+	termWins    map[int64]int
+	placeSeq    map[string]uint64
+	pools       []attachedPool
+	repairs     []*repair.Service
+	ringT       *ring
+	placements  []placementRec
+	stats       Stats
+	lastJoin    JoinReport
+	viewVersion int64
+	onKill      func(node int, up bool)
+	onMember    func(node int, serving bool)
 
 	view atomic.Pointer[View]
 }
@@ -181,24 +223,67 @@ func New(cfg Config, clock *sim.Clock, net *faults.NetPlane) *Cluster {
 		})
 		c.alive = append(c.alive, true)
 		c.draining = append(c.draining, false)
+		c.joining = append(c.joining, false)
+		c.leaving = append(c.leaving, false)
+		c.removed = append(c.removed, false)
 	}
 	c.storeViewLocked(clock.Now())
 	return c
 }
 
-// Nodes returns the configured cluster size.
-func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+// Nodes returns the current node-ID space: birth nodes plus every
+// runtime join, tombstoned removals included (IDs are never reused).
+func (c *Cluster) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
-// DomainOfDisk maps a disk index to its owning node — the same i%N rule
-// AttachPool installs as the pool's domain assignment. Exported so
-// callers that only hold a DiskID (backlog gauges) agree with the
-// cluster's mapping without taking pool locks.
-func (c *Cluster) DomainOfDisk(d pool.DiskID) int { return int(d) % c.cfg.Nodes }
+// Voters counts the quorum denominator: full members, excluding
+// learners still catching up and removed tombstones.
+func (c *Cluster) Voters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.votersLocked()
+}
+
+// DomainOfDisk maps a disk index in the first attached pool to its
+// owning node via the view-versioned disk→node table; before any pool
+// attaches it falls back to the birth i%N rule. Pools with divergent
+// disk counts should use DomainOfPoolDisk.
+func (c *Cluster) DomainOfDisk(d pool.DiskID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ap := range c.pools {
+		if int(d) >= 0 && int(d) < len(ap.diskNode) {
+			return ap.diskNode[d]
+		}
+	}
+	return int(d) % c.cfg.Nodes
+}
+
+// DomainOfPoolDisk maps one pool's disk index to its owning node via
+// the disk→node table, or -1 when unknown.
+func (c *Cluster) DomainOfPoolDisk(p *pool.Pool, d pool.DiskID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ap := range c.pools {
+		if ap.p == p {
+			if int(d) >= 0 && int(d) < len(ap.diskNode) {
+				return ap.diskNode[d]
+			}
+			return -1
+		}
+	}
+	return -1
+}
 
 // AttachPool registers a storage pool with the cluster: disk i joins
-// node i%N's failure domain, the allocation veto excludes suspect,
-// dead, and draining nodes, and (when mgr is non-nil) new placement
-// groups route through the consistent-hash ring.
+// node i%N's failure domain at birth (the seed of the view's disk→node
+// table — later joins append their own disks to it), the allocation
+// veto excludes suspect, dead, draining, and removed nodes, and (when
+// mgr is non-nil) new placement groups route through the
+// consistent-hash ring.
 func (c *Cluster) AttachPool(p *pool.Pool, mgr *plog.Manager) {
 	n := c.cfg.Nodes
 	domains := make([]int, p.DiskCount())
@@ -206,33 +291,62 @@ func (c *Cluster) AttachPool(p *pool.Pool, mgr *plog.Manager) {
 		domains[i] = i % n
 	}
 	p.SetDomains(domains)
+	name := p.Name()
 	p.SetAvoid(func(d pool.DiskID) bool {
 		v := c.view.Load()
 		if v == nil {
 			return false
 		}
-		node := int(d) % v.Nodes
-		return !v.Alive[node] || v.Suspect[node] || v.Draining[node]
+		node := -1
+		if table := v.DiskNode[name]; int(d) < len(table) {
+			node = table[d]
+		} else {
+			node = int(d) % v.Nodes
+		}
+		if node < 0 || node >= len(v.Alive) {
+			return true
+		}
+		return !v.Alive[node] || v.Suspect[node] || v.Draining[node] ||
+			(node < len(v.Removed) && v.Removed[node])
 	})
 	c.mu.Lock()
-	c.pools = append(c.pools, attachedPool{p: p, mgr: mgr})
+	c.pools = append(c.pools, attachedPool{
+		p: p, mgr: mgr,
+		diskNode: append([]int(nil), domains...),
+		perNode:  p.DiskCount() / n,
+	})
+	c.storeViewLocked(c.clock.Now())
 	c.mu.Unlock()
 	// The placer only attaches to the manager's own allocation pool; a
 	// secondary pool (the HDD tier sharing the SSD manager's logs) still
 	// registers for stale-marking and backlog accounting above.
 	if mgr != nil && mgr.Pool() == p {
-		name := p.Name()
 		mgr.SetPlacer(func(width int) ([]*pool.Slice, error) {
 			c.mu.Lock()
 			c.placeSeq[name]++
 			key := name + "/" + strconv.FormatUint(c.placeSeq[name], 10)
-			pref := c.ringT.place(key, width, func(node int) bool {
-				return c.alive[node] && !c.draining[node]
-			})
+			pref := c.ringT.place(key, width, c.placeOKLocked)
 			c.mu.Unlock()
-			return p.AllocGroupIn(pref, width)
+			sl, err := p.AllocGroupIn(pref, width)
+			if err == nil && len(sl) > 0 {
+				ids := make([]pool.SliceID, len(sl))
+				for i, s := range sl {
+					ids[i] = s.ID
+				}
+				c.mu.Lock()
+				c.placements = append(c.placements, placementRec{p: p, mgr: mgr, key: key, slices: ids})
+				c.mu.Unlock()
+			}
+			return sl, err
 		})
 	}
+}
+
+// placeOKLocked is the placer's admissibility rule: committed-alive,
+// not draining (which covers leaving nodes), not removed.
+func (c *Cluster) placeOKLocked(node int) bool {
+	return node >= 0 && node < len(c.alive) &&
+		c.alive[node] && !c.draining[node] && !c.removed[node]
 }
 
 // AttachRepair registers a repair service the rebalancer drives.
@@ -260,11 +374,13 @@ func (c *Cluster) OnMembership(fn func(node int, serving bool)) {
 	c.onMember = fn
 }
 
-// nodeDisks lists a node's disks in one pool.
-func nodeDisks(p *pool.Pool, node, nodes int) map[pool.DiskID]bool {
+// nodeDisksOf lists a node's disks in one pool via the attached pool's
+// disk→node table — never the birth i%N rule, which would alias a
+// joined node's disks onto old domains.
+func nodeDisksOf(ap attachedPool, node int) map[pool.DiskID]bool {
 	disks := make(map[pool.DiskID]bool)
-	for i := 0; i < p.DiskCount(); i++ {
-		if i%nodes == node {
+	for i, n := range ap.diskNode {
+		if n == node {
 			disks[pool.DiskID(i)] = true
 		}
 	}
@@ -284,8 +400,7 @@ func (c *Cluster) nodeDeclaredDead(node int) {
 		if ap.mgr == nil {
 			continue
 		}
-		disks := nodeDisks(ap.p, node, c.cfg.Nodes)
-		marked += ap.mgr.MarkDisksStale(ap.p, disks)
+		marked += ap.mgr.MarkDisksStale(ap.p, nodeDisksOf(ap, node))
 	}
 	c.mu.Lock()
 	c.stats.StaleMarkedByte += marked
@@ -331,6 +446,10 @@ func (c *Cluster) KillNode(node int) error {
 		return fmt.Errorf("cluster: no node %d", node)
 	}
 	n := c.nodes[node]
+	if n.removed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %d was removed", node)
+	}
 	if !n.up {
 		c.mu.Unlock()
 		return nil
@@ -341,7 +460,7 @@ func (c *Cluster) KillNode(node int) error {
 	cb := c.onKill
 	c.mu.Unlock()
 	for _, ap := range pools {
-		for _, d := range sortedDiskIDs(nodeDisks(ap.p, node, c.cfg.Nodes)) {
+		for _, d := range sortedDiskIDs(nodeDisksOf(ap, node)) {
 			ap.p.FailDisk(d)
 		}
 	}
@@ -366,6 +485,10 @@ func (c *Cluster) ReviveNode(node int) error {
 		return fmt.Errorf("cluster: no node %d", node)
 	}
 	n := c.nodes[node]
+	if n.removed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %d was removed", node)
+	}
 	if n.up {
 		c.mu.Unlock()
 		return nil
@@ -387,7 +510,7 @@ func (c *Cluster) ReviveNode(node int) error {
 	cb := c.onKill
 	c.mu.Unlock()
 	for _, ap := range pools {
-		for _, d := range sortedDiskIDs(nodeDisks(ap.p, node, c.cfg.Nodes)) {
+		for _, d := range sortedDiskIDs(nodeDisksOf(ap, node)) {
 			ap.p.ReviveDisk(d)
 		}
 	}
@@ -414,6 +537,10 @@ func (c *Cluster) proposeMember(node int, status string) error {
 	if node < 0 || node >= len(c.nodes) {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: no node %d", node)
+	}
+	if c.nodes[node].removed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %d was removed", node)
 	}
 	var effects []func()
 	_, err := c.proposeLocked("member", strconv.Itoa(node)+sep+status, &effects)
@@ -468,12 +595,23 @@ func (c *Cluster) Applied() int {
 // that actually drives membership proposals); leaderless interregna
 // fall back to "no live node heard it recently".
 func (c *Cluster) storeViewLocked(now time.Duration) {
+	c.viewVersion++
 	v := &View{
-		Nodes:    c.cfg.Nodes,
+		Nodes:    len(c.nodes),
 		Alive:    append([]bool(nil), c.alive...),
 		Draining: append([]bool(nil), c.draining...),
-		Suspect:  make([]bool, c.cfg.Nodes),
+		Joining:  append([]bool(nil), c.joining...),
+		Leaving:  append([]bool(nil), c.leaving...),
+		Removed:  append([]bool(nil), c.removed...),
+		Suspect:  make([]bool, len(c.nodes)),
 		Leader:   -1,
+		Version:  c.viewVersion,
+	}
+	if len(c.pools) > 0 {
+		v.DiskNode = make(map[string][]int, len(c.pools))
+		for _, ap := range c.pools {
+			v.DiskNode[ap.p.Name()] = append([]int(nil), ap.diskNode...)
+		}
 	}
 	lead := c.currentLeaderLocked()
 	if lead != nil {
@@ -592,7 +730,10 @@ func (c *Cluster) boundaryLocked(t time.Duration, effects *[]func()) {
 		}
 	}
 	for _, i := range c.nodes {
-		if !i.up || i.role == Leader {
+		// Leaving nodes keep voting (they are in the quorum until the
+		// tombstone commits) but stop campaigning: a leaving leader could
+		// never commit its own tombstone past the remove-the-leader guard.
+		if !i.up || i.role == Leader || i.learner || i.removed || c.leaving[i.id] {
 			continue
 		}
 		if t-i.lastLeaderBeat >= i.electionTimeout && t-i.lastElection >= i.electionTimeout {
@@ -604,7 +745,10 @@ func (c *Cluster) boundaryLocked(t time.Duration, effects *[]func()) {
 		return
 	}
 	for j := range c.nodes {
-		if j == lead.id {
+		// Learners and tombstones are outside the dead/alive verdict
+		// cycle: a learner's liveness starts mattering at promotion, a
+		// removed node never comes back.
+		if j == lead.id || c.joining[j] || c.removed[j] {
 			continue
 		}
 		heardAgo := t - lead.lastHeard[j]
@@ -646,6 +790,9 @@ type NodeStatus struct {
 	Alive        bool // committed membership
 	Suspect      bool
 	Draining     bool
+	Joining      bool // learner admitted, promotion not yet committed
+	Leaving      bool // leave committed, awaiting tombstone
+	Removed      bool // tombstoned, never returns
 	Role         string
 	Term         int64
 	LogLen       int
@@ -679,6 +826,7 @@ func (c *Cluster) Status() ClusterStatus {
 			ID: i, Up: n.up, Role: n.role.String(), Term: n.term,
 			LogLen: len(n.log), Commit: n.commit,
 			Alive: c.alive[i], Draining: c.draining[i],
+			Joining: c.joining[i], Leaving: c.leaving[i], Removed: c.removed[i],
 		}
 		if i < len(v.Suspect) {
 			nodes[i].Suspect = v.Suspect[i]
@@ -692,19 +840,28 @@ func (c *Cluster) Status() ClusterStatus {
 			nodes[i].SlicesOwned += bySlice[i]
 		}
 	}
-	// Backlog counts once per distinct manager: two pools can share one
-	// (SSD + HDD tiers), and disk IDs alias across pools but map to the
-	// same node either way (both use the i%N domain rule).
+	// Backlog counts once per (manager, pool) pair, attributing each
+	// pool's stale disks through that pool's own disk→node table — disk
+	// IDs alias across pools and, after joins, no longer follow i%N.
 	for _, mgr := range distinctManagers(pools) {
-		for d, b := range mgr.StaleByDisk() {
-			n := int(d) % c.cfg.Nodes
-			if n >= 0 && n < len(nodes) {
-				nodes[n].BacklogBytes += b
+		for _, ap := range pools {
+			for d, b := range mgr.StaleByDiskIn(ap.p) {
+				if n := diskNodeOf(ap, d); n >= 0 && n < len(nodes) {
+					nodes[n].BacklogBytes += b
+				}
 			}
 		}
 	}
 	st.Nodes = nodes
 	return st
+}
+
+// diskNodeOf resolves one disk through an attached pool's table.
+func diskNodeOf(ap attachedPool, d pool.DiskID) int {
+	if int(d) >= 0 && int(d) < len(ap.diskNode) {
+		return ap.diskNode[d]
+	}
+	return -1
 }
 
 // SetObs registers the cluster's telemetry: per-node liveness, slice
@@ -747,9 +904,11 @@ func (c *Cluster) SetObs(reg *obs.Registry) {
 			pools := append([]attachedPool(nil), c.pools...)
 			c.mu.Unlock()
 			for _, mgr := range distinctManagers(pools) {
-				for d, b := range mgr.StaleByDisk() {
-					if int(d)%c.cfg.Nodes == node {
-						total += b
+				for _, ap := range pools {
+					for d, b := range mgr.StaleByDiskIn(ap.p) {
+						if diskNodeOf(ap, d) == node {
+							total += b
+						}
 					}
 				}
 			}

@@ -66,6 +66,20 @@ const (
 	entryOverhead  = 128
 )
 
+// votersLocked is the quorum denominator: full members only. Learners
+// replicate but do not count; removed tombstones are gone. With no
+// runtime joins or removals this equals len(c.nodes) — the birth
+// behavior, bit for bit.
+func (c *Cluster) votersLocked() int {
+	n := 0
+	for _, m := range c.nodes {
+		if !m.learner && !m.removed {
+			n++
+		}
+	}
+	return n
+}
+
 func lastTerm(n *nodeState) int64 {
 	if len(n.log) == 0 {
 		return 0
@@ -123,7 +137,7 @@ func (c *Cluster) runElectionLocked(i *nodeState, t time.Duration) {
 	i.lastElection = t
 	votes := 1
 	for _, j := range c.nodes {
-		if j == i || !j.up {
+		if j == i || !j.up || j.learner || j.removed {
 			continue
 		}
 		if _, err := c.net.Deliver(nodeEndpoint(i.id), nodeEndpoint(j.id), voteBytes); err != nil {
@@ -156,7 +170,7 @@ func (c *Cluster) runElectionLocked(i *nodeState, t time.Duration) {
 		}
 		votes++
 	}
-	if votes*2 <= len(c.nodes) {
+	if votes*2 <= c.votersLocked() {
 		return // stay candidate; retry after the next timeout
 	}
 	i.role = Leader
@@ -228,6 +242,11 @@ func (c *Cluster) proposeLocked(kind, data string, effects *[]func()) (time.Dura
 			j.votedFor = -1
 		}
 		c.reconcileLocked(lead, j)
+		if j.learner {
+			// Learners replicate but never count toward quorum: a
+			// catching-up node must not swing commit decisions.
+			continue
+		}
 		d2, err := c.net.Deliver(nodeEndpoint(j.id), nodeEndpoint(lead.id), ackBytes)
 		if err != nil {
 			continue
@@ -237,7 +256,7 @@ func (c *Cluster) proposeLocked(kind, data string, effects *[]func()) (time.Dura
 		}
 		acks++
 	}
-	if acks*2 <= len(c.nodes) {
+	if acks*2 <= c.votersLocked() {
 		c.stats.CommitFails++
 		return cost, ErrNoQuorum
 	}
@@ -321,6 +340,45 @@ func (c *Cluster) applyLocked(e Entry, effects *[]func()) {
 			c.draining[n] = false
 			serving := c.alive[n]
 			*effects = append(*effects, func() { c.membershipChanged(n, serving) })
+		case "join":
+			// Promote the learner to voter in this single committed
+			// config entry: it enters the ring here, and the arc
+			// migration (bounded by MoveSlack) runs as a side effect.
+			if !c.joining[n] {
+				return
+			}
+			c.joining[n] = false
+			c.nodes[n].learner = false
+			c.ringT.addNode(n)
+			c.stats.Joins++
+			*effects = append(*effects, func() { c.nodeJoined(n) })
+		case "leave":
+			// First leg of a removal: the node stops taking placements
+			// (drain semantics) and its slices relocate off as a side
+			// effect. It keeps voting until the tombstone commits.
+			if c.leaving[n] || c.removed[n] {
+				return
+			}
+			c.leaving[n] = true
+			c.draining[n] = true
+			*effects = append(*effects, func() { c.nodeLeaving(n) })
+		case "remove":
+			// Tombstone: the node leaves the ring, the voter set, and
+			// the heartbeat schedule, permanently. IDs are never reused.
+			if c.removed[n] {
+				return
+			}
+			c.removed[n] = true
+			c.leaving[n] = false
+			c.alive[n] = false
+			c.nodes[n].removed = true
+			c.nodes[n].up = false
+			if c.nodes[n].role == Leader {
+				c.nodes[n].role = Follower
+			}
+			c.ringT.removeNode(n)
+			c.stats.Removes++
+			*effects = append(*effects, func() { c.nodeRemoved(n) })
 		}
 	case "meta":
 		if key, ok := strings.CutPrefix(e.Data, metaTombstone); ok {

@@ -44,6 +44,53 @@ func newRing(nodes int) *ring {
 	return r
 }
 
+// addNode inserts node n's virtual points. The resulting point set is
+// identical to newRing built at the larger size, so a cluster grown one
+// node at a time places keys exactly like one born at the final size —
+// the property the arc-migration bound (≈1/(N+1) of keys move on grow)
+// rests on.
+func (r *ring) addNode(n int) {
+	for v := 0; v < ringVnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			hash: hash64("node-" + strconv.Itoa(n) + "#" + strconv.Itoa(v)),
+			node: n,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// removeNode drops node n's virtual points. Keys that hashed to other
+// nodes keep their owners (order of the surviving points is untouched),
+// so a shrink moves only the departed node's arcs.
+func (r *ring) removeNode(n int) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// nodes returns the distinct node IDs currently projected on the ring.
+func (r *ring) nodes() []int {
+	seen := map[int]bool{}
+	out := []int{}
+	for _, p := range r.points {
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // place returns up to want distinct nodes admissible under ok, in ring
 // order starting at key's hash. Fewer than want come back when the
 // admissible set is smaller — the caller degrades placement rather than
@@ -67,8 +114,21 @@ func (r *ring) place(key string, want int, ok func(node int) bool) []int {
 	return out
 }
 
+// hash64 is FNV-64a with a splitmix64-style finalizer. Raw FNV's last
+// few input bytes barely diffuse (two keys differing only in a trailing
+// digit land within ~2^44 of each other, far inside one ring arc at
+// ~2^55 per point), which piled every placement group onto the same
+// three nodes and made grow-by-one migration a no-op. The finalizer
+// avalanches the full 64 bits, so sequential placement keys spread
+// across arcs the way consistent hashing assumes.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

@@ -13,6 +13,8 @@
 //	POST /v1/sql                            {"query": "select ..."}
 //	GET  /v1/stats                          storage statistics
 //	GET  /v1/cluster                        node membership and consensus state
+//	POST /v1/cluster/join                   {"node": N} admit a node at runtime
+//	POST /v1/cluster/remove                 {"node": N} drain and retire a node
 //	GET  /metrics                           Prometheus text exposition
 //	GET  /trace/{id}                        one recorded trace as JSON
 //
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"streamlake"
+	"streamlake/internal/cluster"
 	"streamlake/internal/obs"
 	"streamlake/internal/resil"
 	"streamlake/internal/streamsvc"
@@ -152,6 +155,8 @@ func New(lake *streamlake.Lake, acl *ACL) *Server {
 	s.mux.HandleFunc("POST /v1/sql", s.guard(PermQuery, s.sql))
 	s.mux.HandleFunc("GET /v1/stats", s.guard(PermAdmin, s.stats))
 	s.mux.HandleFunc("GET /v1/cluster", s.guard(PermAdmin, s.cluster))
+	s.mux.HandleFunc("POST /v1/cluster/join", s.guard(PermAdmin, s.clusterJoin))
+	s.mux.HandleFunc("POST /v1/cluster/remove", s.guard(PermAdmin, s.clusterRemove))
 	s.mux.HandleFunc("GET /v1/tenants", s.guard(PermAdmin, s.tenants))
 	s.mux.HandleFunc("GET /metrics", s.guard(PermAdmin, s.metrics))
 	s.mux.HandleFunc("GET /trace/{id}", s.guard(PermAdmin, s.trace))
@@ -532,6 +537,7 @@ func (s *Server) cluster(w http.ResponseWriter, r *http.Request, _ *Principal) {
 		nodes = append(nodes, map[string]any{
 			"id": n.ID, "up": n.Up, "alive": n.Alive,
 			"suspect": n.Suspect, "draining": n.Draining,
+			"joining": n.Joining, "leaving": n.Leaving, "removed": n.Removed,
 			"role": n.Role, "term": n.Term,
 			"log_len": n.LogLen, "commit": n.Commit,
 			"slices_owned": n.SlicesOwned, "backlog_bytes": n.BacklogBytes,
@@ -547,8 +553,77 @@ func (s *Server) cluster(w http.ResponseWriter, r *http.Request, _ *Principal) {
 		"nodes_killed":    st.Stats.NodesKilled,
 		"nodes_revived":   st.Stats.NodesRevived,
 		"stale_marked":    st.Stats.StaleMarkedByte,
+		"joins":           st.Stats.Joins,
+		"removes":         st.Stats.Removes,
+		"join_moved":      st.Stats.JoinMovedBytes,
+		"evacuated":       st.Stats.EvacuatedBytes,
 		"nodes":           nodes,
 	})
+}
+
+// memberRequest is the body of a membership-change POST.
+type memberRequest struct {
+	Node int `json:"node"`
+}
+
+// memberError maps a membership-change failure onto the error envelope:
+// invalid transitions (the id exists, the victim leads, the voter floor)
+// are 409 Conflict, a metadata plane that cannot commit right now is 503
+// Service Unavailable, anything else is a plain 400.
+func memberError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrNodeExists),
+		errors.Is(err, cluster.ErrRemoveLeader),
+		errors.Is(err, cluster.ErrTooFewVoters):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, cluster.ErrNoLeader), errors.Is(err, cluster.ErrNoQuorum):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// clusterJoin admits a node into the cluster at runtime: learner
+// catch-up, then a committed config entry, then the bounded arc
+// migration. The response reports what the join actually moved.
+func (s *Server) clusterJoin(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	cl := s.lake.Cluster()
+	if cl == nil {
+		httpError(w, http.StatusNotFound, "single-node lake: no cluster plane")
+		return
+	}
+	var req memberRequest
+	if !decodeBody(w, r, MaxSQLBody, &req) {
+		return
+	}
+	if err := cl.ProposeJoin(req.Node); err != nil {
+		memberError(w, err)
+		return
+	}
+	rep := cl.LastJoin()
+	writeJSON(w, map[string]any{
+		"node": rep.Node, "moved_bytes": rep.MovedBytes,
+		"moved_slices": rep.MovedSlices, "bound_bytes": rep.BoundBytes,
+		"skipped": rep.Skipped,
+	})
+}
+
+// clusterRemove retires a node: drain, relocate, committed tombstone.
+func (s *Server) clusterRemove(w http.ResponseWriter, r *http.Request, _ *Principal) {
+	cl := s.lake.Cluster()
+	if cl == nil {
+		httpError(w, http.StatusNotFound, "single-node lake: no cluster plane")
+		return
+	}
+	var req memberRequest
+	if !decodeBody(w, r, MaxSQLBody, &req) {
+		return
+	}
+	if err := cl.ProposeRemove(req.Node); err != nil {
+		memberError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"node": req.Node, "removed": true})
 }
 
 // tenants serves every tenant's QoS contract and admission counters.

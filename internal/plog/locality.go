@@ -1,0 +1,70 @@
+package plog
+
+import (
+	"streamlake/internal/pool"
+)
+
+// Placement-aware reads (locality.go): in a multi-node deployment every
+// replicated log keeps one copy per node failure domain, so a reader
+// co-located with one of them can be served without crossing domains.
+// SetLocalReads installs the "is this disk local to the requester?"
+// predicate; the read path then tries local copies first and falls back
+// to remote ones under exactly the conditions that always forced
+// fallback — the local copy is stale, quarantined, corrupt, or its disk
+// failed — plus one new early demotion: a local copy on an avoided
+// (suspect/draining-node) disk yields to trusted remote copies rather
+// than betting the read on a disk the detector distrusts. Hedging still
+// races a second replica when the chosen copy is slow, which is the
+// cross-domain degrade path for a merely slow local disk.
+
+// SetLocalReads installs (or clears, with nil) the shared read-locality
+// preference. The predicate receives the log's own pool — a log
+// migrated to another tier resolves against that pool's disk space —
+// and must not call back into the plog layer.
+func (m *Manager) SetLocalReads(f func(p *pool.Pool, d pool.DiskID) bool) {
+	if f == nil {
+		m.locality.Store(nil)
+		return
+	}
+	m.locality.Store(&f)
+}
+
+// localOrderLocked returns the copy-index order a locality-aware read
+// should try, or nil when no preference is installed (the legacy
+// index-order path, allocation-free). Local copies on trusted disks
+// come first, then everything else in index order — the relative order
+// within each class is preserved, so the fallback behavior stays
+// deterministic.
+func (l *PLog) localOrderLocked() []int {
+	if l.locality == nil {
+		return nil
+	}
+	fp := l.locality.Load()
+	if fp == nil {
+		return nil
+	}
+	pref := *fp
+	local := make([]bool, len(l.slices))
+	count := 0
+	for i, s := range l.slices {
+		if pref(l.pool, s.Disk) && !l.pool.DiskAvoided(s.Disk) {
+			local[i] = true
+			count++
+		}
+	}
+	if count == 0 || count == len(l.slices) {
+		return nil // no local copy (or all local): index order is already right
+	}
+	order := make([]int, 0, len(l.slices))
+	for i := range l.slices {
+		if local[i] {
+			order = append(order, i)
+		}
+	}
+	for i := range l.slices {
+		if !local[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}

@@ -157,6 +157,11 @@ type PLog struct {
 	// coherence edge — quarantine, repair rewrite, degraded append,
 	// migration, destroy — invalidates the log's cached ranges.
 	rcache *atomic.Pointer[cache.Cache]
+
+	// locality points at the manager's shared read-locality slot (see
+	// locality.go / Manager.SetLocalReads); nil — the default — keeps
+	// the legacy copy-order read path, byte for byte.
+	locality *atomic.Pointer[func(*pool.Pool, pool.DiskID) bool]
 }
 
 // logMetrics is the plog layer's obs instrument set, shared by every
@@ -457,7 +462,19 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 	case Replicate:
 		var lastErr error
 		fellBack := false
-		for i, s := range l.slices {
+		// Placement-aware reads: when the manager carries a locality
+		// preference, local-domain copies are tried first and the loop
+		// degrades to cross-domain copies exactly as it always has when
+		// the local copy is missing, stale, quarantined, or failed. A nil
+		// order (the default) keeps the legacy index-order path with zero
+		// extra allocation.
+		order := l.localOrderLocked()
+		for k := 0; k < len(l.slices); k++ {
+			i := k
+			if order != nil {
+				i = order[k]
+			}
+			s := l.slices[i]
 			if l.missingIn(i, offset, n) {
 				continue // copy has holes here: degraded write or quarantined
 			}
@@ -821,6 +838,10 @@ type Manager struct {
 	// placer, when set, replaces the pool's default AllocGroup for new
 	// placement groups (the cluster's consistent-hash placement).
 	placer atomic.Pointer[func(width int) ([]*pool.Slice, error)]
+	// locality, when set, is the placement-aware read preference shared
+	// by every log (see SetLocalReads): copies whose disk it reports
+	// local are tried first on replicated reads.
+	locality atomic.Pointer[func(*pool.Pool, pool.DiskID) bool]
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
@@ -923,6 +944,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		metrics:  &m.metrics,
 		hedge:    &m.hedge,
 		rcache:   &m.cache,
+		locality: &m.locality,
 	}
 	m.logs[l.id] = l
 	return l, nil

@@ -90,6 +90,7 @@ type FaultHook interface {
 type Pool struct {
 	name      string
 	clock     *sim.Clock
+	class     sim.DeviceClass // device class new disks are built from (AddDisks)
 	sliceSize int64
 
 	mu            sync.Mutex
@@ -137,6 +138,7 @@ func New(name string, clock *sim.Clock, class sim.DeviceClass, n int, sliceSize 
 	p := &Pool{
 		name:      name,
 		clock:     clock,
+		class:     class,
 		sliceSize: sliceSize,
 		slices:    make(map[SliceID]*Slice),
 	}
@@ -669,6 +671,89 @@ func (p *Pool) DiskFailed(id DiskID) bool {
 		return false
 	}
 	return p.disks[id].failed
+}
+
+// AddDisks grows the pool at runtime with n fresh disks of the pool's
+// device class, all assigned to the given failure domain — the storage
+// a joining node contributes. Existing disks, domains, and slices are
+// untouched; the new disk IDs (dense, continuing the existing range)
+// are returned so the caller can extend its own disk→node table.
+func (p *Pool) AddDisks(n int, domain int) []DiskID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	// A domain assignment only makes sense on a domain-aware pool; seed
+	// the table with each existing disk's current domain (identity) so
+	// single-domain pools stay single-domain until SetDomains says
+	// otherwise.
+	if p.domains == nil && domain >= 0 {
+		p.domains = make([]int, len(p.disks))
+		for i := range p.domains {
+			p.domains[i] = i
+		}
+	}
+	ids := make([]DiskID, 0, n)
+	for i := 0; i < n; i++ {
+		id := DiskID(len(p.disks))
+		p.disks = append(p.disks, &disk{
+			id:     id,
+			dev:    sim.NewDeviceOf(fmt.Sprintf("%s-disk%d", p.name, int(id)), p.class),
+			slices: make(map[SliceID]*Slice),
+		})
+		if p.domains != nil {
+			p.domains = append(p.domains, domain)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// RelocateTo moves a slice — keeping its identity and byte accounting,
+// like Relocate — onto the least-used healthy disk among targets. It is
+// the arc-migration half of a node join: the cluster picks the joining
+// node's disks as targets and the repair plane rebuilds the copy there.
+func (p *Pool) RelocateTo(id SliceID, targets map[DiskID]bool) (DiskID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return 0, ErrUnknownSlice
+	}
+	var best *disk
+	for _, d := range p.disks {
+		if !targets[d.id] || d.failed || d.id == s.Disk {
+			continue
+		}
+		if best == nil || d.dev.Used() < best.dev.Used() {
+			best = d
+		}
+	}
+	if best == nil {
+		return 0, ErrNoSpace
+	}
+	if err := best.dev.Alloc(s.Size); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	old := p.disks[s.Disk]
+	delete(old.slices, s.ID)
+	old.dev.Free(s.Size)
+	s.Disk = best.id
+	best.slices[s.ID] = s
+	return best.id, nil
+}
+
+// SliceLive reports a slice's live bytes, or -1 for an unknown slice —
+// the movement-bound estimator's per-copy cost.
+func (p *Pool) SliceLive(id SliceID) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.slices[id]
+	if !ok {
+		return -1
+	}
+	return s.live
 }
 
 // SliceDisk reports which disk currently hosts a slice.

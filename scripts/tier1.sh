@@ -66,6 +66,17 @@ go test -count=1 -short -run 'TestMixedWorkloadCacheCoherence' ./internal/chaos/
 # benchsnap smoke above enforces the same ceilings on every snapshot.
 go test -race -count=1 ./internal/cluster/
 go test -count=1 -run 'TestClusterFailoverChaos|TestClusterSplitBrainChaos|TestClusterFailoverDrill|TestClusterRebalanceMovesBytes' ./internal/chaos/
+# Elastic gate: runtime membership churn (joins through the replicated
+# log's learner path, drain-then-tombstone removals) interleaved with
+# node kills and metadata splits, replayed bit-identically from the
+# seed, plus the scripted join-under-fire drill — a node joins a 5-node
+# cluster mid-workload while a storage node is dead and the metadata
+# plane is split, the join commits only through the replicated log,
+# moves no more than the (1/(N+1))·(1+slack) bound, and every acked
+# write stays readable exactly once. The benchsnap smoke above enforces
+# the join leg's ceilings (gap <=120ms, moved <= bound, rebalance <=2s)
+# on every snapshot.
+go test -count=1 -run 'TestClusterElasticChaos|TestClusterElasticReplayIsBitIdentical|TestClusterElasticDrill' ./internal/chaos/
 # Short fuzz smoke over the codec boundaries: a few seconds of input
 # generation against the decoders that parse untrusted bytes.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/rowcodec/

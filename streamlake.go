@@ -171,6 +171,16 @@ type Config struct {
 	// byte-identical; replay digests are comparable only between runs
 	// with the same setting.
 	Nodes int
+	// PreferLocalReads turns on placement-aware reads: replicated plog
+	// reads try the copy in LocalReadNode's failure domain first and
+	// degrade to cross-domain copies when the local one is suspect,
+	// stale, quarantined, or failed. Requires Nodes > 1. Off by default:
+	// copy try-order changes when enabled, so replay digests are
+	// comparable only between runs with the same setting.
+	PreferLocalReads bool
+	// LocalReadNode is the node whose domain PreferLocalReads favors
+	// (the requester's location; default 0).
+	LocalReadNode int
 	// CacheMB sizes the two-tier (DRAM + SCM) read cache in megabytes;
 	// 0 (the default) disables it, leaving every read on the device
 	// path. The DRAM tier gets 1/8 of the budget, the SCM tier the
@@ -326,7 +336,14 @@ func Open(cfg Config) (*Lake, error) {
 		net := inj.Net()
 		// A killed node's process is gone before any detection: its
 		// workers' client links partition immediately, and heal on revival.
+		// Stream workers map onto the birth nodes only; a node joined at
+		// runtime (id >= birth N) contributes storage and consensus but
+		// hosts no workers — without the guard its id would alias onto an
+		// old node's workers (node%nodes) and kill the wrong links.
 		cl.OnKill(func(node int, up bool) {
+			if node >= nodes {
+				return
+			}
 			for w := node % nodes; w < workers; w += nodes {
 				ep := fmt.Sprintf("worker/%d", w)
 				if up {
@@ -338,13 +355,23 @@ func Open(cfg Config) (*Lake, error) {
 				}
 			}
 		})
-		// Committed membership changes reassign the node's stream workers.
+		// Committed membership changes reassign the node's stream workers
+		// (same birth-node aliasing guard as OnKill).
 		cl.OnMembership(func(node int, serving bool) {
+			if node >= nodes {
+				return
+			}
 			for w := node % nodes; w < workers; w += nodes {
 				svc.SetWorkerDown(w, !serving)
 			}
 		})
 		svc.SetCommitGate(cl)
+		if cfg.PreferLocalReads {
+			local := cfg.LocalReadNode
+			logs.SetLocalReads(func(p *pool.Pool, d pool.DiskID) bool {
+				return cl.DomainOfPoolDisk(p, d) == local
+			})
+		}
 		l.clus = cl
 	}
 	if !cfg.DisableObservability {
