@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,31 @@ type snapshot struct {
 	Cluster    clusterBench       `json:"cluster"`
 	Join       joinBench          `json:"join"`
 	Tenant     tenantBench        `json:"tenant"`
+	Compress   compressBench      `json:"compress"`
+}
+
+// compressBench is the cold-tier compression leg: the same seeded
+// columnar-style payload set is appended to two identical lakes-in-
+// miniature (a plog manager over an SSD pool with an HDD cold pool) and
+// demoted to cold storage, once with compression-on-migrate and once
+// without. The snapshot records the bytes each run actually stored on
+// the cold devices, the codec mix negotiation picked, and the scan
+// latency p99 hot (SSD, raw), cold raw, and cold compressed. The leg is
+// self-enforcing: run() fails unless the compressed cold tier holds at
+// most 0.7x the raw bytes, both cold scans return byte-identical data,
+// and every compressed read still verifies its CRC over the
+// uncompressed bytes with zero mismatches.
+type compressBench struct {
+	RawColdBytes  int64   `json:"raw_cold_bytes"`  // bytes-on-device, compression off
+	CompColdBytes int64   `json:"comp_cold_bytes"` // bytes-on-device, compression on
+	Ratio         float64 `json:"ratio"`           // comp/raw (ceiling 0.7)
+	FlateExtents  int     `json:"flate_extents"`
+	RLEExtents    int     `json:"rle_extents"`
+	NoneExtents   int     `json:"none_extents"`          // incompressible bailouts
+	HotScanP99Ns  int64   `json:"hot_scan_p99_ns"`       // SSD, pre-migration
+	ColdRawP99Ns  int64   `json:"cold_raw_scan_p99_ns"`  // HDD, uncompressed
+	ColdCompP99Ns int64   `json:"cold_comp_scan_p99_ns"` // HDD, compressed
+	Verifications int64   `json:"verifications"`         // CRC checks in the compressed cold scan
 }
 
 // joinBench is the elastic-membership leg: a 5-node cluster takes a
@@ -319,6 +345,11 @@ func run(smoke bool, out string) error {
 		return err
 	}
 	result.Tenant = tb
+	xb, err := compressLeg(smoke)
+	if err != nil {
+		return err
+	}
+	result.Compress = xb
 
 	if out == "" {
 		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
@@ -345,6 +376,9 @@ func run(smoke bool, out string) error {
 	fmt.Printf("benchsnap: tenant leg victim p99 solo=%.2fms isolated=%.2fms (%.2fx) control=%.2fms (%.1fx), noisy throttled %d/%d\n",
 		float64(tb.SoloP99Ns)/1e6, float64(tb.IsolatedP99Ns)/1e6, tb.IsolatedRatio,
 		float64(tb.ControlP99Ns)/1e6, tb.ControlRatio, tb.NoisyThrottled, tb.NoisyThrottled+tb.NoisyAcked)
+	fmt.Printf("benchsnap: compress leg cold bytes %d -> %d (%.2fx, flate=%d rle=%d none=%d), scan p99 hot=%dns cold raw=%dns cold comp=%dns\n",
+		xb.RawColdBytes, xb.CompColdBytes, xb.Ratio, xb.FlateExtents, xb.RLEExtents, xb.NoneExtents,
+		xb.HotScanP99Ns, xb.ColdRawP99Ns, xb.ColdCompP99Ns)
 	return nil
 }
 
@@ -944,4 +978,149 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// compressPayload builds one deterministic columnar-style extent: runs
+// of zero padding interleaved with low-cardinality dictionary-ish text,
+// the shape the RLE/flate negotiation exists for. i varies the content
+// so extents don't degenerate into one repeated block.
+func compressPayload(i, n int) []byte {
+	b := make([]byte, n)
+	for j := range b {
+		switch {
+		case j%8 < 5:
+			// run-heavy column padding
+		case j%8 == 5:
+			b[j] = byte('a' + (i+j/8)%17)
+		default:
+			b[j] = byte('0' + (i*7+j)%10)
+		}
+	}
+	return b
+}
+
+// compressLeg demotes the same payload set to cold storage with and
+// without compression-on-migrate and enforces the bytes-on-device
+// ceiling: the compressed cold tier must hold at most 0.7x the raw
+// bytes while every scan stays byte-identical and CRC-verified.
+func compressLeg(smoke bool) (compressBench, error) {
+	logs, extents := 24, 12
+	if smoke {
+		logs, extents = 8, 6
+	}
+	const extentLen = 4096
+
+	type miniLake struct {
+		m   *plog.Manager
+		hdd *pool.Pool
+		ids []plog.ID
+	}
+	build := func(compressed bool) (*miniLake, []time.Duration, error) {
+		clock := sim.NewClock()
+		ssd := pool.New("bench-ssd", clock, sim.NVMeSSD, 6, 0)
+		hdd := pool.New("bench-hdd", clock, sim.SASHDD, 6, 0)
+		m := plog.NewManager(ssd, 1<<20)
+		if compressed {
+			m.SetCompression(hdd)
+		}
+		ml := &miniLake{m: m, hdd: hdd}
+		var hot []time.Duration
+		for li := 0; li < logs; li++ {
+			l, err := m.Create(plog.ReplicateN(3))
+			if err != nil {
+				return nil, nil, err
+			}
+			for e := 0; e < extents; e++ {
+				if _, _, err := l.Append(compressPayload(li*extents+e, extentLen)); err != nil {
+					return nil, nil, err
+				}
+			}
+			l.Seal()
+			// Hot scan: the pre-migration SSD baseline.
+			for e := 0; e < extents; e++ {
+				_, cost, err := l.Read(int64(e)*extentLen, extentLen)
+				if err != nil {
+					return nil, nil, err
+				}
+				hot = append(hot, cost)
+			}
+			if _, err := l.Migrate(hdd); err != nil {
+				return nil, nil, err
+			}
+			ml.ids = append(ml.ids, l.ID())
+		}
+		return ml, hot, nil
+	}
+	scan := func(ml *miniLake) ([][]byte, []time.Duration, error) {
+		var data [][]byte
+		var costs []time.Duration
+		for _, id := range ml.ids {
+			l := ml.m.Get(id)
+			for e := 0; e < extents; e++ {
+				got, cost, err := l.Read(int64(e)*extentLen, extentLen)
+				if err != nil {
+					return nil, nil, err
+				}
+				data = append(data, got)
+				costs = append(costs, cost)
+			}
+		}
+		return data, costs, nil
+	}
+
+	raw, hot, err := build(false)
+	if err != nil {
+		return compressBench{}, err
+	}
+	comp, _, err := build(true)
+	if err != nil {
+		return compressBench{}, err
+	}
+	rawData, rawCosts, err := scan(raw)
+	if err != nil {
+		return compressBench{}, err
+	}
+	preVerifs := comp.m.IntegrityStats().Verifications
+	compData, compCosts, err := scan(comp)
+	if err != nil {
+		return compressBench{}, err
+	}
+	integ := comp.m.IntegrityStats()
+
+	cs := comp.m.CompressionStats()
+	cb := compressBench{
+		RawColdBytes:  raw.hdd.Stats().Live,
+		CompColdBytes: comp.hdd.Stats().Live,
+		FlateExtents:  cs.FlateExtents,
+		RLEExtents:    cs.RLEExtents,
+		NoneExtents:   cs.NoneExtents,
+		HotScanP99Ns:  p99ns(hot),
+		ColdRawP99Ns:  p99ns(rawCosts),
+		ColdCompP99Ns: p99ns(compCosts),
+		Verifications: integ.Verifications - preVerifs,
+	}
+	if cb.RawColdBytes > 0 {
+		cb.Ratio = float64(cb.CompColdBytes) / float64(cb.RawColdBytes)
+	}
+
+	// The floors. Miss any and the snapshot is a compression regression.
+	if cs.CompressedLogs != logs {
+		return cb, fmt.Errorf("compress leg: %d of %d logs compressed on migrate", cs.CompressedLogs, logs)
+	}
+	if cb.Ratio > 0.7 {
+		return cb, fmt.Errorf("compress leg: cold tier holds %.2fx the raw bytes, ceiling is 0.7x (%dB vs %dB)",
+			cb.Ratio, cb.CompColdBytes, cb.RawColdBytes)
+	}
+	for i := range rawData {
+		if !bytes.Equal(rawData[i], compData[i]) {
+			return cb, fmt.Errorf("compress leg: cold scan diverged at extent %d — compressed read is not transparent", i)
+		}
+	}
+	if cb.Verifications == 0 {
+		return cb, fmt.Errorf("compress leg: compressed cold scan verified no checksums")
+	}
+	if integ.Mismatches != 0 {
+		return cb, fmt.Errorf("compress leg: %d checksum mismatches on clean compressed data", integ.Mismatches)
+	}
+	return cb, nil
 }

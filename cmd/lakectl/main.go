@@ -19,7 +19,9 @@
 //	convert <topic>
 //	compact <table> <partition>
 //	snapshot <table>
-//	stats [obs]                       (obs: dump the metrics registry)
+//	stats [obs]                       (obs: dump the metrics registry;
+//	                                   cold-tier compression counters show
+//	                                   once -compress demotes a log)
 //	trace produce <topic> <key> <value>  (traced send, prints the span tree)
 //	trace last | trace <id>
 //	faults status
@@ -44,6 +46,9 @@
 //	repair [rounds]
 //	scrub [run|cycle|status]
 //	cache [status|flush]              (two-tier read cache; -cache sizes it)
+//	tiering run                       (one tiering pass: quiescent logs
+//	                                   demote by policy; with -compress,
+//	                                   demotion to HDD compresses extents)
 //	chaos run [seed [events]]         (one seeded chaos drill, fresh lake)
 //	chaos replay [seed [events]]      (run twice, assert bit-identical digests)
 //	chaos status                      (report of the shell's last drill)
@@ -78,6 +83,7 @@ func main() {
 	cacheMB := flag.Int("cache", 64, "read cache size in MB (0 disables)")
 	groupCommit := flag.Int("group-commit", 0, "coalesce this many slice flushes per device commit (0/1 disables)")
 	zoneMaps := flag.Bool("zonemaps", false, "record zone maps + bloom filters at insert time for scan pruning")
+	compress := flag.Bool("compress", false, "compress extents as tiering demotes logs to the HDD cold tier")
 	nodes := flag.Int("nodes", 0, "run a multi-node cluster of this size (0/1 single-node)")
 	qos := flag.Bool("qos", false, "enable the tenant QoS plane ('tenant set' registers tenants at runtime)")
 	flag.Parse()
@@ -86,6 +92,7 @@ func main() {
 		CacheMB:           *cacheMB,
 		GroupCommitSlices: *groupCommit,
 		ZoneMaps:          *zoneMaps,
+		Compression:       *compress,
 		Nodes:             *nodes,
 		TenantQoS:         *qos,
 	}
@@ -158,6 +165,7 @@ func (s *shell) exec(line string) error {
 		fmt.Println("          partition <from> <to> | heal <from> <to> | heal-all | clear")
 		fmt.Println("scrub:    run (one pass) | cycle (sweep every log) | status")
 		fmt.Println("cache:    status | flush (two-tier read cache)")
+		fmt.Println("tiering:  run (one tiering pass; -compress compresses HDD demotions)")
 		fmt.Println("chaos:    run [seed [events]] | replay [seed [events]] | status")
 		fmt.Println("cluster:  status | kill <node> | revive <node> | drain <node> | undrain <node> |")
 		fmt.Println("          join <node> | remove <node> |")
@@ -320,6 +328,12 @@ func (s *shell) exec(line string) error {
 			fmt.Printf("groupCommits=%d payloads=%d savedDeviceWrites=%d\n",
 				gc.Commits, gc.Payloads, gc.SavedDeviceWrites)
 		}
+		if cs := s.lake.Logs().CompressionStats(); cs.CompressedLogs > 0 {
+			fmt.Printf("compressedLogs=%d raw=%dB stored=%dB (%.2fx) extents flate=%d rle=%d raw=%d\n",
+				cs.CompressedLogs, cs.RawBytes, cs.CompressedBytes,
+				float64(cs.CompressedBytes)/float64(cs.RawBytes),
+				cs.FlateExtents, cs.RLEExtents, cs.NoneExtents)
+		}
 		return nil
 	case "trace":
 		return s.trace(rest)
@@ -342,6 +356,16 @@ func (s *shell) exec(line string) error {
 		return s.scrub(rest)
 	case "cache":
 		return s.cache(rest)
+	case "tiering":
+		if len(rest) == 0 || rest[0] != "run" {
+			return fmt.Errorf("usage: tiering run")
+		}
+		migs, cost := s.lake.RunTiering()
+		for _, m := range migs {
+			fmt.Printf("%s: %s -> %s (%dB)\n", m.ID, m.From, m.To, m.Size)
+		}
+		fmt.Printf("%d migrations, cost=%v\n", len(migs), cost)
+		return nil
 	case "chaos":
 		return s.chaos(rest)
 	case "cluster":

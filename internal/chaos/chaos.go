@@ -65,6 +65,14 @@ type Config struct {
 	// everything-at-once workload. The probes enforce the cache
 	// invariant: a cached read never differs from a device read.
 	Mixed bool
+	// Compressed runs the lake with cold-tier compression on (implies
+	// Mixed, whose tiering events migrate quiescent logs to the HDD pool
+	// — the compression boundary). The standard invariants now cover
+	// compressed extents: coherence probes demand cached ≡ device bytes
+	// across codec transitions, the drain proves acked writes survive a
+	// compress/decompress round trip bit-exact, and the digest (which
+	// folds in the compression counters) must replay identically.
+	Compressed bool
 	// GroupCommit runs the lake with slice group commit on (4 slices per
 	// coalesced device write), so the loss/duplication invariants and the
 	// replay digest are checked over the batched flush path.
@@ -122,6 +130,11 @@ func (c Config) withDefaults() Config {
 	if (c.Failover || c.SplitBrain || c.Elastic) && c.Nodes <= 1 {
 		c.Nodes = 5
 	}
+	if c.Compressed {
+		// Compression only engages at the tiering boundary; the Mixed
+		// schedule is what drives logs across it.
+		c.Mixed = true
+	}
 	return c
 }
 
@@ -150,6 +163,9 @@ type Report struct {
 	NoisyShed    int64         // noisy-tenant sends shed under overload
 	SteadyAcked  int64         // steady-tenant sends acked
 	SteadyDenied int64         // steady-tenant sends throttled or shed (should stay rare)
+	ColdLogs     int           // logs holding compressed extents at run end (Compressed runs)
+	ColdRawB     int64         // logical bytes those logs hold
+	ColdCompB    int64         // those bytes as stored after codec negotiation
 	NodeKills    int           // whole-node kills (Failover runs)
 	Elections    int64         // metadata-leader elections (clustered runs)
 	MetaCommits  int64         // metadata-log commits (clustered runs)
@@ -187,6 +203,7 @@ func run(cfg Config, degrade time.Duration) (Report, error) {
 		DisableHedging: !cfg.Hedging,
 		CacheMB:        cfg.CacheMB,
 		Nodes:          cfg.Nodes,
+		Compression:    cfg.Compressed,
 	}
 	if cfg.Nodes > 1 {
 		// Give every node at least two disks so a dead node's share can
@@ -1069,6 +1086,20 @@ func (h *harness) report() Report {
 	if h.cfg.GroupCommit {
 		r.GroupCommits = h.lake.GroupCommitStats().Commits
 	}
+	if h.cfg.Compressed {
+		cs := h.lake.Logs().CompressionStats()
+		r.ColdLogs = cs.CompressedLogs
+		r.ColdRawB = cs.RawBytes
+		r.ColdCompB = cs.CompressedBytes
+		if cs.CompressedBytes > cs.RawBytes {
+			// The incompressible bailout guarantees stored bytes never
+			// exceed raw bytes — negotiation keeps an extent raw rather
+			// than let a codec inflate it.
+			h.violate("compression inflated cold storage: %d compressed > %d raw",
+				cs.CompressedBytes, cs.RawBytes)
+			r.Violations = h.violations
+		}
+	}
 	if h.cfg.NoisyNeighbor {
 		r.NoisyAcked = h.noisyAcked
 		r.NoisyLimited = h.noisyThrottled
@@ -1111,6 +1142,9 @@ func (h *harness) digest(r Report) uint64 {
 	}
 	if h.cfg.GroupCommit {
 		w("groupCommits=%d;", r.GroupCommits)
+	}
+	if h.cfg.Compressed {
+		w("coldLogs=%d coldRaw=%d coldComp=%d;", r.ColdLogs, r.ColdRawB, r.ColdCompB)
 	}
 	if h.cfg.NoisyNeighbor {
 		w("noisyAcked=%d noisyLimited=%d noisyShed=%d steadyAcked=%d steadyDenied=%d;",

@@ -173,3 +173,84 @@ func TestGroupCommitChaos(t *testing.T) {
 		t.Fatalf("acked writes lost through the batched path: %+v", rep)
 	}
 }
+
+// TestCompressedMixedChaos: the mixed workload with cold-tier
+// compression on. Tiering events push quiescent logs onto the HDD pool
+// where their extents compress; subsequent reads, coherence probes, and
+// the final drain all land on compressed extents and must stay
+// bit-identical to the acked bytes. The run must actually compress
+// (cold logs with stored < raw bytes), never inflate, and replay to the
+// same digest — which now folds in the compression counters.
+func TestCompressedMixedChaos(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := Config{
+			Seed:       seed,
+			Events:     400,
+			DiskKills:  true,
+			Corruption: true,
+			Partitions: true,
+			Hedging:    true,
+			Compressed: true,
+			CacheMB:    16,
+		}
+		rep, same, err := RunWithReplay(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("seed %d: compressed replay diverged (digest %x)", seed, rep.Digest)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: invariant violated: %s", seed, v)
+		}
+		if rep.ColdLogs == 0 {
+			t.Errorf("seed %d: no log ever compressed — the schedule missed the tiering boundary", seed)
+		}
+		if rep.ColdCompB >= rep.ColdRawB {
+			t.Errorf("seed %d: cold tier stored %d bytes for %d raw — compression bought nothing",
+				seed, rep.ColdCompB, rep.ColdRawB)
+		}
+		if rep.TableRows == 0 || rep.Coherence == 0 {
+			t.Errorf("seed %d: mixed schedule degenerate: rows=%d coherence=%d",
+				seed, rep.TableRows, rep.Coherence)
+		}
+		if rep.Produced == 0 {
+			t.Errorf("seed %d: streaming side acked nothing", seed)
+		}
+	}
+}
+
+// TestCompressionOffReplaysLegacyDigest: Config.Compressed is a
+// digest-compat knob — with it off, the mixed schedule must produce the
+// exact digest it produced before compression existed (same RNG draws,
+// same costs, same acked set). Guarded by comparing the off-run digest
+// against a plain Mixed run of the same seed.
+func TestCompressionOffReplaysLegacyDigest(t *testing.T) {
+	base := Config{Seed: 7, Events: 300, DiskKills: true, Corruption: true, Mixed: true, CacheMB: 8}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.Compressed = false // explicit: the zero value must change nothing
+	b, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("compression-off run diverged from the legacy schedule: %x vs %x", a.Digest, b.Digest)
+	}
+	on := base
+	on.Compressed = true
+	c, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations) != 0 {
+		t.Fatalf("compressed run violated invariants: %v", c.Violations)
+	}
+}

@@ -99,12 +99,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	text := string(raw)
 	// Series from distinct layers must all be present.
 	for _, want := range []string{
-		"pool_write_ops_total",             // pool
-		"plog_append_seconds",              // plog
-		"bus_bytes_total",                  // bus
-		"streamobj_ack_seconds",            // streamobj
+		"pool_write_ops_total",              // pool
+		"plog_append_seconds",               // plog
+		"bus_bytes_total",                   // bus
+		"streamobj_ack_seconds",             // streamobj
 		"streamsvc_produced_messages_total", // streamsvc
-		"streamsvc_consumer_lag",           // consumer gauge
+		"streamsvc_consumer_lag",            // consumer gauge
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -181,7 +181,7 @@ func TestTracerEvictsOldTraces(t *testing.T) {
 	if tr.Get(1) != nil {
 		t.Fatal("oldest trace not evicted")
 	}
-	if tr.Get(int64(maxTraces + 10)) == nil {
+	if tr.Get(int64(maxTraces+10)) == nil {
 		t.Fatal("newest trace missing")
 	}
 	if tr.Last().ID != int64(maxTraces+10) {

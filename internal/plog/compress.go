@@ -1,0 +1,183 @@
+// Cold-tier compression state for PLogs (see internal/compress for the
+// codecs and the calibrated virtual-CPU cost model). Compression is a
+// migration-time transform: when a log's placement group moves to the
+// manager's designated cold pool, each extent is negotiated against the
+// real codecs and the destination copies are written at compressed
+// size; migrating off the cold pool decompresses. The logical byte
+// stream (l.buf) stays authoritative and uncompressed — reads always
+// serve raw bytes, the read cache stores uncompressed verified bytes,
+// and every CRC-32C stays keyed over uncompressed data, so
+// verify-on-read, quarantine, EC reconstruction and the scrubber work
+// unchanged on compressed logs. What compression changes is accounting:
+// device bytes moved/stored/read shrink to compressed sizes, and the
+// codec CPU is charged to the virtual clock.
+//
+// Locking: l.compressed and l.ecomp follow the placement-identity rule
+// (see Migrate): writers hold both mu and imu, so readers may hold
+// either. The per-extent helpers below require imu, matching the
+// integrity helpers they compose with.
+package plog
+
+import (
+	"time"
+
+	"streamlake/internal/compress"
+	"streamlake/internal/pool"
+)
+
+// comprConfig is the manager-wide compression configuration every log
+// points at (the same atomic-slot lifetime trick as the read cache):
+// nil means compression-on-migrate is off.
+type comprConfig struct {
+	// cold is the pool whose incoming migrations compress; migrations
+	// leaving it decompress.
+	cold *pool.Pool
+}
+
+// extComp is one extent's negotiated compression outcome: the codec and
+// the exact on-device byte count of the whole extent under it. Parallel
+// to l.extents; an index at or past len(l.ecomp) (an extent appended
+// after the compressing migration) is implicitly raw.
+type extComp struct {
+	codec compress.Codec
+	clen  int64
+}
+
+// SetCompression enables compression-on-migrate for every log of the
+// manager: extents compress as their log migrates onto cold and
+// decompress as they migrate off it. nil disables negotiation for
+// future migrations; logs already compressed stay compressed (and keep
+// decompressing on reads) until they next migrate off the cold pool.
+func (m *Manager) SetCompression(cold *pool.Pool) {
+	if cold == nil {
+		m.compr.Store(nil)
+		return
+	}
+	m.compr.Store(&comprConfig{cold: cold})
+}
+
+// Compressed reports whether the log currently stores compressed
+// extents on its placement pool.
+func (l *PLog) Compressed() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.compressed
+}
+
+// compShardLocked returns the per-copy physical bytes of extent e: the
+// compressed extent length for replication, one shard column of it for
+// EC. Extents beyond the negotiated set (appended post-migration) are
+// raw. Caller holds imu on a compressed log.
+func (l *PLog) compShardLocked(e int) int64 {
+	if l.compressed && e < len(l.ecomp) {
+		return l.red.shardSize(l.ecomp[e].clen)
+	}
+	return l.red.shardSize(l.extents[e].len)
+}
+
+// decompressCostLocked returns the virtual CPU time to decompress
+// extent e back to raw bytes (zero for raw/None extents). Caller holds
+// imu.
+func (l *PLog) decompressCostLocked(e int) time.Duration {
+	if !l.compressed || e >= len(l.ecomp) {
+		return 0
+	}
+	return compress.DecompressCost(l.ecomp[e].codec, l.extents[e].len)
+}
+
+// compReadLocked sizes a device read of [off, off+n) on a compressed
+// log: compressed extents can only be read whole (there is no seeking
+// into a DEFLATE stream), so the device bytes are the per-copy physical
+// size of every overlapping extent, and the decompress CPU for those
+// extents is returned alongside. Caller holds imu.
+func (l *PLog) compReadLocked(off, n int64) (devBytes int64, dec time.Duration) {
+	for _, e := range l.overlappingLocked(off, n) {
+		devBytes += l.compShardLocked(e)
+		dec += l.decompressCostLocked(e)
+	}
+	return devBytes, dec
+}
+
+// heldPhysLocked returns the physical bytes copy i holds on its device:
+// the per-copy size of every extent present in its checksum sidecar
+// (presence ⟺ the copy physically holds the extent; degraded appends
+// and quarantine remove entries). Caller holds imu.
+func (l *PLog) heldPhysLocked(i int) int64 {
+	var total int64
+	for e := range l.extents {
+		if _, ok := l.copySums[i][e]; ok {
+			total += l.compShardLocked(e)
+		}
+	}
+	return total
+}
+
+// missingPhysLocked returns the physical bytes copy i is missing — the
+// compressed-aware rebuild size for repair. Caller holds imu.
+func (l *PLog) missingPhysLocked(i int) int64 {
+	var total int64
+	for e := range l.extents {
+		if _, ok := l.copySums[i][e]; !ok {
+			total += l.compShardLocked(e)
+		}
+	}
+	return total
+}
+
+// copyPhysLocked returns the full per-copy physical size of the log —
+// every extent, held or not. Caller holds imu.
+func (l *PLog) copyPhysLocked() int64 {
+	var total int64
+	for e := range l.extents {
+		total += l.compShardLocked(e)
+	}
+	return total
+}
+
+// CompressionStats summarizes the cold-tier byte reduction across a
+// manager's compressed logs. RawBytes and CompressedBytes are logical
+// (single-copy, pre-redundancy) sums, so CompressedBytes/RawBytes is
+// the codec-level ratio independent of the redundancy policy.
+type CompressionStats struct {
+	CompressedLogs  int
+	RawBytes        int64 // logical bytes held by compressed logs
+	CompressedBytes int64 // those bytes as stored after negotiation
+	NoneExtents     int   // extents the bailout kept raw
+	RLEExtents      int
+	FlateExtents    int
+}
+
+// CompressionStats snapshots the manager-wide compression counters in
+// log-ID order (deterministic for digests).
+func (m *Manager) CompressionStats() CompressionStats {
+	var st CompressionStats
+	for _, l := range m.sortedLogs() {
+		l.mu.RLock()
+		if !l.compressed {
+			l.mu.RUnlock()
+			continue
+		}
+		st.CompressedLogs++
+		l.imu.Lock()
+		for e, ext := range l.extents {
+			st.RawBytes += ext.len
+			if e < len(l.ecomp) {
+				st.CompressedBytes += l.ecomp[e].clen
+				switch l.ecomp[e].codec {
+				case compress.RLE:
+					st.RLEExtents++
+				case compress.Flate:
+					st.FlateExtents++
+				default:
+					st.NoneExtents++
+				}
+			} else {
+				st.CompressedBytes += ext.len
+				st.NoneExtents++
+			}
+		}
+		l.imu.Unlock()
+		l.mu.RUnlock()
+	}
+	return st
+}

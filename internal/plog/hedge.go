@@ -119,9 +119,13 @@ func (m *Manager) HedgeStats() HedgeStats {
 
 // hedgeLocked races a second replica against a slow primary. Caller
 // holds l.mu and has already verified copy `primary` (index into
-// l.slices) at cost primaryCost. It returns how much requester latency
-// the hedge saved (0 when it lost or no second replica was usable).
-func (l *PLog) hedgeLocked(primary int, offset, n int64, primaryCost time.Duration, verify bool) time.Duration {
+// l.slices) at cost primaryCost. devN is the physical device bytes one
+// copy read costs (== n on a raw log, the compressed whole-extent size
+// on a compressed one) and decCost the decompress CPU the hedge replica
+// would pay on top of its device read. It returns how much requester
+// latency the hedge saved (0 when it lost or no second replica was
+// usable).
+func (l *PLog) hedgeLocked(primary int, offset, n, devN int64, decCost, primaryCost time.Duration, verify bool) time.Duration {
 	if l.hedge == nil || l.red.Kind != Replicate {
 		return 0
 	}
@@ -148,10 +152,11 @@ func (l *PLog) hedgeLocked(primary int, offset, n int64, primaryCost time.Durati
 			// latency model must not credit. Skip it.
 			continue
 		}
-		d2, rerr := l.pool.Read(s.ID, n)
+		d2, rerr := l.pool.Read(s.ID, devN)
 		if rerr != nil {
 			continue
 		}
+		d2 += decCost
 		if verify {
 			if bad := l.verifyCopyRange(j, offset, n); len(bad) > 0 {
 				l.quarantine(j, bad)

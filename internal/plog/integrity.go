@@ -386,7 +386,12 @@ func (l *PLog) Scrub() (ScrubResult, error) {
 		for e := 0; e < nExt; e++ {
 			l.imu.Lock()
 			stored, ok := l.copySums[i][e]
-			per := l.red.shardSize(l.extents[e].len)
+			// A compressed extent is read at its on-device (compressed)
+			// size and must decompress before its CRC — which stays
+			// keyed over the uncompressed bytes — can be checked; both
+			// collapse to the raw shard size and zero CPU on a raw log.
+			per := l.compShardLocked(e)
+			dec := l.decompressCostLocked(e)
 			var want uint32
 			if ok {
 				want = l.expectedSumLocked(i, e)
@@ -402,7 +407,7 @@ func (l *PLog) Scrub() (ScrubResult, error) {
 				readFailed = true
 				break
 			}
-			res.Cost += c
+			res.Cost += c + dec
 			res.Extents++
 			res.Bytes += per
 			l.imu.Lock()

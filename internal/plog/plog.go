@@ -162,6 +162,24 @@ type PLog struct {
 	// locality.go / Manager.SetLocalReads); nil — the default — keeps
 	// the legacy copy-order read path, byte for byte.
 	locality *atomic.Pointer[func(*pool.Pool, pool.DiskID) bool]
+
+	// compr points at the manager's shared compression-on-migrate
+	// configuration (see compress.go); the slot holds nil until
+	// SetCompression. compressed/ecomp are the log's own compression
+	// state and follow the placement-identity rule: writers (Migrate)
+	// hold both mu and imu, readers may hold either.
+	compr      *atomic.Pointer[comprConfig]
+	compressed bool
+	ecomp      []extComp
+
+	// fmu guards the cache-fill version: invalidateCached bumps fillVer
+	// under it, and fills snapshot the version before their device read
+	// and re-check it at insert time, so a fill racing an invalidation
+	// (migrate, quarantine, repair) can never re-admit bytes keyed to
+	// the pre-invalidation placement. Leaf lock: mu may be held when
+	// taking fmu, never the reverse.
+	fmu     sync.Mutex
+	fillVer uint64
 }
 
 // logMetrics is the plog layer's obs instrument set, shared by every
@@ -360,15 +378,42 @@ func (l *PLog) readThrough(offset, n int64) (data []byte, cost time.Duration, hi
 		l.metrics.readBytes.Add(n)
 		return data, ccost, true, nil
 	}
+	ver := l.fillVersion()
 	data, cost, err = l.read(offset, n)
 	if err == nil {
 		l.metrics.readLat.Observe(cost)
 		l.metrics.readBytes.Add(n)
 		// Verified fill: l.read only returns clean bytes while
-		// verification is on (cacheActive gates the off case away).
-		c.Put(key, data)
+		// verification is on (cacheActive gates the off case away). The
+		// fill is version-guarded: if an invalidation (a migrate moving
+		// the placement, a quarantine, a repair rewrite) ran between the
+		// device read and here, the fill loses — inserting would
+		// re-admit bytes keyed to the pre-invalidation placement.
+		l.tryFill(c, key, data, ver)
 	}
 	return data, cost, false, err
+}
+
+// fillVersion snapshots the log's cache-fill version. A fill is only
+// admitted if the version is unchanged at insert time (see tryFill).
+func (l *PLog) fillVersion() uint64 {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.fillVer
+}
+
+// tryFill inserts a verified fill unless an invalidation has run since
+// the caller snapshotted ver — the check and the insert are atomic with
+// respect to invalidateCached, so a pre-invalidation fill can never
+// land after the invalidation's prefix sweep.
+func (l *PLog) tryFill(c *cache.Cache, key string, data []byte, ver uint64) bool {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	if l.fillVer != ver {
+		return false
+	}
+	c.Put(key, data)
+	return true
 }
 
 // ReadDirect is Read bypassing the read cache: the raw device path,
@@ -426,6 +471,13 @@ func (l *PLog) cacheKey(offset, n int64) string {
 // coherence edges where the media under the log changed (quarantine,
 // repair rewrite, degraded append, migration, destroy).
 func (l *PLog) invalidateCached() {
+	// Bump the fill version first: any in-flight fill that snapshotted
+	// the old version aborts at insert time, and one that already landed
+	// is swept by the prefix invalidation below. Either order of the
+	// race leaves the cache empty of pre-invalidation entries.
+	l.fmu.Lock()
+	l.fillVer++
+	l.fmu.Unlock()
 	if l.rcache == nil {
 		return
 	}
@@ -458,6 +510,18 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 		return nil, 0, ErrOutOfRange
 	}
 	verify := l.noVerify == nil || !l.noVerify.Load()
+	// Compressed logs read whole extents at their compressed size and
+	// pay the decompress CPU before the uncompressed bytes can be
+	// CRC-verified — so a corrupt copy costs its read and its decompress
+	// before the fallback, exactly like the wasted raw reads below. On a
+	// raw log devN == n and decCost == 0, leaving the legacy accounting
+	// byte-identical.
+	devN, decCost := n, time.Duration(0)
+	if l.compressed {
+		l.imu.Lock()
+		devN, decCost = l.compReadLocked(offset, n)
+		l.imu.Unlock()
+	}
 	switch l.red.Kind {
 	case Replicate:
 		var lastErr error
@@ -478,11 +542,12 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 			if l.missingIn(i, offset, n) {
 				continue // copy has holes here: degraded write or quarantined
 			}
-			d, rerr := l.pool.Read(s.ID, n)
+			d, rerr := l.pool.Read(s.ID, devN)
 			if rerr != nil {
 				lastErr = rerr
 				continue
 			}
+			d += decCost
 			cost += d // wasted reads of corrupt copies stay charged
 			if verify {
 				if bad := l.verifyCopyRange(i, offset, n); len(bad) > 0 {
@@ -503,7 +568,7 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 			// Slow primary? Race a second replica after the hedge delay and
 			// let the requester observe the earlier finisher. Device time of
 			// both reads stays charged above.
-			if saved := l.hedgeLocked(i, offset, n, d, verify); saved > 0 {
+			if saved := l.hedgeLocked(i, offset, n, devN, decCost, d, verify); saved > 0 {
 				cost -= saved
 			}
 			// Zero-copy borrow: buf is append-only, so this full-capped
@@ -516,6 +581,11 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 		return nil, 0, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 	case ErasureCode:
 		shard := (n + int64(l.red.K) - 1) / int64(l.red.K)
+		if l.compressed {
+			// Whole overlapping extents, one compressed shard column per
+			// copy (compReadLocked already divided by K).
+			shard = devN
+		}
 		var max time.Duration
 		healthy := 0
 		fellBack := false
@@ -546,7 +616,9 @@ func (l *PLog) read(offset, n int64) (data []byte, cost time.Duration, err error
 				max = d
 			}
 		}
-		cost += max
+		// The K shard columns join, then the extents decompress once
+		// (zero on a raw log).
+		cost += max + decCost
 		if healthy < l.red.K {
 			return nil, 0, ErrUnavailable
 		}
@@ -729,7 +801,17 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 	for _, i := range idxs {
 		staleBytes := l.stale[i]
 		s := l.slices[i]
-		rebuild := staleBytes
+		// Rebuild and live-delta accounting: raw logs move staleBytes;
+		// compressed logs move the compressed size of the extents the
+		// copy is actually missing (its sidecar presence set), since
+		// that is what the peers store and the device will hold.
+		rebuild, liveDelta := staleBytes, staleBytes
+		if l.compressed {
+			l.imu.Lock()
+			rebuild = l.missingPhysLocked(i)
+			l.imu.Unlock()
+			liveDelta = rebuild
+		}
 		if l.pool.DiskFailed(s.Disk) {
 			// Dead disk: move the slice, then rebuild the entire column.
 			exclude := make(map[pool.DiskID]bool, len(l.slices)-1)
@@ -742,6 +824,11 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 				return repaired, cost, fmt.Errorf("plog: relocate slice %d of log %d: %w", i, l.id, rerr)
 			}
 			rebuild = l.red.shardSize(int64(len(l.buf)))
+			if l.compressed {
+				l.imu.Lock()
+				rebuild = l.copyPhysLocked()
+				l.imu.Unlock()
+			}
 		}
 		// Reconstruction sources: healthy, non-stale peers — one for
 		// replication, K for EC.
@@ -777,7 +864,7 @@ func (l *PLog) RepairStale() (repaired int64, cost time.Duration, err error) {
 			return repaired, cost, fmt.Errorf("%w: %d of %d reconstruction sources available",
 				ErrUnavailable, len(sources), need)
 		}
-		c, rerr := l.pool.RepairSlice(s.ID, sources, rebuild, staleBytes)
+		c, rerr := l.pool.RepairSlice(s.ID, sources, rebuild, liveDelta)
 		if rerr != nil {
 			return repaired, cost, fmt.Errorf("plog: rebuild slice %d of log %d: %w", i, l.id, rerr)
 		}
@@ -805,10 +892,18 @@ func (l *PLog) Seal() {
 	l.sealed = true
 }
 
-// PhysicalBytes reports the redundant bytes this log occupies on disk.
+// PhysicalBytes reports the redundant bytes this log occupies on disk
+// — compressed per-copy sizes when the log's extents are compressed on
+// the cold tier.
 func (l *PLog) PhysicalBytes() int64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	if l.compressed {
+		l.imu.Lock()
+		per := l.copyPhysLocked()
+		l.imu.Unlock()
+		return per * int64(l.red.Width())
+	}
 	switch l.red.Kind {
 	case Replicate:
 		return int64(len(l.buf)) * int64(l.red.Replicas)
@@ -842,6 +937,9 @@ type Manager struct {
 	// by every log (see SetLocalReads): copies whose disk it reports
 	// local are tried first on replicated reads.
 	locality atomic.Pointer[func(*pool.Pool, pool.DiskID) bool]
+	// compr is the shared compression-on-migrate slot (see compress.go);
+	// nil until SetCompression designates a cold pool.
+	compr atomic.Pointer[comprConfig]
 
 	mu     sync.Mutex
 	logs   map[ID]*PLog
@@ -945,6 +1043,7 @@ func (m *Manager) Create(red Redundancy) (*PLog, error) {
 		hedge:    &m.hedge,
 		rcache:   &m.cache,
 		locality: &m.locality,
+		compr:    &m.compr,
 	}
 	m.logs[l.id] = l
 	return l, nil

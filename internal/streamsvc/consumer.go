@@ -148,7 +148,7 @@ func (c *Consumer) PollCtx(max int, rc *resil.Ctx) ([]Message, time.Duration, er
 			for i, obj := range ts.streams {
 				lag += obj.End() - sub.offsets[i]
 			}
-			reg.Gauge(`streamsvc_consumer_lag{group="`+c.group+`",topic="`+sub.topic+`"}`).Set(float64(lag))
+			reg.Gauge(`streamsvc_consumer_lag{group="` + c.group + `",topic="` + sub.topic + `"}`).Set(float64(lag))
 		}
 	}
 	m.consumedMsgs.Add(int64(len(out)))

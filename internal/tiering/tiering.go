@@ -10,6 +10,7 @@ package tiering
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -114,9 +115,14 @@ func NewService(clock *sim.Clock, policy Policy) *Service {
 }
 
 // DegradeTier dials a latency slowdown onto one tier's device (factor
-// > 1 degrades, <= 1 restores) — the fault injector's model of a sick
+// > 1 degrades, 1 restores) — the fault injector's model of a sick
 // media pool; migrations to and reads from the tier slow accordingly.
+// A factor <= 0 (or NaN) is rejected: the device layer would silently
+// clamp it to "healthy", masking a caller that meant to degrade.
 func (s *Service) DegradeTier(t Tier, factor float64) error {
+	if math.IsNaN(factor) || factor <= 0 {
+		return fmt.Errorf("tiering: invalid slowdown factor %v for tier %v", factor, t)
+	}
 	dev, ok := s.dev[t]
 	if !ok {
 		return fmt.Errorf("tiering: unknown tier %v", t)
@@ -181,6 +187,12 @@ func (s *Service) Demote(id string, to Tier) (time.Duration, error) {
 }
 
 func (s *Service) migrate(id string, to Tier) (time.Duration, error) {
+	// Validate the destination before touching any state: an unknown
+	// tier used to mutate it.Tier first and then nil-panic on the device
+	// lookup, leaving the item stranded on a tier nothing serves.
+	if _, ok := s.dev[to]; !ok {
+		return 0, fmt.Errorf("tiering: unknown tier %v", to)
+	}
 	s.mu.Lock()
 	it, ok := s.items[id]
 	if !ok {
@@ -188,15 +200,16 @@ func (s *Service) migrate(id string, to Tier) (time.Duration, error) {
 		return 0, ErrUnknownItem
 	}
 	from := it.Tier
-	size := it.Size
-	it.Tier = to
-	if from != to {
-		s.migrated += size
-	}
-	s.mu.Unlock()
 	if from == to {
+		// Same-tier moves are strict no-ops: no migration bytes
+		// registered, no device charge, no state touched.
+		s.mu.Unlock()
 		return 0, nil
 	}
+	size := it.Size
+	it.Tier = to
+	s.migrated += size
+	s.mu.Unlock()
 	cost := s.dev[from].Read(size)
 	cost += s.dev[to].Write(size)
 	return cost, nil

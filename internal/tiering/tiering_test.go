@@ -1,6 +1,7 @@
 package tiering
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -161,5 +162,66 @@ func TestReplicator(t *testing.T) {
 	r.Replicate(s)
 	if got := r.ReplicatedBytes(); got != 6<<20 {
 		t.Fatalf("cumulative replicated: %d", got)
+	}
+}
+
+func TestDegradeTierRejectsInvalidFactor(t *testing.T) {
+	s := newService(sim.NewClock())
+	for _, factor := range []float64{0, -1, -0.5, math.NaN()} {
+		if err := s.DegradeTier(HDD, factor); err == nil {
+			t.Fatalf("DegradeTier accepted factor %v", factor)
+		}
+	}
+	if got := s.TierSlowdown(HDD); got != 1 {
+		t.Fatalf("rejected factor still changed slowdown: %v", got)
+	}
+	if err := s.DegradeTier(HDD, 3); err != nil {
+		t.Fatalf("valid factor rejected: %v", err)
+	}
+	if got := s.TierSlowdown(HDD); got != 3 {
+		t.Fatalf("slowdown = %v, want 3", got)
+	}
+	if err := s.DegradeTier(Tier(42), 2); err == nil {
+		t.Fatal("DegradeTier accepted an unknown tier")
+	}
+}
+
+func TestMigrateToUnknownTierFailsWithoutMutation(t *testing.T) {
+	s := newService(sim.NewClock())
+	s.Register("item", 1<<20, SSD)
+	// Used to set it.Tier before validating, then panic on the nil
+	// device — stranding the item on a tier nothing serves.
+	if _, err := s.Demote("item", Tier(42)); err == nil {
+		t.Fatal("Demote to unknown tier succeeded")
+	}
+	if tier, _ := s.TierOf("item"); tier != SSD {
+		t.Fatalf("failed migrate moved the item to %v", tier)
+	}
+	if st := s.Stats(); st.MigratedBytes != 0 {
+		t.Fatalf("failed migrate registered %d migrated bytes", st.MigratedBytes)
+	}
+}
+
+func TestSameTierDemoteIsStrictNoOp(t *testing.T) {
+	clock := sim.NewClock()
+	s := newService(clock)
+	s.Register("item", 1<<20, HDD)
+	before := s.Stats()
+	cost, err := s.Demote("item", HDD)
+	if err != nil {
+		t.Fatalf("same-tier demote: %v", err)
+	}
+	if cost != 0 {
+		t.Fatalf("same-tier demote charged %v", cost)
+	}
+	after := s.Stats()
+	if after.MigratedBytes != before.MigratedBytes {
+		t.Fatalf("same-tier demote registered bytes: %d -> %d", before.MigratedBytes, after.MigratedBytes)
+	}
+	if after.BytesPerTier[HDD] != before.BytesPerTier[HDD] {
+		t.Fatalf("same-tier demote changed occupancy: %v -> %v", before.BytesPerTier, after.BytesPerTier)
+	}
+	if tier, _ := s.TierOf("item"); tier != HDD {
+		t.Fatalf("item moved to %v", tier)
 	}
 }

@@ -10,6 +10,14 @@ set -eux
 go build ./...
 go vet ./...
 
+# Formatting gate: the tree must be gofmt-clean.
+unformatted=$(gofmt -l . 2>/dev/null || true)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 # Wall-clock lint: data-path packages charge the sim.Clock, never the
 # wall clock, or seeded runs stop being reproducible. Non-test files
 # under internal/ may only call time.Now/time.Since if listed in
@@ -57,6 +65,16 @@ go test -count=1 -run 'TestNoisyNeighborChaos' ./internal/chaos/
 # (hit rate ≥ 0.5, warm p99 ≥ 5x under cold, ~zero warm plan bytes).
 go test -race -count=1 ./internal/cache/
 go test -count=1 -short -run 'TestMixedWorkloadCacheCoherence' ./internal/chaos/
+# Compression gate: the codecs and cost model under the race detector,
+# plus the compressed mixed chaos smoke — tiering demotes logs onto the
+# cold pool where extents compress, coherence probes and the final
+# drain stay bit-identical across codec transitions, the cold tier
+# never inflates, and the run replays to the same digest with the
+# compression counters folded in. The benchsnap smoke above enforces
+# the bytes-on-device ceiling (compressed cold tier <= 0.7x raw, scans
+# byte-identical, every read CRC-verified over uncompressed bytes).
+go test -race -count=1 ./internal/compress/
+go test -count=1 -short -run 'TestCompressedMixedChaos|TestCompressionOffReplaysLegacyDigest' ./internal/chaos/
 # Cluster gate: the membership/consensus plane under the race detector,
 # plus the seeded failover chaos smoke — node kills (leader included)
 # and split-brain metadata partitions with zero acked-write loss, every

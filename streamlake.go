@@ -162,6 +162,16 @@ type Config struct {
 	// Off by default: the stats encoding changes when enabled, so replay
 	// digests are comparable only between runs with the same setting.
 	ZoneMaps bool
+	// Compression turns on transparent per-extent compression at the
+	// tiering boundary: sealed logs demoted to the HDD cold tier
+	// negotiate a codec per extent (flate, or RLE for run-heavy columnar
+	// payloads, with an incompressible bailout) and store compressed
+	// bytes on device; promotion back to SSD decompresses. Reads stay
+	// bit-identical and every checksum stays keyed over uncompressed
+	// bytes. Off by default: device byte/op accounting and codec CPU
+	// change when enabled, so replay digests are comparable only between
+	// runs with the same setting.
+	Compression bool
 	// Nodes turns on the multi-node cluster plane with this many nodes:
 	// disks partition into per-node failure domains, placement spreads
 	// copies across nodes via consistent hashing, a heartbeat failure
@@ -288,6 +298,9 @@ func Open(cfg Config) (*Lake, error) {
 		inj:     inj,
 	}
 	logs.SetVerifyOnRead(!cfg.DisableVerifyOnRead)
+	if cfg.Compression {
+		logs.SetCompression(hdd)
+	}
 	inj.AttachCorruptor("ssd", logs)
 	if cfg.CacheMB > 0 {
 		total := int64(cfg.CacheMB) << 20
